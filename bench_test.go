@@ -1,0 +1,207 @@
+package lightzone
+
+import (
+	"fmt"
+	"testing"
+
+	"lightzone/internal/arm64"
+	"lightzone/internal/workload"
+)
+
+// The benches regenerate every table and figure of the paper's evaluation.
+// Wall-clock ns/op measures the simulator; the paper-comparable numbers
+// are reported as custom metrics (simulated cycles and overhead
+// percentages), mirroring the rows and series of Tables 4-5 and
+// Figures 3-5. cmd/lzbench prints the same data as formatted text.
+
+// BenchmarkTable4 measures every trap-and-return roundtrip row on both
+// cost profiles.
+func BenchmarkTable4(b *testing.B) {
+	for _, prof := range arm64.Profiles() {
+		b.Run(prof.Name, func(b *testing.B) {
+			var rows []workload.Table4Row
+			var err error
+			for i := 0; i < b.N; i++ {
+				rows, err = workload.RunTable4(prof)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, r := range rows {
+				b.ReportMetric(float64(r.Lo), "simcycles:"+metricSlug(r.Name))
+			}
+		})
+	}
+}
+
+func metricSlug(name string) string {
+	out := make([]rune, 0, len(name))
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		case r == ' ':
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// BenchmarkTable5 measures the domain-switching matrix: LightZone PAN,
+// LightZone TTBR, and the Watchpoint baseline across domain counts on the
+// three platform rows of the paper's table.
+func BenchmarkTable5(b *testing.B) {
+	rows := []struct {
+		name string
+		plat workload.Platform
+	}{
+		{"CarmelHost", workload.Platform{Prof: arm64.ProfileCarmel(), Guest: false}},
+		{"CarmelGuest", workload.Platform{Prof: arm64.ProfileCarmel(), Guest: true}},
+		{"Cortex", workload.Platform{Prof: arm64.ProfileCortexA55(), Guest: false}},
+	}
+	cases := []struct {
+		variant workload.Variant
+		domains int
+	}{
+		{workload.VariantLZPAN, 1},
+		{workload.VariantLZTTBR, 2},
+		{workload.VariantLZTTBR, 3},
+		{workload.VariantLZTTBR, 32},
+		{workload.VariantLZTTBR, 64},
+		{workload.VariantLZTTBR, 128},
+		{workload.VariantWatchpoint, 1},
+		{workload.VariantWatchpoint, 2},
+		{workload.VariantWatchpoint, 3},
+	}
+	for _, row := range rows {
+		for _, c := range cases {
+			b.Run(fmt.Sprintf("%s/%s/domains=%d", row.name, c.variant, c.domains), func(b *testing.B) {
+				var avg float64
+				for i := 0; i < b.N; i++ {
+					res, err := workload.RunDomainSwitch(workload.DomainSwitchConfig{
+						Platform: row.plat, Variant: c.variant,
+						Domains: c.domains, Iters: 1000, Seed: 42,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					avg = res.AvgCycles
+				}
+				b.ReportMetric(avg, "simcycles/switch")
+			})
+		}
+	}
+}
+
+// BenchmarkFigure3Nginx reports the Nginx key-protection throughput losses
+// for all variants on all four platforms.
+func BenchmarkFigure3Nginx(b *testing.B) {
+	benchFigure(b, func(pr *workload.Primitives) (map[workload.Variant]float64, error) {
+		series, err := workload.NginxFigure(pr)
+		if err != nil {
+			return nil, err
+		}
+		out := map[workload.Variant]float64{}
+		for _, s := range series {
+			out[s.Variant] = s.OverheadPct
+		}
+		return out, nil
+	})
+}
+
+// BenchmarkFigure4MySQL reports the MySQL OLTP throughput losses.
+func BenchmarkFigure4MySQL(b *testing.B) {
+	benchFigure(b, func(pr *workload.Primitives) (map[workload.Variant]float64, error) {
+		series, err := workload.MySQLFigure(pr)
+		if err != nil {
+			return nil, err
+		}
+		out := map[workload.Variant]float64{}
+		for _, s := range series {
+			out[s.Variant] = s.OverheadPct
+		}
+		return out, nil
+	})
+}
+
+// BenchmarkFigure5NVM reports the NVM benchmark time overheads (averaged
+// over the domain sweep).
+func BenchmarkFigure5NVM(b *testing.B) {
+	benchFigure(b, func(pr *workload.Primitives) (map[workload.Variant]float64, error) {
+		series, err := workload.NVMFigure(pr)
+		if err != nil {
+			return nil, err
+		}
+		out := map[workload.Variant]float64{}
+		for _, s := range series {
+			var sum float64
+			for _, v := range s.OverheadPct {
+				sum += v
+			}
+			out[s.Variant] = sum / float64(len(s.OverheadPct))
+		}
+		return out, nil
+	})
+}
+
+func benchFigure(b *testing.B, eval func(*workload.Primitives) (map[workload.Variant]float64, error)) {
+	b.Helper()
+	for _, plat := range workload.AllPlatforms() {
+		b.Run(plat.String(), func(b *testing.B) {
+			var losses map[workload.Variant]float64
+			for i := 0; i < b.N; i++ {
+				pr, err := workload.MeasurePrimitives(plat)
+				if err != nil {
+					b.Fatal(err)
+				}
+				losses, err = eval(pr)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			for v, pct := range losses {
+				if v == workload.VariantNone {
+					continue
+				}
+				b.ReportMetric(pct, "losspct:"+string(v))
+			}
+		})
+	}
+}
+
+// BenchmarkGateSwitch measures the raw secure-call-gate switch through the
+// public API (the ablation anchor for gate-cost discussions).
+func BenchmarkGateSwitch(b *testing.B) {
+	for _, name := range []string{"carmel", "cortexa55"} {
+		b.Run(name, func(b *testing.B) {
+			plat, _ := PlatformFor(name, false)
+			var avg float64
+			for i := 0; i < b.N; i++ {
+				var err error
+				avg, err = DomainSwitchBench(plat, VariantLZTTBR, 2, 1000)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(avg, "simcycles/switch")
+		})
+	}
+}
+
+// BenchmarkPANToggle measures the PAN-based domain switch.
+func BenchmarkPANToggle(b *testing.B) {
+	for _, name := range []string{"carmel", "cortexa55"} {
+		b.Run(name, func(b *testing.B) {
+			plat, _ := PlatformFor(name, false)
+			var avg float64
+			for i := 0; i < b.N; i++ {
+				var err error
+				avg, err = DomainSwitchBench(plat, VariantLZPAN, 1, 1000)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(avg, "simcycles/switch")
+		})
+	}
+}

@@ -1,0 +1,363 @@
+// Command lzbench regenerates the evaluation of "LightZone: Lightweight
+// Hardware-Assisted In-Process Isolation for ARM64" (MIDDLEWARE '24):
+// Table 4 (trap roundtrips), Table 5 (domain switching), Figures 3-5
+// (Nginx, MySQL, NVM), the §9 memory overheads, and the §7.2 penetration
+// tests — on the simulated Carmel and Cortex-A55 platforms.
+//
+// Usage:
+//
+//	lzbench -table 4            # trap roundtrip cycles
+//	lzbench -table 5            # domain-switch cycles
+//	lzbench -figure 3           # Nginx throughput (add -mem for §9.1 memory)
+//	lzbench -figure 4           # MySQL throughput
+//	lzbench -figure 5           # NVM overheads
+//	lzbench -pentest            # §7.2 attack battery
+//	lzbench -all                # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"lightzone/internal/arm64"
+	"lightzone/internal/workload"
+)
+
+func main() {
+	var (
+		table    = flag.Int("table", 0, "regenerate table 4 or 5")
+		figure   = flag.Int("figure", 0, "regenerate figure 3, 4 or 5")
+		mem      = flag.Bool("mem", false, "with -figure: also report the memory overheads")
+		pentest  = flag.Bool("pentest", false, "run the 7.2 penetration tests")
+		ablation = flag.Bool("ablations", false, "measure the 5.2 optimization ablations")
+		all      = flag.Bool("all", false, "run everything")
+		iters    = flag.Int("iters", 10000, "domain-switch iterations (table 5)")
+		csvDir   = flag.String("csv", "", "also write figure series as CSV files into this directory")
+	)
+	flag.Parse()
+	csvOut = *csvDir
+	if err := run(*table, *figure, *mem, *pentest, *ablation, *all, *iters); err != nil {
+		fmt.Fprintln(os.Stderr, "lzbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table, figure int, mem, pentest, ablation, all bool, iters int) error {
+	any := false
+	if all || table == 4 {
+		any = true
+		if err := printTable4(); err != nil {
+			return err
+		}
+	}
+	if all || table == 5 {
+		any = true
+		if err := printTable5(iters); err != nil {
+			return err
+		}
+	}
+	for _, f := range []int{3, 4, 5} {
+		if all || figure == f {
+			any = true
+			if err := printFigure(f, mem || all); err != nil {
+				return err
+			}
+		}
+	}
+	if all || pentest {
+		any = true
+		if err := printPentest(); err != nil {
+			return err
+		}
+	}
+	if all || ablation {
+		any = true
+		if err := printAblations(); err != nil {
+			return err
+		}
+	}
+	if !any {
+		flag.Usage()
+	}
+	return nil
+}
+
+func printTable4() error {
+	fmt.Println("Table 4: cycles spent on empty trap-and-return roundtrips")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "\tCarmel\tCortex A55")
+	type rows = []workload.Table4Row
+	byProf := map[string]rows{}
+	for _, prof := range arm64.Profiles() {
+		r, err := workload.RunTable4(prof)
+		if err != nil {
+			return err
+		}
+		byProf[prof.Name] = r
+	}
+	carmel, cortex := byProf["Carmel"], byProf["CortexA55"]
+	for i := range carmel {
+		fmt.Fprintf(w, "%s\t%s\t%s\n", carmel[i].Name, band(carmel[i]), band(cortex[i]))
+	}
+	w.Flush()
+	fmt.Println()
+	return nil
+}
+
+func band(r workload.Table4Row) string {
+	if r.Lo == r.Hi {
+		return fmt.Sprintf("%d", r.Lo)
+	}
+	return fmt.Sprintf("%d~%d", r.Lo, r.Hi)
+}
+
+func printTable5(iters int) error {
+	fmt.Printf("Table 5: average cycles of switches (with secure call gate) between protected domains (%d iterations)\n", iters)
+	domains := []int{1, 2, 3, 32, 64, 128}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprint(w, "\t\t1 (PAN)")
+	for _, d := range domains[1:] {
+		fmt.Fprintf(w, "\t%d", d)
+	}
+	fmt.Fprintln(w)
+	rows := []struct {
+		plat workload.Platform
+		name string
+	}{
+		{workload.Platform{Prof: arm64.ProfileCarmel(), Guest: false}, "Carmel Host"},
+		{workload.Platform{Prof: arm64.ProfileCarmel(), Guest: true}, "Carmel Guest"},
+		{workload.Platform{Prof: arm64.ProfileCortexA55(), Guest: false}, "Cortex"},
+	}
+	for _, row := range rows {
+		fmt.Fprintf(w, "%s\tWatchpoint", row.name)
+		for i, d := range domains {
+			v := VariantFor(i)
+			if v == workload.VariantLZPAN {
+				v = workload.VariantWatchpoint // column 1: single domain
+			}
+			if d > 16 || i >= 3 {
+				fmt.Fprint(w, "\t-")
+				continue
+			}
+			res, err := workload.RunDomainSwitch(workload.DomainSwitchConfig{
+				Platform: row.plat, Variant: workload.VariantWatchpoint, Domains: d, Iters: iters, Seed: 42,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "\t%.0f", res.AvgCycles)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "\tLightZone")
+		for i, d := range domains {
+			variant := workload.VariantLZTTBR
+			if i == 0 {
+				variant = workload.VariantLZPAN
+			}
+			res, err := workload.RunDomainSwitch(workload.DomainSwitchConfig{
+				Platform: row.plat, Variant: variant, Domains: d, Iters: iters, Seed: 42,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "\t%.0f", res.AvgCycles)
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	fmt.Println()
+	return nil
+}
+
+// VariantFor keeps the Table 5 column semantics readable.
+func VariantFor(col int) workload.Variant {
+	if col == 0 {
+		return workload.VariantLZPAN
+	}
+	return workload.VariantLZTTBR
+}
+
+func printFigure(f int, withMem bool) error {
+	names := map[int]string{
+		3: "Figure 3: Nginx HTTPS throughput (1 worker, 1KB file)",
+		4: "Figure 4: MySQL sysbench OLTP read-write throughput",
+		5: "Figure 5: NVM data-structure benchmark time overhead",
+	}
+	fmt.Println(names[f])
+	for _, plat := range workload.AllPlatforms() {
+		pr, err := workload.MeasurePrimitives(plat)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %s:\n", plat)
+		switch f {
+		case 3, 4:
+			var series []workload.FigureSeries
+			if f == 3 {
+				series, err = workload.NginxFigure(pr)
+			} else {
+				series, err = workload.MySQLFigure(pr)
+			}
+			if err != nil {
+				return err
+			}
+			if err := writeFigureCSV(f, plat, series); err != nil {
+				return err
+			}
+			w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+			fmt.Fprint(w, "    variant")
+			for _, pt := range series[0].Points {
+				fmt.Fprintf(w, "\tc=%d", pt.X)
+			}
+			fmt.Fprintln(w, "\tloss")
+			for _, s := range series {
+				fmt.Fprintf(w, "    %s", s.Variant)
+				for _, pt := range s.Points {
+					fmt.Fprintf(w, "\t%.0f", pt.Tput)
+				}
+				fmt.Fprintf(w, "\t%.2f%%\n", s.OverheadPct)
+			}
+			w.Flush()
+		case 5:
+			series, err := workload.NVMFigure(pr)
+			if err != nil {
+				return err
+			}
+			if err := writeNVMCSV(plat, series); err != nil {
+				return err
+			}
+			w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+			fmt.Fprint(w, "    variant")
+			for _, d := range workload.NVMDomainCounts {
+				fmt.Fprintf(w, "\tD=%d", d)
+			}
+			fmt.Fprintln(w)
+			for _, s := range series {
+				fmt.Fprintf(w, "    %s", s.Variant)
+				for _, pct := range s.OverheadPct {
+					fmt.Fprintf(w, "\t%.2f%%", pct)
+				}
+				fmt.Fprintln(w)
+			}
+			w.Flush()
+		}
+	}
+	if withMem {
+		plat := workload.AllPlatforms()[2]
+		var m workload.MemoryOverheads
+		var err error
+		switch f {
+		case 3:
+			m, err = workload.NginxMemory(plat)
+		case 4:
+			m, err = workload.MySQLMemory(plat)
+		case 5:
+			m, err = workload.NVMMemory(plat)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  memory: baseline %.1fMB, fragmentation/app overhead %.1f%%, page tables PAN %.1f%% / TTBR %.1f%%\n",
+			float64(m.BaselineBytes)/(1<<20), m.FragPct, m.PANPTPct, m.TTBRPTPct)
+	}
+	fmt.Println()
+	return nil
+}
+
+func printPentest() error {
+	fmt.Println("Penetration tests (7.2): 128 protected domains")
+	for _, plat := range workload.AllPlatforms() {
+		results, err := workload.RunPentest(plat)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %s:\n", plat)
+		for _, r := range results {
+			status := "survived (legitimate)"
+			if r.Blocked {
+				status = "BLOCKED"
+			}
+			fmt.Printf("    %-34s %s\n", r.Attack, status)
+			if r.Blocked {
+				fmt.Printf("      %s\n", strings.TrimPrefix(r.Detail, "lightzone violation: "))
+			}
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+func printAblations() error {
+	fmt.Println("Ablations of the 5.2 trap optimizations (cycles on the protected path)")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "  profile\toptimization\tmetric\toptimized\tablated\tslowdown")
+	for _, prof := range arm64.Profiles() {
+		results, err := workload.RunAblations(prof)
+		if err != nil {
+			return err
+		}
+		for _, r := range results {
+			fmt.Fprintf(w, "  %s\t%s\t%s\t%.0f\t%.0f\t%.2fx\n",
+				prof.Name, r.Name, r.Metric, r.Optimized, r.Ablated, r.Factor())
+		}
+	}
+	w.Flush()
+	fmt.Println()
+	return nil
+}
+
+// csvOut, when set, receives one CSV file per figure/platform.
+var csvOut string
+
+func writeFigureCSV(figure int, plat workload.Platform, series []workload.FigureSeries) error {
+	if csvOut == "" {
+		return nil
+	}
+	name := fmt.Sprintf("figure%d_%s.csv", figure, strings.ReplaceAll(plat.String(), " ", "_"))
+	f, err := os.Create(csvOut + "/" + name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprint(f, "x")
+	for _, s := range series {
+		fmt.Fprintf(f, ",%s", s.Variant)
+	}
+	fmt.Fprintln(f)
+	for i, pt := range series[0].Points {
+		fmt.Fprintf(f, "%d", pt.X)
+		for _, s := range series {
+			fmt.Fprintf(f, ",%.1f", s.Points[i].Tput)
+		}
+		fmt.Fprintln(f)
+	}
+	return nil
+}
+
+func writeNVMCSV(plat workload.Platform, series []workload.NVMSeries) error {
+	if csvOut == "" {
+		return nil
+	}
+	name := fmt.Sprintf("figure5_%s.csv", strings.ReplaceAll(plat.String(), " ", "_"))
+	f, err := os.Create(csvOut + "/" + name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprint(f, "domains")
+	for _, s := range series {
+		fmt.Fprintf(f, ",%s", s.Variant)
+	}
+	fmt.Fprintln(f)
+	for i, d := range workload.NVMDomainCounts {
+		fmt.Fprintf(f, "%d", d)
+		for _, s := range series {
+			fmt.Fprintf(f, ",%.2f", s.OverheadPct[i])
+		}
+		fmt.Fprintln(f)
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+// Command lzdemo runs the paper's Listing 1 demo on a selectable platform
+// and prints what happened at each step, including the violation detection
+// when the demo is run with -attack.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lightzone"
+)
+
+func main() {
+	var (
+		profile   = flag.String("profile", "cortexa55", "cost profile: carmel or cortexa55")
+		guest     = flag.Bool("guest", false, "run inside a guest VM (nested virtualization)")
+		attack    = flag.Bool("attack", false, "make part 0 illegally touch part 1's data")
+		showTrace = flag.Bool("trace", false, "print the LightZone event timeline")
+	)
+	flag.Parse()
+	if err := run(*profile, *guest, *attack, *showTrace); err != nil {
+		fmt.Fprintln(os.Stderr, "lzdemo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(profile string, guest, attack, showTrace bool) error {
+	opts := []lightzone.Option{lightzone.WithProfile(profile)}
+	if guest {
+		opts = append(opts, lightzone.InGuest())
+	}
+	sys, err := lightzone.NewSystem(opts...)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("platform: %s\n", sys.Platform())
+	var dump func() string
+	if showTrace {
+		dump = sys.EnableTrace(256)
+	}
+
+	const (
+		data0 = uint64(0x4100_0000)
+		data1 = uint64(0x4200_0000)
+		key   = uint64(0x4300_0000)
+	)
+	p := lightzone.NewProgram("listing1").
+		EnterLightZone(true, lightzone.SanTTBR).
+		MMap(data0, lightzone.PageSize, lightzone.ProtRead|lightzone.ProtWrite).
+		MMap(data1, lightzone.PageSize, lightzone.ProtRead|lightzone.ProtWrite).
+		MMap(key, lightzone.PageSize, lightzone.ProtRead|lightzone.ProtWrite).
+		AllocPageTable().
+		AllocPageTable().
+		MapGatePgt(1, 0).
+		MapGatePgt(2, 1).
+		Protect(data0, lightzone.PageSize, 1, lightzone.PermRead|lightzone.PermWrite).
+		Protect(data1, lightzone.PageSize, 2, lightzone.PermRead|lightzone.PermWrite).
+		Protect(key, lightzone.PageSize, 0, lightzone.PermRead|lightzone.PermUser).
+		MarkBegin().
+		SwitchToGate(0).
+		LoadImm(1, data0).LoadImm(2, 100).Store(2, 1, 0).
+		SetPAN(false).LoadImm(3, key).Load(4, 3, 0).Add(2, 2, 4).Store(2, 1, 0).SetPAN(true)
+	if attack {
+		p.LoadImm(1, data1).Load(9, 1, 0) // cross-domain read from part 0
+	}
+	p.SwitchToGate(1).
+		LoadImm(1, data1).LoadImm(2, 200).Store(2, 1, 0).
+		SetPAN(false).LoadImm(3, key).Load(4, 3, 0).Add(2, 2, 4).Store(2, 1, 0).SetPAN(true).
+		MarkEnd().
+		Exit(0)
+
+	res, err := sys.Run(p)
+	if err != nil {
+		return err
+	}
+	if dump != nil {
+		fmt.Print(dump())
+	}
+	if res.Killed {
+		fmt.Printf("process TERMINATED by LightZone: %s\n", res.KillMsg)
+		if !attack {
+			return fmt.Errorf("legitimate run should not be killed")
+		}
+		fmt.Println("the cross-domain access was detected and stopped")
+		return nil
+	}
+	fmt.Printf("demo completed: exit=%d, isolated section took %d simulated cycles\n",
+		res.ExitCode, res.Cycles)
+	if attack {
+		return fmt.Errorf("attack run should have been terminated")
+	}
+	return nil
+}

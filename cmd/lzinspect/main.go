@@ -1,0 +1,71 @@
+// Command lzinspect disassembles LightZone's generated security-critical
+// code — the TTBR1-mapped secure call gates (§6.2) and the trap-forwarding
+// stub (§5.1.3) — and explains the sanitizer's Table 3 classification of
+// arbitrary instruction words.
+//
+// Usage:
+//
+//	lzinspect -gate 0          # disassemble call gate 0
+//	lzinspect -stub            # disassemble the trap stub's vectors
+//	lzinspect -word 0xd518200a # classify an instruction under both policies
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"lightzone/internal/arm64"
+	"lightzone/internal/core"
+)
+
+func main() {
+	var (
+		gate = flag.Int("gate", -1, "disassemble the call gate with this id")
+		stub = flag.Bool("stub", false, "disassemble the trap stub vectors")
+		word = flag.String("word", "", "classify an instruction word (hex) under the Table 3 policies")
+	)
+	flag.Parse()
+	if err := run(*gate, *stub, *word); err != nil {
+		fmt.Fprintln(os.Stderr, "lzinspect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(gate int, stub bool, word string) error {
+	any := false
+	if gate >= 0 {
+		any = true
+		listing, err := core.GateListing(gate)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("secure call gate %d (TTBR1-mapped, %d-byte slot):\n%s", gate, core.GateSlotLen, listing)
+	}
+	if stub {
+		any = true
+		fmt.Printf("trap-forwarding stub (VBAR_EL1):\n%s", core.StubListing())
+	}
+	if word != "" {
+		any = true
+		w, err := strconv.ParseUint(strings.TrimPrefix(word, "0x"), 16, 32)
+		if err != nil {
+			return fmt.Errorf("bad word %q: %w", word, err)
+		}
+		fmt.Printf("%#08x  %s\n", uint32(w), arm64.Disassemble(uint32(w)))
+		for _, pol := range []core.SanPolicy{core.SanTTBR, core.SanPAN} {
+			reason := core.CheckWord(uint32(w), pol)
+			verdict := "allowed"
+			if reason != "" {
+				verdict = "SENSITIVE: " + reason
+			}
+			fmt.Printf("  policy %-4v  %s\n", pol, verdict)
+		}
+	}
+	if !any {
+		flag.Usage()
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+// Package lightzone is a Go reproduction of "LightZone: Lightweight
+// Hardware-Assisted In-Process Isolation for ARM64" (MIDDLEWARE '24).
+//
+// LightZone runs ARM64 processes in the kernel mode (EL1) of their own
+// virtual machines so that privileged memory-isolation features — TTBR0
+// page-table switching and PAN — become available for in-process
+// isolation without trapping to the OS on domain switches. This module
+// implements the complete system on a simulated ARM64 platform: an
+// A64-subset emulator with stage-1/stage-2 translation and per-platform
+// cycle cost models (NVIDIA Carmel, Cortex-A55), a mini OS kernel, a
+// hypervisor with nested-virtualization support, the LightZone kernel
+// module (secure call gates, instruction sanitizer, fake-physical
+// randomization, Lowvisor), the paper's comparison baselines, and the
+// full evaluation (Tables 4-5, Figures 3-5, §7.2 penetration tests).
+//
+// The public API has three layers:
+//
+//   - System boots a simulated platform (host or guest placement) with
+//     the LightZone module installed.
+//   - Program builds emulated ARM64 applications using the paper's
+//     Table 2 API: EnterLightZone, AllocPageTable, Protect, MapGatePgt,
+//     SwitchToGate, SetPAN, plus ordinary syscalls.
+//   - The bench facade (Table4, DomainSwitchBench, NginxBenchmark, ...)
+//     regenerates every table and figure of the paper's evaluation.
+//
+// See README.md for a quickstart and DESIGN.md for the architecture.
+package lightzone

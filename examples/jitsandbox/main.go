@@ -1,0 +1,90 @@
+// Command jitsandbox demonstrates LightZone's W-xor-X enforcement (§6.3)
+// on a JIT-style workload: code pages flip between writable and executable
+// through break-before-make with re-sanitization on every transition, so
+// benign generated code runs while injected sensitive instructions are
+// caught even when written after the page was first checked (the TOCTTOU
+// defence).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lightzone"
+)
+
+const jitPage = uint64(0x4600_0000)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// movz x0, #imm ; ret — a tiny generated function.
+func genFunc(imm uint16) (uint32, uint32) {
+	return 0xD2800000 | uint32(imm)<<5, 0xD65F03C0
+}
+
+func run() error {
+	sys, err := lightzone.NewSystem()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("jit sandbox on %s\n", sys.Platform())
+
+	// Three benign generations: write, call, rewrite, call, ...
+	w1a, w1b := genFunc(11)
+	w2a, w2b := genFunc(22)
+	p := lightzone.NewProgram("jit").
+		EnterLightZone(true, lightzone.SanTTBR).
+		MMap(jitPage, lightzone.PageSize, lightzone.ProtRead|lightzone.ProtWrite|lightzone.ProtExec).
+		LoadImm(1, jitPage).
+		LoadImm(2, uint64(w1a)).StoreWord32(2, 1, 0).
+		LoadImm(2, uint64(w1b)).StoreWord32(2, 1, 4).
+		CallReg(1).
+		Mov(19, 0). // 11
+		LoadImm(1, jitPage).
+		LoadImm(2, uint64(w2a)).StoreWord32(2, 1, 0).
+		LoadImm(2, uint64(w2b)).StoreWord32(2, 1, 4).
+		CallReg(1).
+		Mov(20, 0). // 22
+		Exit(0)
+	res, err := sys.Run(p)
+	if err != nil {
+		return err
+	}
+	if res.Killed {
+		return fmt.Errorf("benign jit killed: %s", res.KillMsg)
+	}
+	fmt.Printf("generation 1 returned %d, generation 2 returned %d\n",
+		res.Registers[19], res.Registers[20])
+	st := sys.Stats()
+	fmt.Printf("stats: %d simulated cycles, %d instructions, %d page faults (incl. W^X flips)\n",
+		st.Cycles, st.Instructions, st.PageFaults)
+
+	// The attack generation: a TLBI instruction written after the page
+	// was sanitized. Break-before-make forces re-sanitization; the
+	// process dies before the injected instruction can execute.
+	atk := lightzone.NewProgram("jit-attack").
+		EnterLightZone(true, lightzone.SanTTBR).
+		MMap(jitPage, lightzone.PageSize, lightzone.ProtRead|lightzone.ProtWrite|lightzone.ProtExec).
+		LoadImm(1, jitPage).
+		LoadImm(2, uint64(w1a)).StoreWord32(2, 1, 0).
+		LoadImm(2, uint64(w1b)).StoreWord32(2, 1, 4).
+		CallReg(1). // sanitized, executed
+		LoadImm(1, jitPage).
+		LoadImm(2, 0xD508871F). // TLBI VMALLE1: sensitive
+		StoreWord32(2, 1, 0).
+		CallReg(1). // must die here
+		Exit(0)
+	res, err = sys.Run(atk)
+	if err != nil {
+		return err
+	}
+	if !res.Killed {
+		return fmt.Errorf("injected sensitive instruction executed")
+	}
+	fmt.Printf("injection stopped: %s\n", res.KillMsg)
+	return nil
+}

@@ -1,0 +1,122 @@
+// Command multitenant models the paper's §9.2 scenario: a multi-threaded
+// server (MySQL-style) whose per-connection thread stacks live in separate
+// TTBR domains while shared in-memory engine data (HP_PTRS) is
+// PAN-protected — both mechanisms concurrently in one process.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lightzone"
+)
+
+const (
+	nTenants  = 8
+	stackBase = uint64(0x6000_0000)
+	stackStep = uint64(0x10_0000)
+	heapData  = uint64(0x7000_0000)
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sys, err := lightzone.NewSystem(lightzone.WithProfile("cortexa55"))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("multitenant server on %s: %d tenant stack domains + PAN heap\n",
+		sys.Platform(), nTenants)
+
+	p := lightzone.NewProgram("tenants").
+		EnterLightZone(true, lightzone.SanTTBR).
+		MMap(heapData, lightzone.PageSize, lightzone.ProtRead|lightzone.ProtWrite).
+		// The storage engine's in-memory data: PAN-protected, visible
+		// in every stack domain when PAN is dropped.
+		Protect(heapData, lightzone.PageSize, 0, lightzone.PermRead|lightzone.PermWrite|lightzone.PermUser)
+	for tenant := 0; tenant < nTenants; tenant++ {
+		addr := stackBase + uint64(tenant)*stackStep
+		p.MMap(addr, lightzone.PageSize, lightzone.ProtRead|lightzone.ProtWrite).
+			AllocPageTable().
+			MapGatePgt(tenant+1, tenant).
+			Protect(addr, lightzone.PageSize, tenant+1, lightzone.PermRead|lightzone.PermWrite)
+	}
+	// Serve each tenant: enter its stack domain, work on the stack, then
+	// touch the shared engine data under PAN.
+	for tenant := 0; tenant < nTenants; tenant++ {
+		addr := stackBase + uint64(tenant)*stackStep
+		p.SwitchToGate(tenant).
+			LoadImm(1, addr).
+			LoadImm(2, uint64(1000+tenant)).
+			Store(2, 1, 0). // private per-tenant state
+			SetPAN(false).
+			LoadImm(3, heapData).
+			Load(4, 3, 0).
+			Add(4, 4, 2).
+			Store(4, 3, 0). // engine data update
+			SetPAN(true)
+	}
+	p.SetPAN(false).
+		LoadImm(3, heapData).
+		Load(19, 3, 0). // final engine counter
+		SetPAN(true).
+		Exit(0)
+	res, err := sys.Run(p)
+	if err != nil {
+		return err
+	}
+	if res.Killed {
+		return fmt.Errorf("server run failed: %s", res.KillMsg)
+	}
+	want := uint64(0)
+	for t := 0; t < nTenants; t++ {
+		want += uint64(1000 + t)
+	}
+	fmt.Printf("engine counter after %d tenants: %d (want %d)\n", nTenants, res.Registers[19], want)
+
+	// A compromised tenant handler reads another tenant's stack.
+	atk := lightzone.NewProgram("rogue-tenant").
+		EnterLightZone(true, lightzone.SanTTBR)
+	for tenant := 0; tenant < 2; tenant++ {
+		addr := stackBase + uint64(tenant)*stackStep
+		atk.MMap(addr, lightzone.PageSize, lightzone.ProtRead|lightzone.ProtWrite).
+			AllocPageTable().
+			MapGatePgt(tenant+1, tenant).
+			Protect(addr, lightzone.PageSize, tenant+1, lightzone.PermRead|lightzone.PermWrite)
+	}
+	atk.SwitchToGate(0).
+		LoadImm(1, stackBase+stackStep). // tenant 1's stack
+		Load(0, 1, 0).
+		Exit(0)
+	res, err = sys.Run(atk)
+	if err != nil {
+		return err
+	}
+	if !res.Killed {
+		return fmt.Errorf("cross-tenant stack read was not blocked")
+	}
+	fmt.Printf("cross-tenant stack read stopped: %s\n", res.KillMsg)
+
+	// An engine bug touching PAN data without dropping PAN.
+	atk2 := lightzone.NewProgram("rogue-engine").
+		EnterLightZone(false, lightzone.SanPAN).
+		MMap(heapData, lightzone.PageSize, lightzone.ProtRead|lightzone.ProtWrite).
+		Protect(heapData, lightzone.PageSize, 0, lightzone.PermRead|lightzone.PermWrite|lightzone.PermUser).
+		SetPAN(true).
+		LoadImm(1, heapData).
+		Load(0, 1, 0).
+		Exit(0)
+	res, err = sys.Run(atk2)
+	if err != nil {
+		return err
+	}
+	if !res.Killed {
+		return fmt.Errorf("PAN bypass was not blocked")
+	}
+	fmt.Printf("unguarded engine-data access stopped: %s\n", res.KillMsg)
+	return nil
+}

@@ -1,0 +1,3 @@
+module lightzone
+
+go 1.22

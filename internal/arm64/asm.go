@@ -1,0 +1,175 @@
+package arm64
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Asm assembles small A64 code sequences (call gates, trap stubs, attack
+// programs) with label-based branch fixups.
+type Asm struct {
+	words  []uint32
+	labels map[string]int
+	fixups []fixup
+}
+
+type fixup struct {
+	at    int // word index of the branch instruction
+	label string
+	kind  fixupKind
+	cond  uint8
+	rt    uint8
+}
+
+type fixupKind uint8
+
+const (
+	fixB fixupKind = iota + 1
+	fixBL
+	fixBCond
+	fixCBZ
+	fixCBNZ
+	fixADR
+)
+
+// NewAsm returns an empty assembler.
+func NewAsm() *Asm {
+	return &Asm{labels: make(map[string]int)}
+}
+
+// Len returns the current length in bytes.
+func (a *Asm) Len() int { return len(a.words) * InsnBytes }
+
+// Emit appends raw instruction words.
+func (a *Asm) Emit(words ...uint32) *Asm {
+	a.words = append(a.words, words...)
+	return a
+}
+
+// Label binds name to the current position.
+func (a *Asm) Label(name string) *Asm {
+	a.labels[name] = len(a.words)
+	return a
+}
+
+// B emits an unconditional branch to a label.
+func (a *Asm) B(label string) *Asm {
+	a.fixups = append(a.fixups, fixup{at: len(a.words), label: label, kind: fixB})
+	return a.Emit(0)
+}
+
+// BL emits a branch-with-link to a label.
+func (a *Asm) BL(label string) *Asm {
+	a.fixups = append(a.fixups, fixup{at: len(a.words), label: label, kind: fixBL})
+	return a.Emit(0)
+}
+
+// BCond emits a conditional branch to a label.
+func (a *Asm) BCond(cond uint8, label string) *Asm {
+	a.fixups = append(a.fixups, fixup{at: len(a.words), label: label, kind: fixBCond, cond: cond})
+	return a.Emit(0)
+}
+
+// CBZ emits a compare-and-branch-if-zero to a label.
+func (a *Asm) CBZ(rt uint8, label string) *Asm {
+	a.fixups = append(a.fixups, fixup{at: len(a.words), label: label, kind: fixCBZ, rt: rt})
+	return a.Emit(0)
+}
+
+// CBNZ emits a compare-and-branch-if-nonzero to a label.
+func (a *Asm) CBNZ(rt uint8, label string) *Asm {
+	a.fixups = append(a.fixups, fixup{at: len(a.words), label: label, kind: fixCBNZ, rt: rt})
+	return a.Emit(0)
+}
+
+// ADR emits an ADR of a label's address into rd.
+func (a *Asm) ADR(rd uint8, label string) *Asm {
+	a.fixups = append(a.fixups, fixup{at: len(a.words), label: label, kind: fixADR, rt: rd})
+	return a.Emit(0)
+}
+
+// MovImm emits a MOVZ/MOVK sequence materializing a 64-bit constant.
+func (a *Asm) MovImm(rd uint8, v uint64) *Asm {
+	return a.Emit(MovImm64(rd, v)...)
+}
+
+// Offset returns the byte offset of a bound label.
+func (a *Asm) Offset(label string) (int, error) {
+	idx, ok := a.labels[label]
+	if !ok {
+		return 0, fmt.Errorf("undefined label %q", label)
+	}
+	return idx * InsnBytes, nil
+}
+
+// Assemble resolves fixups and returns the instruction words.
+func (a *Asm) Assemble() ([]uint32, error) {
+	out := make([]uint32, len(a.words))
+	copy(out, a.words)
+	for _, f := range a.fixups {
+		target, ok := a.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("undefined label %q", f.label)
+		}
+		off := int64(target-f.at) * InsnBytes
+		switch f.kind {
+		case fixB:
+			if err := checkBranchRange(off, 27); err != nil {
+				return nil, err
+			}
+			out[f.at] = B(off)
+		case fixBL:
+			if err := checkBranchRange(off, 27); err != nil {
+				return nil, err
+			}
+			out[f.at] = BL(off)
+		case fixBCond:
+			if err := checkBranchRange(off, 20); err != nil {
+				return nil, err
+			}
+			out[f.at] = BCond(f.cond, off)
+		case fixCBZ:
+			if err := checkBranchRange(off, 20); err != nil {
+				return nil, err
+			}
+			out[f.at] = CBZ(f.rt, off)
+		case fixCBNZ:
+			if err := checkBranchRange(off, 20); err != nil {
+				return nil, err
+			}
+			out[f.at] = CBNZ(f.rt, off)
+		case fixADR:
+			out[f.at] = ADR(f.rt, off)
+		}
+	}
+	return out, nil
+}
+
+// Bytes assembles and serializes little-endian, as stored in memory.
+func (a *Asm) Bytes() ([]byte, error) {
+	words, err := a.Assemble()
+	if err != nil {
+		return nil, err
+	}
+	return WordsToBytes(words), nil
+}
+
+// WordsToBytes serializes instruction words little-endian.
+func WordsToBytes(words []uint32) []byte {
+	buf := make([]byte, len(words)*InsnBytes)
+	for i, w := range words {
+		binary.LittleEndian.PutUint32(buf[i*InsnBytes:], w)
+	}
+	return buf
+}
+
+// BytesToWords deserializes little-endian instruction words. Trailing bytes
+// that do not fill a word are ignored.
+func BytesToWords(b []byte) []uint32 {
+	n := len(b) / InsnBytes
+	words := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		words[i] = binary.LittleEndian.Uint32(b[i*InsnBytes:])
+	}
+	return words
+}

@@ -1,0 +1,164 @@
+package arm64
+
+import (
+	"fmt"
+	"strings"
+)
+
+var condNames = [16]string{
+	"eq", "ne", "cs", "cc", "mi", "pl", "vs", "vc",
+	"hi", "ls", "ge", "lt", "gt", "le", "al", "nv",
+}
+
+func regName(r uint8) string {
+	if r == XZR {
+		return "xzr"
+	}
+	return fmt.Sprintf("x%d", r)
+}
+
+func regOrSP(r uint8) string {
+	if r == 31 {
+		return "sp"
+	}
+	return fmt.Sprintf("x%d", r)
+}
+
+func sizeSuffix(size uint8) string {
+	switch size {
+	case 0:
+		return "b"
+	case 1:
+		return "h"
+	case 2:
+		return "w" // 32-bit register form, rendered as a suffix here
+	default:
+		return ""
+	}
+}
+
+// Disassemble renders an instruction word as assembly-like text. It is a
+// diagnostic aid (violation messages, trace dumps), not a round-trippable
+// syntax.
+func Disassemble(word uint32) string {
+	in := Decode(word)
+	switch in.Op {
+	case OpNOP, OpISB, OpERET:
+		return in.Op.String()
+	case OpDSB:
+		return "dsb sy"
+	case OpDMB:
+		return "dmb sy"
+	case OpMOVZ, OpMOVN, OpMOVK:
+		return fmt.Sprintf("%s %s, #%#x, lsl #%d", in.Op, regName(in.Rd), in.Imm, in.ShiftAmt)
+	case OpADR:
+		return fmt.Sprintf("adr %s, .%+d", regName(in.Rd), in.Imm)
+	case OpAddImm, OpSubImm:
+		op := "add"
+		if in.Op == OpSubImm {
+			op = "sub"
+		}
+		if in.SetFlags {
+			if in.Rd == XZR {
+				return fmt.Sprintf("cmp %s, #%d", regName(in.Rn), in.Imm)
+			}
+			op += "s"
+		}
+		return fmt.Sprintf("%s %s, %s, #%d", op, regName(in.Rd), regOrSP(in.Rn), in.Imm)
+	case OpAddReg, OpSubReg:
+		op := "add"
+		if in.Op == OpSubReg {
+			op = "sub"
+		}
+		if in.SetFlags {
+			if in.Rd == XZR {
+				return fmt.Sprintf("cmp %s, %s", regName(in.Rn), regName(in.Rm))
+			}
+			op += "s"
+		}
+		if in.ShiftAmt != 0 {
+			return fmt.Sprintf("%s %s, %s, %s, lsl #%d", op, regName(in.Rd), regName(in.Rn), regName(in.Rm), in.ShiftAmt)
+		}
+		return fmt.Sprintf("%s %s, %s, %s", op, regName(in.Rd), regName(in.Rn), regName(in.Rm))
+	case OpAndReg, OpOrrReg, OpEorReg:
+		op := map[Op]string{OpAndReg: "and", OpOrrReg: "orr", OpEorReg: "eor"}[in.Op]
+		if in.Op == OpOrrReg && in.Rn == XZR && in.ShiftAmt == 0 {
+			return fmt.Sprintf("mov %s, %s", regName(in.Rd), regName(in.Rm))
+		}
+		if in.ShiftAmt != 0 {
+			return fmt.Sprintf("%s %s, %s, %s, lsl #%d", op, regName(in.Rd), regName(in.Rn), regName(in.Rm), in.ShiftAmt)
+		}
+		return fmt.Sprintf("%s %s, %s, %s", op, regName(in.Rd), regName(in.Rn), regName(in.Rm))
+	case OpLSLV, OpLSRV, OpUDiv:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, regName(in.Rd), regName(in.Rn), regName(in.Rm))
+	case OpMAdd:
+		if in.Ra == XZR {
+			return fmt.Sprintf("mul %s, %s, %s", regName(in.Rd), regName(in.Rn), regName(in.Rm))
+		}
+		return fmt.Sprintf("madd %s, %s, %s, %s", regName(in.Rd), regName(in.Rn), regName(in.Rm), regName(in.Ra))
+	case OpCSel, OpCSInc:
+		return fmt.Sprintf("%s %s, %s, %s, %s", in.Op, regName(in.Rd), regName(in.Rn), regName(in.Rm), condNames[in.Cond])
+	case OpB, OpBL:
+		return fmt.Sprintf("%s .%+d", in.Op, in.Imm)
+	case OpBCond:
+		return fmt.Sprintf("b.%s .%+d", condNames[in.Cond], in.Imm)
+	case OpCBZ, OpCBNZ:
+		return fmt.Sprintf("%s %s, .%+d", in.Op, regName(in.Rt), in.Imm)
+	case OpBR, OpBLR, OpRET:
+		return fmt.Sprintf("%s %s", in.Op, regName(in.Rn))
+	case OpLdrImm, OpStrImm:
+		op := "ldr"
+		if in.Op == OpStrImm {
+			op = "str"
+		}
+		if s := sizeSuffix(in.Size); s != "" && in.Size < 2 {
+			op += s
+		}
+		return fmt.Sprintf("%s %s, [%s, #%d]", op, regName(in.Rt), regOrSP(in.Rn), in.Imm)
+	case OpLdur, OpStur, OpLdtr, OpSttr:
+		return fmt.Sprintf("%s %s, [%s, #%d]", in.Op, regName(in.Rt), regOrSP(in.Rn), in.Imm)
+	case OpLdrReg, OpStrReg:
+		op := "ldr"
+		if in.Op == OpStrReg {
+			op = "str"
+		}
+		return fmt.Sprintf("%s %s, [%s, %s]", op, regName(in.Rt), regOrSP(in.Rn), regName(in.Rm))
+	case OpLdp, OpStp:
+		return fmt.Sprintf("%s %s, %s, [%s, #%d]", in.Op, regName(in.Rt), regName(in.Rt2), regOrSP(in.Rn), in.Imm)
+	case OpSVC, OpHVC, OpSMC:
+		return fmt.Sprintf("%s #%#x", in.Op, in.Imm)
+	case OpMSRImm:
+		field := fmt.Sprintf("s0_%d_c4_c%d_%d", in.Sys.Op1, in.Sys.CRm, in.Sys.Op2)
+		if in.Sys.Op1 == PStateFieldPANOp1 && in.Sys.Op2 == PStateFieldPANOp2 {
+			field = "pan"
+		}
+		return fmt.Sprintf("msr %s, #%d", field, in.Sys.CRm&1)
+	case OpMSRReg, OpMRS:
+		name := sysEncName(in.Sys)
+		if in.Op == OpMRS {
+			return fmt.Sprintf("mrs %s, %s", regName(in.Rt), name)
+		}
+		return fmt.Sprintf("msr %s, %s", name, regName(in.Rt))
+	case OpSYS, OpSYSL:
+		return fmt.Sprintf("%s #%d, c%d, c%d, #%d, %s", in.Op, in.Sys.Op1, in.Sys.CRn, in.Sys.CRm, in.Sys.Op2, regName(in.Rt))
+	default:
+		return fmt.Sprintf(".inst %#08x", word)
+	}
+}
+
+func sysEncName(enc SysRegEnc) string {
+	if r, ok := LookupSysReg(enc); ok {
+		return strings.ToLower(r.String())
+	}
+	return fmt.Sprintf("s%d_%d_c%d_c%d_%d", enc.Op0, enc.Op1, enc.CRn, enc.CRm, enc.Op2)
+}
+
+// DisassembleAll renders a code block, one instruction per line, with word
+// offsets.
+func DisassembleAll(words []uint32) string {
+	var b strings.Builder
+	for i, w := range words {
+		fmt.Fprintf(&b, "%4x: %08x  %s\n", i*InsnBytes, w, Disassemble(w))
+	}
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package arm64
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDisassembleKnownForms(t *testing.T) {
+	tests := map[uint32]string{
+		WordNOP:                "nop",
+		WordERET:               "eret",
+		WordISB:                "isb",
+		WordDSBSY:              "dsb sy",
+		MOVZ(1, 0x42, 1):       "movz x1, #0x42, lsl #16",
+		ADDImm(1, 2, 7, false): "add x1, x2, #7",
+		CMPImm(3, 9):           "cmp x3, #9",
+		CMPReg(3, 4):           "cmp x3, x4",
+		MOVReg(5, 6):           "mov x5, x6",
+		ADDShifted(1, 2, 3, 4): "add x1, x2, x3, lsl #4",
+		MUL(1, 2, 3):           "mul x1, x2, x3",
+		CSEL(1, 2, 3, CondEQ):  "csel x1, x2, x3, eq",
+		B(16):                  "b .+16",
+		BCond(CondNE, -8):      "b.ne .-8",
+		CBZ(7, 12):             "cbz x7, .+12",
+		RET(30):                "ret x30",
+		LDRImm(1, 2, 16, 3):    "ldr x1, [x2, #16]",
+		LDRImm(1, 2, 3, 0):     "ldrb x1, [x2, #3]",
+		STRImm(1, 31, 8, 3):    "str x1, [sp, #8]",
+		LDTR(1, 2, 4, 3):       "ldtr x1, [x2, #4]",
+		LDP(1, 2, 3, 16):       "ldp x1, x2, [x3, #16]",
+		LDRReg(1, 2, 3, 3):     "ldr x1, [x2, x3]",
+		SVC(0x42):              "svc #0x42",
+		HVC(1):                 "hvc #0x1",
+		MSRPan(1):              "msr pan, #1",
+		MSR(TTBR0EL1, 5):       "msr ttbr0_el1, x5",
+		MRS(9, ESREL1):         "mrs x9, esr_el1",
+		ADR(2, -4):             "adr x2, .-4",
+	}
+	for word, want := range tests {
+		if got := Disassemble(word); got != want {
+			t.Errorf("Disassemble(%#08x) = %q, want %q", word, got, want)
+		}
+	}
+}
+
+func TestDisassembleUnknown(t *testing.T) {
+	if got := Disassemble(0); !strings.HasPrefix(got, ".inst") {
+		t.Errorf("unknown word = %q", got)
+	}
+}
+
+// Property: Disassemble never panics and never returns an empty string.
+func TestDisassembleTotal(t *testing.T) {
+	f := func(word uint32) bool {
+		return Disassemble(word) != ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisassembleAllGateCodeReadable(t *testing.T) {
+	a := NewAsm()
+	a.MovImm(16, 0xFFFF8000_00340000)
+	a.Emit(LDRImm(17, 16, 8, 3))
+	a.Emit(MSR(TTBR0EL1, 17))
+	a.Emit(WordISB)
+	a.Emit(RET(30))
+	words, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := DisassembleAll(words)
+	for _, want := range []string{"msr ttbr0_el1, x17", "isb", "ret x30"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("listing missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,15 @@
+// Package arm64 defines the simulated ARMv8-A (A64) architecture substrate
+// used throughout the LightZone reproduction: exception levels, PSTATE
+// fields, system-register identifiers with their MSR/MRS encodings,
+// a compact but faithfully encoded subset of the A64 instruction set
+// (builder and decoder), and per-platform cycle cost profiles calibrated
+// against the paper's Table 4 measurements on NVIDIA Carmel and Amlogic
+// Cortex-A55 SoCs.
+//
+// The instruction encodings follow the real ARMv8 bit layouts wherever the
+// paper's mechanisms depend on them. In particular, the system-instruction
+// space (bits 31:22 == 0b1101010100) is encoded and decoded with full
+// op0/op1/CRn/CRm/op2 fidelity because the sensitive-instruction sanitizer
+// of LightZone (paper Table 3) is specified as bit-pattern rules over that
+// space.
+package arm64

@@ -1,0 +1,225 @@
+package arm64
+
+// Profile is a per-platform cycle cost model. The two shipped profiles are
+// calibrated so that the trap and system-register costs composed from these
+// constituents land on the paper's directly measured values (Table 4), which
+// in turn drive every higher-level result (Tables 5, Figures 3-5).
+//
+// Costs are *constituent* costs: world switches, kernel entries, and
+// LightZone trap paths are priced by summing the operations they actually
+// perform, so that the paper's §5.2 optimizations (retaining HCR_EL2 and
+// VTTBR_EL2, sharing pt_regs pages, deferring system-register access)
+// change measured totals causally rather than by table lookup.
+type Profile struct {
+	Name string
+
+	// CPUFreqMHz converts cycles to wall-clock throughput in the
+	// application benchmarks.
+	CPUFreqMHz int64
+
+	// Core pipeline costs.
+	InsnCost      int64 // generic data-processing instruction
+	BranchCost    int64 // taken branch
+	MemAccessCost int64 // L1-hit load or store
+	ISBCost       int64 // instruction synchronization barrier
+	DSBCost       int64 // data synchronization barrier
+	PanToggleCost int64 // MSR PAN, #imm (the LightZone PAN domain switch)
+
+	// Exception machinery: cost of taking an exception to ELx and of
+	// ERET issued at ELx. Indexed by exception level.
+	ExcEntryTo [3]int64
+	ERETFrom   [3]int64
+
+	// System-register access cost classes (charged in addition to
+	// InsnCost). The EL at which a register architecturally lives picks
+	// the class; the overrides carry the registers Table 4 measures
+	// directly (HCR_EL2: 1,550-1,655 cycles on Carmel; VTTBR_EL2: 1,115).
+	SysRegReadEL0, SysRegWriteEL0 int64
+	SysRegReadEL1, SysRegWriteEL1 int64
+	SysRegReadEL2, SysRegWriteEL2 int64
+	SysRegReadOverride            map[SysReg]int64
+	SysRegWriteOverride           map[SysReg]int64
+
+	// MMU model.
+	TLBWalkPerLevel int64 // per page-table level on a TLB miss
+	TLBCapacity     int   // unified TLB entries
+
+	// Privileged-software dispatch costs (functional handlers charge
+	// these instead of being emulated instruction by instruction).
+	HandlerDispatchCost int64 // kernel syscall/fault dispatch
+	HypDispatchCost     int64 // hypervisor exit-reason dispatch (KVM run loop)
+	ModuleForwardCost   int64 // LightZone kernel-module forwarding layer
+	NestedForwardCost   int64 // Lowvisor guest-kernel forwarding, per direction
+	PtRegsRelookupCost  int64 // shared pt_regs pointer relookup after scheduling
+
+	// Baseline cost constants (§8 comparison prototypes).
+	WatchpointPairHost  int64 // per watchpoint register-pair update, host kernel (EL2)
+	WatchpointPairGuest int64 // per watchpoint register-pair update, guest kernel (EL1)
+	LwCManageHost       int64 // lwC bookkeeping per switch under a VHE host kernel
+	LwCManageGuest      int64 // lwC bookkeeping per switch under a guest kernel
+
+	// SchedQuantumTraps is how many LightZone traps occur, on average,
+	// between scheduling events that invalidate the cached shared
+	// pt_regs pointer. It produces the 29,020~32,881 fluctuation band of
+	// Table 4.
+	SchedQuantumTraps int
+}
+
+// SysRegReadCost returns the modelled cost of an MRS of r.
+func (p *Profile) SysRegReadCost(r SysReg) int64 {
+	if c, ok := p.SysRegReadOverride[r]; ok {
+		return c
+	}
+	switch r.MinEL() {
+	case EL0:
+		return p.SysRegReadEL0
+	case EL1:
+		return p.SysRegReadEL1
+	default:
+		return p.SysRegReadEL2
+	}
+}
+
+// SysRegWriteCost returns the modelled cost of an MSR to r.
+func (p *Profile) SysRegWriteCost(r SysReg) int64 {
+	if c, ok := p.SysRegWriteOverride[r]; ok {
+		return c
+	}
+	switch r.MinEL() {
+	case EL0:
+		return p.SysRegWriteEL0
+	case EL1:
+		return p.SysRegWriteEL1
+	default:
+		return p.SysRegWriteEL2
+	}
+}
+
+// ProfileCarmel models the NVIDIA Jetson AGX Xavier's Carmel ARMv8.2 CPU
+// (2.2 GHz). Its defining trait, measured by the paper and reproduced here,
+// is that traps to EL2 and system-register updates are extremely slow:
+// writing HCR_EL2 costs ~1,600 cycles and a full KVM world switch ~28.6k.
+func ProfileCarmel() *Profile {
+	return &Profile{
+		Name:          "Carmel",
+		CPUFreqMHz:    2200,
+		InsnCost:      1,
+		BranchCost:    1,
+		MemAccessCost: 2,
+		ISBCost:       50,
+		DSBCost:       25,
+		PanToggleCost: 4,
+
+		ExcEntryTo: [3]int64{0, 300, 1400},
+		ERETFrom:   [3]int64{0, 250, 1250},
+
+		SysRegReadEL0:  4,
+		SysRegWriteEL0: 6,
+		SysRegReadEL1:  350,
+		SysRegWriteEL1: 450,
+		SysRegReadEL2:  400,
+		SysRegWriteEL2: 500,
+		SysRegReadOverride: map[SysReg]int64{
+			HCREL2:   400,
+			VTTBREL2: 300,
+			TTBR0EL1: 100,
+			TTBR1EL1: 100,
+			SPEL0:    150,
+			ESREL1:   200,
+			NZCV:     2, FPCR: 2, FPSR: 2,
+		},
+		SysRegWriteOverride: map[SysReg]int64{
+			HCREL2:   1600, // Table 4: 1,550~1,655
+			VTTBREL2: 1115, // Table 4: 1,115
+			TTBR0EL1: 260,  // dominant constituent of Table 5 TTBR switches
+			TTBR1EL1: 260,
+			SPEL0:    200,
+			NZCV:     2, FPCR: 2, FPSR: 2,
+		},
+
+		TLBWalkPerLevel: 30,
+		TLBCapacity:     1536,
+
+		HandlerDispatchCost: 100,
+		HypDispatchCost:     1850,
+		ModuleForwardCost:   90,
+		NestedForwardCost:   650,
+		PtRegsRelookupCost:  2800,
+		WatchpointPairHost:  370,
+		WatchpointPairGuest: 151,
+		LwCManageHost:       7900,
+		LwCManageGuest:      1480,
+		SchedQuantumTraps:   16,
+	}
+}
+
+// ProfileCortexA55 models the Banana Pi BPI-M5's Amlogic Cortex-A55
+// (2 GHz), an in-order little core with cheap traps and cheap
+// system-register access.
+func ProfileCortexA55() *Profile {
+	return &Profile{
+		Name:          "CortexA55",
+		CPUFreqMHz:    2000,
+		InsnCost:      1,
+		BranchCost:    2,
+		MemAccessCost: 3,
+		ISBCost:       8,
+		DSBCost:       10,
+		PanToggleCost: 2,
+
+		ExcEntryTo: [3]int64{0, 45, 40},
+		ERETFrom:   [3]int64{0, 35, 38},
+
+		SysRegReadEL0:  2,
+		SysRegWriteEL0: 3,
+		SysRegReadEL1:  6,
+		SysRegWriteEL1: 9,
+		SysRegReadEL2:  9,
+		SysRegWriteEL2: 13,
+		SysRegReadOverride: map[SysReg]int64{
+			HCREL2:   20,
+			VTTBREL2: 12,
+			TTBR0EL1: 6,
+			TTBR1EL1: 6,
+			NZCV:     1, FPCR: 1, FPSR: 1,
+		},
+		SysRegWriteOverride: map[SysReg]int64{
+			HCREL2:   88, // Table 4: 88
+			VTTBREL2: 37, // Table 4: 37
+			TTBR0EL1: 8,
+			TTBR1EL1: 8,
+			NZCV:     1, FPCR: 1, FPSR: 1,
+		},
+
+		TLBWalkPerLevel: 18,
+		TLBCapacity:     512,
+
+		HandlerDispatchCost: 90,
+		HypDispatchCost:     300,
+		ModuleForwardCost:   247,
+		NestedForwardCost:   450,
+		PtRegsRelookupCost:  330,
+		WatchpointPairHost:  75,
+		WatchpointPairGuest: 75,
+		LwCManageHost:       1700,
+		LwCManageGuest:      2900,
+		SchedQuantumTraps:   16,
+	}
+}
+
+// Profiles returns the two evaluation platforms of the paper.
+func Profiles() []*Profile {
+	return []*Profile{ProfileCarmel(), ProfileCortexA55()}
+}
+
+// ProfileByName resolves "carmel" or "cortexa55" (case-sensitive prefixes
+// accepted by the bench CLI are normalized by the caller).
+func ProfileByName(name string) (*Profile, bool) {
+	switch name {
+	case "Carmel", "carmel":
+		return ProfileCarmel(), true
+	case "CortexA55", "cortexa55", "cortex", "a55":
+		return ProfileCortexA55(), true
+	}
+	return nil, false
+}

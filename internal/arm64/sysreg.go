@@ -1,0 +1,252 @@
+package arm64
+
+import "fmt"
+
+// SysReg identifies a modelled system register.
+type SysReg uint16
+
+// Modelled system registers. The set covers everything the LightZone kernel
+// module, the hypervisor world switch, and the sanitizer rules touch.
+const (
+	SysRegInvalid SysReg = iota
+
+	// EL1 (kernel-mode) registers.
+	SCTLREL1
+	TTBR0EL1
+	TTBR1EL1
+	TCREL1
+	MAIREL1
+	AMAIREL1
+	CONTEXTIDREL1
+	VBAREL1
+	ESREL1
+	ELREL1
+	SPSREL1
+	FAREL1
+	AFSR0EL1
+	AFSR1EL1
+	PAREL1
+	CPACREL1
+	CNTKCTLEL1
+	CSSELREL1
+	SPEL0
+	SPEL1
+	TPIDREL0
+	TPIDRROEL0
+	TPIDREL1
+	MDSCREL1
+
+	// EL0-accessible status registers (op1==3): always legal for processes.
+	NZCV
+	FPCR
+	FPSR
+	CNTVCTEL0
+	CNTFRQEL0
+	DCZIDEL0
+	CTREL0
+
+	// EL2 (hypervisor-mode) registers.
+	HCREL2
+	VTTBREL2
+	VTCREL2
+	SCTLREL2
+	TTBR0EL2
+	TCREL2
+	MAIREL2
+	VBAREL2
+	ESREL2
+	ELREL2
+	SPSREL2
+	FAREL2
+	HPFAREL2
+	SPEL2
+	TPIDREL2
+	CPTREL2
+	MDCREL2
+	CNTHCTLEL2
+	CNTVOFFEL2
+	VMPIDREL2
+	VPIDREL2
+
+	// Identification registers (read-only).
+	MIDREL1
+	MPIDREL1
+
+	sysRegCount // internal sentinel
+)
+
+// NumSysRegs is the size needed for a dense system-register file.
+const NumSysRegs = int(sysRegCount)
+
+// SysRegEnc is the (op0, op1, CRn, CRm, op2) MSR/MRS encoding of a system
+// register, per the A64 system-instruction format: in a system instruction,
+// bits(31,22) are 0b1101010100, (20,19) are op0, (18,16) are op1, (15,12)
+// are CRn, (11,8) are CRm, and (7,5) are op2 (paper Table 3).
+type SysRegEnc struct {
+	Op0, Op1, CRn, CRm, Op2 uint8
+}
+
+// Key packs the encoding into a comparable integer.
+func (e SysRegEnc) Key() uint32 {
+	return uint32(e.Op0)<<16 | uint32(e.Op1)<<12 | uint32(e.CRn)<<8 |
+		uint32(e.CRm)<<4 | uint32(e.Op2)
+}
+
+type sysRegInfo struct {
+	name string
+	enc  SysRegEnc
+	el   EL   // minimum EL required for untrapped access
+	ro   bool // read-only register
+}
+
+// The encodings below are the architectural ones from the ARM ARM.
+var sysRegTable = [sysRegCount]sysRegInfo{
+	SCTLREL1:      {"SCTLR_EL1", SysRegEnc{3, 0, 1, 0, 0}, EL1, false},
+	TTBR0EL1:      {"TTBR0_EL1", SysRegEnc{3, 0, 2, 0, 0}, EL1, false},
+	TTBR1EL1:      {"TTBR1_EL1", SysRegEnc{3, 0, 2, 0, 1}, EL1, false},
+	TCREL1:        {"TCR_EL1", SysRegEnc{3, 0, 2, 0, 2}, EL1, false},
+	MAIREL1:       {"MAIR_EL1", SysRegEnc{3, 0, 10, 2, 0}, EL1, false},
+	AMAIREL1:      {"AMAIR_EL1", SysRegEnc{3, 0, 10, 3, 0}, EL1, false},
+	CONTEXTIDREL1: {"CONTEXTIDR_EL1", SysRegEnc{3, 0, 13, 0, 1}, EL1, false},
+	VBAREL1:       {"VBAR_EL1", SysRegEnc{3, 0, 12, 0, 0}, EL1, false},
+	ESREL1:        {"ESR_EL1", SysRegEnc{3, 0, 5, 2, 0}, EL1, false},
+	ELREL1:        {"ELR_EL1", SysRegEnc{3, 0, 4, 0, 1}, EL1, false},
+	SPSREL1:       {"SPSR_EL1", SysRegEnc{3, 0, 4, 0, 0}, EL1, false},
+	FAREL1:        {"FAR_EL1", SysRegEnc{3, 0, 6, 0, 0}, EL1, false},
+	AFSR0EL1:      {"AFSR0_EL1", SysRegEnc{3, 0, 5, 1, 0}, EL1, false},
+	AFSR1EL1:      {"AFSR1_EL1", SysRegEnc{3, 0, 5, 1, 1}, EL1, false},
+	PAREL1:        {"PAR_EL1", SysRegEnc{3, 0, 7, 4, 0}, EL1, false},
+	CPACREL1:      {"CPACR_EL1", SysRegEnc{3, 0, 1, 0, 2}, EL1, false},
+	CNTKCTLEL1:    {"CNTKCTL_EL1", SysRegEnc{3, 0, 14, 1, 0}, EL1, false},
+	CSSELREL1:     {"CSSELR_EL1", SysRegEnc{3, 2, 0, 0, 0}, EL1, false},
+	SPEL0:         {"SP_EL0", SysRegEnc{3, 0, 4, 1, 0}, EL1, false},
+	SPEL1:         {"SP_EL1", SysRegEnc{3, 4, 4, 1, 0}, EL2, false},
+	TPIDREL0:      {"TPIDR_EL0", SysRegEnc{3, 3, 13, 0, 2}, EL0, false},
+	TPIDRROEL0:    {"TPIDRRO_EL0", SysRegEnc{3, 3, 13, 0, 3}, EL0, true},
+	TPIDREL1:      {"TPIDR_EL1", SysRegEnc{3, 0, 13, 0, 4}, EL1, false},
+	MDSCREL1:      {"MDSCR_EL1", SysRegEnc{2, 0, 0, 2, 2}, EL1, false},
+
+	NZCV:      {"NZCV", SysRegEnc{3, 3, 4, 2, 0}, EL0, false},
+	FPCR:      {"FPCR", SysRegEnc{3, 3, 4, 4, 0}, EL0, false},
+	FPSR:      {"FPSR", SysRegEnc{3, 3, 4, 4, 1}, EL0, false},
+	CNTVCTEL0: {"CNTVCT_EL0", SysRegEnc{3, 3, 14, 0, 2}, EL0, true},
+	CNTFRQEL0: {"CNTFRQ_EL0", SysRegEnc{3, 3, 14, 0, 0}, EL0, true},
+	DCZIDEL0:  {"DCZID_EL0", SysRegEnc{3, 3, 0, 0, 7}, EL0, true},
+	CTREL0:    {"CTR_EL0", SysRegEnc{3, 3, 0, 0, 1}, EL0, true},
+
+	HCREL2:     {"HCR_EL2", SysRegEnc{3, 4, 1, 1, 0}, EL2, false},
+	VTTBREL2:   {"VTTBR_EL2", SysRegEnc{3, 4, 2, 1, 0}, EL2, false},
+	VTCREL2:    {"VTCR_EL2", SysRegEnc{3, 4, 2, 1, 2}, EL2, false},
+	SCTLREL2:   {"SCTLR_EL2", SysRegEnc{3, 4, 1, 0, 0}, EL2, false},
+	TTBR0EL2:   {"TTBR0_EL2", SysRegEnc{3, 4, 2, 0, 0}, EL2, false},
+	TCREL2:     {"TCR_EL2", SysRegEnc{3, 4, 2, 0, 2}, EL2, false},
+	MAIREL2:    {"MAIR_EL2", SysRegEnc{3, 4, 10, 2, 0}, EL2, false},
+	VBAREL2:    {"VBAR_EL2", SysRegEnc{3, 4, 12, 0, 0}, EL2, false},
+	ESREL2:     {"ESR_EL2", SysRegEnc{3, 4, 5, 2, 0}, EL2, false},
+	ELREL2:     {"ELR_EL2", SysRegEnc{3, 4, 4, 0, 1}, EL2, false},
+	SPSREL2:    {"SPSR_EL2", SysRegEnc{3, 4, 4, 0, 0}, EL2, false},
+	FAREL2:     {"FAR_EL2", SysRegEnc{3, 4, 6, 0, 0}, EL2, false},
+	HPFAREL2:   {"HPFAR_EL2", SysRegEnc{3, 4, 6, 0, 4}, EL2, false},
+	SPEL2:      {"SP_EL2", SysRegEnc{3, 6, 4, 1, 0}, EL2, false},
+	TPIDREL2:   {"TPIDR_EL2", SysRegEnc{3, 4, 13, 0, 2}, EL2, false},
+	CPTREL2:    {"CPTR_EL2", SysRegEnc{3, 4, 1, 1, 2}, EL2, false},
+	MDCREL2:    {"MDCR_EL2", SysRegEnc{3, 4, 1, 1, 1}, EL2, false},
+	CNTHCTLEL2: {"CNTHCTL_EL2", SysRegEnc{3, 4, 14, 1, 0}, EL2, false},
+	CNTVOFFEL2: {"CNTVOFF_EL2", SysRegEnc{3, 4, 14, 0, 3}, EL2, false},
+	VMPIDREL2:  {"VMPIDR_EL2", SysRegEnc{3, 4, 0, 0, 5}, EL2, false},
+	VPIDREL2:   {"VPIDR_EL2", SysRegEnc{3, 4, 0, 0, 0}, EL2, false},
+
+	MIDREL1:  {"MIDR_EL1", SysRegEnc{3, 0, 0, 0, 0}, EL1, true},
+	MPIDREL1: {"MPIDR_EL1", SysRegEnc{3, 0, 0, 0, 5}, EL1, true},
+}
+
+var sysRegByEnc = buildSysRegByEnc()
+
+func buildSysRegByEnc() map[uint32]SysReg {
+	m := make(map[uint32]SysReg, int(sysRegCount))
+	for r := SysReg(1); r < sysRegCount; r++ {
+		m[sysRegTable[r].enc.Key()] = r
+	}
+	return m
+}
+
+// Valid reports whether r names a modelled register.
+func (r SysReg) Valid() bool { return r > SysRegInvalid && r < sysRegCount }
+
+func (r SysReg) String() string {
+	if !r.Valid() {
+		return fmt.Sprintf("SysReg(%d)", uint16(r))
+	}
+	return sysRegTable[r].name
+}
+
+// Enc returns the register's MSR/MRS encoding.
+func (r SysReg) Enc() SysRegEnc {
+	if !r.Valid() {
+		return SysRegEnc{}
+	}
+	return sysRegTable[r].enc
+}
+
+// MinEL returns the lowest exception level that may access the register
+// without trapping (ignoring hypervisor-configured traps).
+func (r SysReg) MinEL() EL {
+	if !r.Valid() {
+		return EL2
+	}
+	return sysRegTable[r].el
+}
+
+// ReadOnly reports whether writes to the register are architecturally
+// undefined.
+func (r SysReg) ReadOnly() bool {
+	return r.Valid() && sysRegTable[r].ro
+}
+
+// LookupSysReg resolves an MSR/MRS encoding to a modelled register.
+// The boolean is false for encodings outside the modelled set.
+func LookupSysReg(enc SysRegEnc) (SysReg, bool) {
+	r, ok := sysRegByEnc[enc.Key()]
+	return r, ok
+}
+
+// Stage1Regs lists the registers controlling stage-1 translation; writes to
+// (reads from) these are trapped to EL2 when HCR_EL2.TVM (TRVM) is set.
+// This is the register set LightZone locks for PAN-mode processes (§5.1.2).
+var Stage1Regs = []SysReg{
+	SCTLREL1, TTBR0EL1, TTBR1EL1, TCREL1, MAIREL1, AMAIREL1,
+	CONTEXTIDREL1, AFSR0EL1, AFSR1EL1, ESREL1, FAREL1,
+}
+
+// IsStage1Reg reports whether r participates in stage-1 translation control.
+func IsStage1Reg(r SysReg) bool {
+	for _, s := range Stage1Regs {
+		if s == r {
+			return true
+		}
+	}
+	return false
+}
+
+// GuestContextRegs is the EL1 register set a conventional hypervisor
+// context-switches on every world switch between two VMs (or between a VM
+// and a VHE host). Its size is what makes KVM hypercalls expensive on
+// Carmel (Table 4: 28,580 cycles).
+var GuestContextRegs = []SysReg{
+	SCTLREL1, TTBR0EL1, TTBR1EL1, TCREL1, MAIREL1, AMAIREL1,
+	CONTEXTIDREL1, VBAREL1, ESREL1, ELREL1, SPSREL1, FAREL1,
+	AFSR0EL1, AFSR1EL1, PAREL1, CPACREL1, CNTKCTLEL1, CSSELREL1,
+	SPEL0, SPEL1, TPIDREL0, TPIDRROEL0, TPIDREL1, MDSCREL1, FPCR, FPSR,
+}
+
+// LightZonePartialRegs is the reduced EL1 register set the Lowvisor
+// context-switches when transferring between a guest kernel and its guest
+// LightZone process (§5.2.2): the two share timers, counters, FP state and
+// "a large portion of system registers", so only the registers that differ
+// between the guest kernel's and the LightZone process's virtual
+// environments are switched.
+var LightZonePartialRegs = []SysReg{
+	SCTLREL1, TTBR0EL1, TTBR1EL1, TCREL1, MAIREL1, VBAREL1, ESREL1,
+	ELREL1, SPSREL1, FAREL1, CONTEXTIDREL1, CPACREL1, SPEL0, SPEL1,
+	TPIDREL0, TPIDREL1,
+}

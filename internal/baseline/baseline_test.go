@@ -1,0 +1,169 @@
+package baseline
+
+import (
+	"testing"
+
+	"lightzone/internal/arm64"
+	"lightzone/internal/cpu"
+	"lightzone/internal/kernel"
+	"lightzone/internal/mem"
+)
+
+func newTestKernel(t *testing.T, el arm64.EL) (*kernel.Kernel, *kernel.Thread) {
+	t.Helper()
+	prof := arm64.ProfileCortexA55()
+	pm := mem.NewPhysMem(64 << 20)
+	c := cpu.New(prof, pm)
+	k := kernel.NewKernel("t", prof, pm, c, el)
+	p, err := k.CreateProcess("bl", kernel.Program{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, p.MainThread()
+}
+
+func TestWatchpointProtectAndSwitch(t *testing.T) {
+	k, th := newTestKernel(t, arm64.EL2)
+	wp := NewWatchpoint()
+	ret, ok, err := wp.Syscall(k, th, SysWPProtect, [6]uint64{0x1000, 4096, 0})
+	if err != nil || !ok || int64(ret) != 0 {
+		t.Fatalf("protect: ret=%d ok=%v err=%v", int64(ret), ok, err)
+	}
+	before := k.CPU.Cycles
+	ret, ok, err = wp.Syscall(k, th, SysWPSwitch, [6]uint64{0})
+	if err != nil || !ok || int64(ret) != 0 {
+		t.Fatalf("switch: ret=%d ok=%v err=%v", int64(ret), ok, err)
+	}
+	charged := k.CPU.Cycles - before
+	want := 2 * int64(WatchpointPairs) * k.Prof.WatchpointPairHost
+	if charged != want {
+		t.Errorf("switch charged %d, want %d", charged, want)
+	}
+	doms, switches := wp.State(th.Proc)
+	if doms != 1 || switches != 1 {
+		t.Errorf("state = %d domains, %d switches", doms, switches)
+	}
+}
+
+func TestWatchpointSixteenDomainLimit(t *testing.T) {
+	k, th := newTestKernel(t, arm64.EL2)
+	wp := NewWatchpoint()
+	for d := 0; d < MaxWatchpointDomains; d++ {
+		ret, _, err := wp.Syscall(k, th, SysWPProtect, [6]uint64{uint64(0x1000 * (d + 1)), 4096, uint64(d)})
+		if err != nil || int64(ret) != 0 {
+			t.Fatalf("domain %d rejected: %d %v", d, int64(ret), err)
+		}
+	}
+	ret, _, _ := wp.Syscall(k, th, SysWPProtect, [6]uint64{0x99000, 4096, 16})
+	if int64(ret) != -1 {
+		t.Errorf("17th domain accepted (ret=%d)", int64(ret))
+	}
+	// Re-protecting an existing domain remains allowed at the limit.
+	ret, _, _ = wp.Syscall(k, th, SysWPProtect, [6]uint64{0x1000, 8192, 0})
+	if int64(ret) != 0 {
+		t.Errorf("re-protect of existing domain rejected")
+	}
+}
+
+func TestWatchpointSwitchToUnknownDomain(t *testing.T) {
+	k, th := newTestKernel(t, arm64.EL2)
+	wp := NewWatchpoint()
+	ret, _, _ := wp.Syscall(k, th, SysWPSwitch, [6]uint64{5})
+	if int64(ret) != -1 {
+		t.Errorf("switch to unregistered domain returned %d", int64(ret))
+	}
+	// Domain -1 (exit all domains) is always legal.
+	ret, _, _ = wp.Syscall(k, th, SysWPSwitch, [6]uint64{^uint64(0)})
+	if int64(ret) != 0 {
+		t.Errorf("exit-all switch returned %d", int64(ret))
+	}
+}
+
+func TestWatchpointHostGuestCostAsymmetry(t *testing.T) {
+	// The paper's Carmel measurements: watchpoint reconfiguration under
+	// a VHE host kernel is far more expensive than under a guest kernel.
+	prof := arm64.ProfileCarmel()
+	pm := mem.NewPhysMem(64 << 20)
+	host := kernel.NewKernel("h", prof, pm, cpu.New(prof, pm), arm64.EL2)
+	guest := kernel.NewKernel("g", prof, pm, cpu.New(prof, pm), arm64.EL1)
+	wp := NewWatchpoint()
+	if wp.SwitchCost(host) <= wp.SwitchCost(guest) {
+		t.Errorf("host switch (%d) not more expensive than guest (%d)",
+			wp.SwitchCost(host), wp.SwitchCost(guest))
+	}
+}
+
+func TestLwCCreateAndSwitch(t *testing.T) {
+	k, th := newTestKernel(t, arm64.EL2)
+	lwc := NewLwC()
+	id0, ok, err := lwc.Syscall(k, th, SysLwCCreate, [6]uint64{})
+	if err != nil || !ok || id0 != 0 {
+		t.Fatalf("create: %d %v %v", id0, ok, err)
+	}
+	id1, _, _ := lwc.Syscall(k, th, SysLwCCreate, [6]uint64{})
+	if id1 != 1 {
+		t.Errorf("second context id = %d", id1)
+	}
+	before := k.CPU.Cycles
+	ret, _, _ := lwc.Syscall(k, th, SysLwCSwitch, [6]uint64{1})
+	if int64(ret) != 0 {
+		t.Fatalf("switch failed: %d", int64(ret))
+	}
+	if k.CPU.Cycles-before < k.Prof.LwCManageHost {
+		t.Errorf("switch undercharged: %d", k.CPU.Cycles-before)
+	}
+	ctxs, switches := lwc.State(th.Proc)
+	if ctxs != 2 || switches != 1 {
+		t.Errorf("state = %d contexts, %d switches", ctxs, switches)
+	}
+}
+
+func TestLwCSwitchBoundsChecked(t *testing.T) {
+	k, th := newTestKernel(t, arm64.EL2)
+	lwc := NewLwC()
+	if ret, _, _ := lwc.Syscall(k, th, SysLwCSwitch, [6]uint64{0}); int64(ret) != -1 {
+		t.Errorf("switch with no contexts returned %d", int64(ret))
+	}
+	lwc.Syscall(k, th, SysLwCCreate, [6]uint64{})
+	if ret, _, _ := lwc.Syscall(k, th, SysLwCSwitch, [6]uint64{7}); int64(ret) != -1 {
+		t.Errorf("out-of-range switch returned %d", int64(ret))
+	}
+}
+
+func TestLwCUnlimitedContexts(t *testing.T) {
+	// Table 1: lwC scalability is unbounded (in contrast to Watchpoint).
+	k, th := newTestKernel(t, arm64.EL2)
+	lwc := NewLwC()
+	for i := 0; i < 300; i++ {
+		id, _, err := lwc.Syscall(k, th, SysLwCCreate, [6]uint64{})
+		if err != nil || int(id) != i {
+			t.Fatalf("context %d: id=%d err=%v", i, id, err)
+		}
+	}
+}
+
+func TestModulesIgnoreForeignSyscalls(t *testing.T) {
+	k, th := newTestKernel(t, arm64.EL2)
+	for _, mod := range []kernel.Module{NewWatchpoint(), NewLwC()} {
+		if _, ok, _ := mod.Syscall(k, th, kernel.SysGetpid, [6]uint64{}); ok {
+			t.Errorf("%T claimed getpid", mod)
+		}
+		if handled, _ := mod.HandleExit(k, th, cpu.Exit{}); handled {
+			t.Errorf("%T claimed an exit", mod)
+		}
+	}
+}
+
+func TestModuleMuxOrdering(t *testing.T) {
+	k, th := newTestKernel(t, arm64.EL2)
+	mux := kernel.ModuleMux{NewWatchpoint(), NewLwC()}
+	if _, ok, _ := mux.Syscall(k, th, SysLwCCreate, [6]uint64{}); !ok {
+		t.Error("mux did not route to the second module")
+	}
+	if _, ok, _ := mux.Syscall(k, th, SysWPSwitch, [6]uint64{^uint64(0)}); !ok {
+		t.Error("mux did not route to the first module")
+	}
+	if _, ok, _ := mux.Syscall(k, th, 9999, [6]uint64{}); ok {
+		t.Error("mux claimed an unknown syscall")
+	}
+}

@@ -1,0 +1,106 @@
+package baseline
+
+import (
+	"lightzone/internal/arm64"
+	"lightzone/internal/cpu"
+	"lightzone/internal/kernel"
+)
+
+// lwC module syscall numbers.
+const (
+	SysLwCCreate = 472 // lwc_create(): returns a context id
+	SysLwCSwitch = 473 // lwc_switch(ctx)
+)
+
+// LwC is the simulated light-weight-contexts baseline (§8: "a simulated
+// version of lwC, originally implemented on x86 but designed as a
+// general-purpose approach"). Each switch is a kernel-mediated context
+// switch: the trap, an address-space (TTBR) change, and the lwC state
+// management the original system performs. Scalability is unbounded
+// (Table 1: ✓ infinite) but every switch traps.
+type LwC struct {
+	procs map[int]*lwcProc
+}
+
+type lwcProc struct {
+	contexts int
+	current  int
+	Switches int64
+}
+
+var _ kernel.Module = (*LwC)(nil)
+
+// NewLwC creates the module.
+func NewLwC() *LwC {
+	return &LwC{procs: make(map[int]*lwcProc)}
+}
+
+func (l *LwC) proc(p *kernel.Process) *lwcProc {
+	lp, ok := l.procs[p.PID]
+	if !ok {
+		lp = &lwcProc{current: -1}
+		l.procs[p.PID] = lp
+	}
+	return lp
+}
+
+// State returns per-process bookkeeping.
+func (l *LwC) State(p *kernel.Process) (contexts int, switches int64) {
+	lp, ok := l.procs[p.PID]
+	if !ok {
+		return 0, 0
+	}
+	return lp.contexts, lp.Switches
+}
+
+// HandleExit implements kernel.Module.
+func (l *LwC) HandleExit(k *kernel.Kernel, t *kernel.Thread, exit cpu.Exit) (bool, error) {
+	return false, nil
+}
+
+// Syscall implements kernel.Module.
+func (l *LwC) Syscall(k *kernel.Kernel, t *kernel.Thread, num int, args [6]uint64) (uint64, bool, error) {
+	switch num {
+	case SysLwCCreate:
+		lp := l.proc(t.Proc)
+		id := lp.contexts
+		lp.contexts++
+		// Creating an lwC snapshots the address space; charge a
+		// page-table duplication pass proportional to the mapped set.
+		k.CPU.Charge(int64(t.Proc.AS.DataBytes/4096+1) * 2 * k.Prof.MemAccessCost)
+		return uint64(id), true, nil
+	case SysLwCSwitch:
+		lp := l.proc(t.Proc)
+		ctx := int(args[0])
+		if ctx < 0 || ctx >= lp.contexts {
+			return ^uint64(0), true, nil
+		}
+		k.CPU.Charge(l.SwitchCost(k))
+		lp.current = ctx
+		lp.Switches++
+		return 0, true, nil
+	}
+	return 0, false, nil
+}
+
+// SwitchCost is the kernel-side cost of one lwC switch beyond the trap:
+// TTBR/CONTEXTIDR updates plus the lwC bookkeeping (resource-descriptor
+// swap, COW state), calibrated so the application-level overheads land on
+// the paper's Figure 3-5 lwC curves.
+func (l *LwC) SwitchCost(k *kernel.Kernel) int64 {
+	prof := k.Prof
+	manage := prof.LwCManageHost
+	if k.EL == arm64.EL1 {
+		manage = prof.LwCManageGuest
+	}
+	return manage +
+		prof.SysRegWriteCost(ttbr0Reg) +
+		prof.SysRegWriteCost(contextidrReg) +
+		32*prof.MemAccessCost
+}
+
+// Register aliases used by cost formulas.
+var (
+	ttbr0Reg      = arm64.TTBR0EL1
+	contextidrReg = arm64.CONTEXTIDREL1
+)

@@ -1,0 +1,233 @@
+package baseline
+
+import (
+	"lightzone/internal/arm64"
+	"lightzone/internal/cpu"
+	"lightzone/internal/kernel"
+	"lightzone/internal/mem"
+)
+
+// PANIC module syscall numbers.
+const (
+	SysPANICEnter = 476 // panic_enter(): elevate the thread to kernel mode
+	SysPANICAlias = 477 // panic_alias(dst, src, prot): double-map a frame
+)
+
+// PANIC models the PANIC system (Xu et al., CCS'23): processes elevated
+// directly into the host's kernel mode, using unprivileged load/store
+// instructions for two-domain isolation — WITHOUT a virtual machine
+// around them. The paper's §3.2 security argument against it is
+// reproduced here: because there is no stage-2 translation and no
+// hypervisor trap configuration, a malicious process that maps one
+// physical frame at two virtual addresses (one writable, one executable)
+// can smuggle privileged instructions past any W-xor-X check and execute
+// them with real kernel privilege, corrupting host kernel state.
+//
+// The module tracks the host kernel's EL1 system-register state and
+// reports tampering via Corrupted().
+type PANIC struct {
+	pristine map[arm64.SysReg]uint64
+	entered  map[int]bool
+}
+
+var _ kernel.Module = (*PANIC)(nil)
+
+// NewPANIC creates the module.
+func NewPANIC() *PANIC {
+	return &PANIC{
+		pristine: make(map[arm64.SysReg]uint64),
+		entered:  make(map[int]bool),
+	}
+}
+
+// hostState is the kernel-mode register state PANIC leaves exposed (in a
+// non-VHE deployment these belong to the host kernel).
+var hostState = []arm64.SysReg{arm64.VBAREL1, arm64.TCREL1, arm64.MAIREL1, arm64.CONTEXTIDREL1}
+
+// Corrupted reports whether host kernel state was tampered with by an
+// elevated process.
+func (pm *PANIC) Corrupted(c *cpu.VCPU) (arm64.SysReg, bool) {
+	for _, r := range hostState {
+		if v, ok := pm.pristine[r]; ok && c.Sys(r) != v {
+			return r, true
+		}
+	}
+	return 0, false
+}
+
+// HandleExit implements kernel.Module: PANIC-elevated processes trap to
+// the kernel like LightZone ones, but with no module mediation of their
+// privileged behaviour (there is nothing to mediate — the hardware ran it).
+func (pm *PANIC) HandleExit(k *kernel.Kernel, t *kernel.Thread, exit cpu.Exit) (bool, error) {
+	if !pm.entered[t.Proc.PID] {
+		return false, nil
+	}
+	s := exit.Syndrome
+	switch s.Class {
+	case cpu.ECHVC:
+		if s.Imm == 0x4C01 {
+			// Stub-forwarded EL1 exception: reconstruct and handle.
+			orig := cpu.UnpackESR(k.CPU.Sys(arm64.ESREL1), k.CPU.Sys(arm64.FAREL1))
+			switch orig.Class {
+			case cpu.ECDataAbortSame, cpu.ECInsAbortSame, cpu.ECDataAbortLower, cpu.ECInsAbortLower:
+				k.ChargeKernelEntry()
+				res, err := t.Proc.AS.S1.Walk(orig.VA)
+				if err != nil {
+					return true, err
+				}
+				if !res.Found {
+					ok, err := t.Proc.AS.DemandMap(orig.VA)
+					if err != nil {
+						return true, err
+					}
+					if !ok {
+						t.Proc.Kill("panic: segfault")
+						return true, nil
+					}
+				}
+				// The elevated process executes its own pages at EL1.
+				_, _ = t.Proc.AS.S1.UpdateLeaf(orig.VA, func(d uint64) uint64 {
+					if d&mem.AttrUXN == 0 {
+						d &^= mem.AttrPXN
+					}
+					return d
+				})
+				k.CPU.TLB.InvalidateVMID(0)
+				k.ChargeKernelExit()
+				return true, k.CPU.ERET()
+			default:
+				t.Proc.Kill("panic: unexpected forwarded exception")
+				return true, nil
+			}
+		}
+		// Syscall forwarding, as in LightZone's API library.
+		k.ChargeKernelEntry()
+		num := int(k.CPU.R(8))
+		args := [6]uint64{k.CPU.R(0), k.CPU.R(1), k.CPU.R(2), k.CPU.R(3), k.CPU.R(4), k.CPU.R(5)}
+		ret, err := k.DoSyscall(t, num, args)
+		if err != nil {
+			return true, err
+		}
+		k.CPU.SetR(0, ret)
+		if t.Proc.Exited || t.State == kernel.ThreadExited {
+			return true, nil
+		}
+		k.ChargeKernelExit()
+		return true, k.CPU.ERET()
+	case cpu.ECDataAbortLower, cpu.ECDataAbortSame, cpu.ECInsAbortLower, cpu.ECInsAbortSame:
+		// Demand paging against the process's own table.
+		k.ChargeKernelEntry()
+		ok, err := t.Proc.AS.DemandMap(s.VA)
+		if err != nil {
+			return true, err
+		}
+		if !ok {
+			t.Proc.Kill("panic: segfault")
+			return true, nil
+		}
+		// PANIC maps process memory directly: mirror the kernel PTE
+		// into the same table the process runs on (they share it).
+		k.CPU.TLB.InvalidateVMID(0)
+		k.ChargeKernelExit()
+		return true, k.CPU.ERET()
+	}
+	return false, nil
+}
+
+// Syscall implements kernel.Module.
+func (pm *PANIC) Syscall(k *kernel.Kernel, t *kernel.Thread, num int, args [6]uint64) (uint64, bool, error) {
+	switch num {
+	case SysPANICEnter:
+		return pm.enter(k, t), true, nil
+	case SysPANICAlias:
+		return pm.alias(k, t, args), true, nil
+	}
+	return 0, false, nil
+}
+
+// panicStubVA is where the minimal trap-forwarding vector page lands in
+// the elevated process's address space.
+const panicStubVA = mem.VA(0x7E00_0000)
+
+// enter elevates the calling thread to kernel mode — directly, with no VM:
+// HCR_EL2 keeps no traps armed, no stage-2 is installed, and the process's
+// page table is used as-is (its PTEs hold real physical addresses).
+func (pm *PANIC) enter(k *kernel.Kernel, t *kernel.Thread) uint64 {
+	c := k.CPU
+	// Install a trap stub so EL1 self-traps (page faults, raw SVCs)
+	// forward to the kernel, as PANIC's runtime does.
+	stubPA, err := k.PM.AllocFrame()
+	if err != nil {
+		return ^uint64(0)
+	}
+	page := make([]byte, mem.PageSize)
+	seq := arm64.WordsToBytes([]uint32{arm64.HVC(0x4C01), arm64.WordERET})
+	copy(page[cpu.VecCurSync:], seq)
+	copy(page[cpu.VecCurIRQ:], seq)
+	copy(page[cpu.VecLowerSync:], seq)
+	if err := k.PM.Write(stubPA, page); err != nil {
+		return ^uint64(0)
+	}
+	if err := t.Proc.AS.S1.Map(panicStubVA, stubPA, mem.AttrAPRO|mem.AttrUXN|mem.AttrNG); err != nil {
+		return ^uint64(0)
+	}
+	c.SetSys(arm64.VBAREL1, uint64(panicStubVA))
+	t.Ctx.VBAR = uint64(panicStubVA)
+	for _, r := range hostState {
+		if _, ok := pm.pristine[r]; !ok {
+			pm.pristine[r] = c.Sys(r)
+		}
+	}
+	spsrReg := arm64.SPSREL2
+	if k.EL == arm64.EL1 {
+		spsrReg = arm64.SPSREL1
+	}
+	spsr := c.Sys(spsrReg)
+	spsr = spsr&^arm64.PStateELMask&^arm64.PStateSPSel | arm64.PStateForEL(arm64.EL1)
+	c.SetSys(spsrReg, spsr)
+	t.Ctx.PState = t.Ctx.PState&^arm64.PStateELMask | arm64.PStateForEL(arm64.EL1)
+	// No VM, no trap configuration: the defining difference from
+	// LightZone (§3.2). E2H only; TVM/TTLB/TSC all clear.
+	c.SetSys(arm64.HCREL2, cpu.HCRE2H)
+	c.EmulatedEL1 = true
+	// Make the process's pages privileged-executable (it now runs at
+	// EL1 against its own table).
+	_ = t.Proc.AS.S1.Visit(func(va mem.VA, desc uint64, size uint64) bool {
+		_, _ = t.Proc.AS.S1.UpdateLeaf(va, func(d uint64) uint64 {
+			if d&mem.AttrUXN == 0 {
+				d &^= mem.AttrPXN
+			}
+			return d
+		})
+		return true
+	})
+	pm.entered[t.Proc.PID] = true
+	k.CPU.Charge(k.Prof.HandlerDispatchCost)
+	return 0
+}
+
+// alias maps the frame backing src at dst with the given protection — the
+// double-mapping PANIC cannot prevent (the process effectively controls
+// its stage-1 layout and there is no stage-2 to stop it).
+func (pm *PANIC) alias(k *kernel.Kernel, t *kernel.Thread, args [6]uint64) uint64 {
+	dst, src, prot := mem.VA(args[0]), mem.VA(args[1]), kernel.Prot(args[2])
+	if err := t.Proc.AS.EnsureMapped(src, mem.PageSize); err != nil {
+		return ^uint64(0)
+	}
+	res, err := t.Proc.AS.S1.Walk(src)
+	if err != nil || !res.Found {
+		return ^uint64(0)
+	}
+	attrs := uint64(mem.AttrAPUser | mem.AttrNG)
+	if prot&kernel.ProtWrite == 0 {
+		attrs |= mem.AttrAPRO
+	}
+	if prot&kernel.ProtExec == 0 {
+		attrs |= mem.AttrUXN | mem.AttrPXN
+	}
+	if err := t.Proc.AS.S1.Map(dst, res.PA&^mem.PA(mem.PageMask), attrs); err != nil {
+		return ^uint64(0)
+	}
+	k.CPU.TLB.InvalidateVMID(0)
+	return 0
+}

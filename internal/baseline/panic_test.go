@@ -1,0 +1,136 @@
+package baseline
+
+import (
+	"testing"
+
+	"lightzone/internal/arm64"
+	"lightzone/internal/hyp"
+	"lightzone/internal/kernel"
+	"lightzone/internal/mem"
+)
+
+// buildDualMappingAttack emits the §3.2 attack: double-map a frame as
+// writable (at wAlias) and executable (at xAlias), write a privileged
+// instruction sequence through the writable alias, then execute it through
+// the executable alias. The payload clobbers VBAR_EL1 — host kernel state
+// in a PANIC deployment.
+func buildDualMappingAttack(a *arm64.Asm, enterNum uint64) {
+	const (
+		buf    = uint64(0x4100_0000)
+		xAlias = uint64(0x4200_0000)
+	)
+	// Enter kernel mode (PANIC or LightZone, by syscall number).
+	a.MovImm(8, enterNum)
+	if enterNum == SysPANICEnter {
+		a.Emit(arm64.SVC(0))
+	} else {
+		a.MovImm(0, 1)
+		a.MovImm(1, 1)
+		a.Emit(arm64.SVC(0))
+	}
+	// mmap the writable buffer.
+	a.MovImm(0, buf)
+	a.MovImm(1, mem.PageSize)
+	a.MovImm(2, uint64(kernel.ProtRead|kernel.ProtWrite))
+	a.MovImm(8, kernel.SysMmap)
+	a.Emit(arm64.HVC(0x4C00))
+	// alias it executable (PANIC provides the primitive; under LightZone
+	// the syscall number is unclaimed and fails, so the attack falls back
+	// to executing the writable buffer directly).
+	a.MovImm(0, xAlias)
+	a.MovImm(1, buf)
+	a.MovImm(2, uint64(kernel.ProtRead|kernel.ProtExec))
+	a.MovImm(8, SysPANICAlias)
+	a.Emit(arm64.HVC(0x4C00))
+	//
+
+	// Payload: msr vbar_el1, x9 ; ret — privileged corruption.
+	a.MovImm(1, buf)
+	a.MovImm(9, 0xBAD0BAD0)
+	a.MovImm(2, uint64(arm64.MSR(arm64.VBAREL1, 9)))
+	a.Emit(arm64.STRImm(2, 1, 0, 2))
+	a.MovImm(2, uint64(arm64.RET(30)))
+	a.Emit(arm64.STRImm(2, 1, 4, 2))
+	// Execute through the executable alias.
+	a.MovImm(16, xAlias)
+	a.Emit(arm64.BLR(16))
+	// exit(0): the attack "succeeded" if we get here with state changed.
+	a.MovImm(0, 0)
+	a.MovImm(8, kernel.SysExit)
+	a.Emit(arm64.HVC(0x4C00))
+}
+
+// TestPANICDualMappingCorruptsHost reproduces the paper's §3.2 argument:
+// under PANIC, the dual-mapping attack executes a privileged instruction
+// with real kernel privilege and corrupts host state.
+func TestPANICDualMappingCorruptsHost(t *testing.T) {
+	m := hyp.NewMachine(arm64.ProfileCortexA55(), 256<<20)
+	pm := NewPANIC()
+	m.Host.Module = pm
+
+	a := arm64.NewAsm()
+	buildDualMappingAttack(a, SysPANICEnter)
+	words, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.Host.CreateProcess("panic-attack", kernel.Program{Text: words})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunHostProcess(p, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if p.Killed {
+		t.Fatalf("attack was stopped under PANIC (should succeed): %s", p.KillMsg)
+	}
+	reg, corrupted := pm.Corrupted(m.CPU)
+	if !corrupted {
+		t.Fatal("host state not corrupted — the PANIC weakness did not reproduce")
+	}
+	if reg != arm64.VBAREL1 {
+		t.Errorf("corrupted register = %v", reg)
+	}
+	if m.CPU.Sys(arm64.VBAREL1) != 0xBAD0BAD0 {
+		t.Errorf("VBAR_EL1 = %#x", m.CPU.Sys(arm64.VBAREL1))
+	}
+}
+
+// TestPANICLegitimateProcessWorks: the baseline still runs benign elevated
+// code (it is a real system, just an insecure one).
+func TestPANICLegitimateProcessWorks(t *testing.T) {
+	m := hyp.NewMachine(arm64.ProfileCortexA55(), 256<<20)
+	pm := NewPANIC()
+	m.Host.Module = pm
+
+	a := arm64.NewAsm()
+	a.MovImm(8, SysPANICEnter)
+	a.Emit(arm64.SVC(0))
+	a.MovImm(1, uint64(kernel.DataBase))
+	a.MovImm(2, 0x77)
+	a.Emit(arm64.STRImm(2, 1, 0, 3))
+	a.Emit(arm64.LDRImm(19, 1, 0, 3))
+	a.MovImm(0, 5)
+	a.MovImm(8, kernel.SysExit)
+	a.Emit(arm64.HVC(0x4C00))
+	words, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.Host.CreateProcess("panic-ok", kernel.Program{Text: words})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunHostProcess(p, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if p.Killed {
+		t.Fatalf("killed: %s", p.KillMsg)
+	}
+	if p.ExitCode != 5 || m.CPU.R(19) != 0x77 {
+		t.Errorf("exit=%d x19=%#x", p.ExitCode, m.CPU.R(19))
+	}
+	if _, corrupted := pm.Corrupted(m.CPU); corrupted {
+		t.Error("benign run flagged as corruption")
+	}
+}

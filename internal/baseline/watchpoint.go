@@ -1,0 +1,130 @@
+// Package baseline implements the comparison systems the paper evaluates
+// LightZone against (§8): an ioctl-based Watchpoint isolation prototype
+// (Jang & Kang, DAC'19) limited to 16 domains, and a simulated
+// light-weight-contexts (lwC) implementation (Litton et al., OSDI'16).
+// Both are kernel modules whose domain switches trap to the kernel — the
+// structural property that makes them expensive on platforms with slow
+// traps (Carmel) — with register-reconfiguration costs calibrated against
+// the paper's Table 5 measurements.
+package baseline
+
+import (
+	"fmt"
+
+	"lightzone/internal/arm64"
+	"lightzone/internal/cpu"
+	"lightzone/internal/kernel"
+	"lightzone/internal/mem"
+)
+
+// Watchpoint module syscall numbers.
+const (
+	SysWPProtect = 470 // wp_protect(addr, len, domain)
+	SysWPSwitch  = 471 // wp_switch(domain): reconfigure watchpoint pairs
+)
+
+// MaxWatchpointDomains is the hardware limit the paper highlights
+// (Table 1: ✗(16)).
+const MaxWatchpointDomains = 16
+
+// WatchpointPairs is the number of watchpoint register pairs the
+// prototype updates per switch ("updates four pairs of watchpoint
+// registers based on the access control algorithm", §8).
+const WatchpointPairs = 4
+
+// Watchpoint is the ioctl-style watchpoint isolation module.
+type Watchpoint struct {
+	procs map[int]*wpProc
+}
+
+type wpProc struct {
+	domains  map[int]wpRegion
+	current  int
+	Switches int64
+}
+
+type wpRegion struct {
+	start mem.VA
+	len   uint64
+}
+
+var _ kernel.Module = (*Watchpoint)(nil)
+
+// NewWatchpoint creates the module.
+func NewWatchpoint() *Watchpoint {
+	return &Watchpoint{procs: make(map[int]*wpProc)}
+}
+
+func (w *Watchpoint) proc(p *kernel.Process) *wpProc {
+	wp, ok := w.procs[p.PID]
+	if !ok {
+		wp = &wpProc{domains: make(map[int]wpRegion), current: -1}
+		w.procs[p.PID] = wp
+	}
+	return wp
+}
+
+// State returns per-process bookkeeping (for tests and benches).
+func (w *Watchpoint) State(p *kernel.Process) (domains int, switches int64) {
+	wp, ok := w.procs[p.PID]
+	if !ok {
+		return 0, 0
+	}
+	return len(wp.domains), wp.Switches
+}
+
+// pairCost returns the per-pair reconfiguration cost for the kernel
+// position: the paper measures watchpoint switches to be far more
+// expensive under a VHE host kernel on Carmel than under a guest kernel.
+func pairCost(k *kernel.Kernel) int64 {
+	if k.EL == arm64.EL2 {
+		return k.Prof.WatchpointPairHost
+	}
+	return k.Prof.WatchpointPairGuest
+}
+
+// HandleExit implements kernel.Module (no trap interception needed).
+func (w *Watchpoint) HandleExit(k *kernel.Kernel, t *kernel.Thread, exit cpu.Exit) (bool, error) {
+	return false, nil
+}
+
+// Syscall implements kernel.Module.
+func (w *Watchpoint) Syscall(k *kernel.Kernel, t *kernel.Thread, num int, args [6]uint64) (uint64, bool, error) {
+	switch num {
+	case SysWPProtect:
+		wp := w.proc(t.Proc)
+		dom := int(args[2])
+		if len(wp.domains) >= MaxWatchpointDomains {
+			if _, exists := wp.domains[dom]; !exists {
+				return ^uint64(0), true, nil // the 16-domain wall
+			}
+		}
+		wp.domains[dom] = wpRegion{start: mem.VA(args[0]), len: args[1]}
+		k.CPU.Charge(int64(WatchpointPairs) * pairCost(k))
+		return 0, true, nil
+	case SysWPSwitch:
+		wp := w.proc(t.Proc)
+		dom := int(args[0])
+		if _, ok := wp.domains[dom]; !ok && dom != -1 {
+			return ^uint64(0), true, nil
+		}
+		// The access-control algorithm revokes the previous domain's
+		// watchpoints and programs the new one's: 2 x 4 pairs.
+		k.CPU.Charge(2 * int64(WatchpointPairs) * pairCost(k))
+		wp.current = dom
+		wp.Switches++
+		return 0, true, nil
+	}
+	return 0, false, nil
+}
+
+// SwitchCost returns the modelled kernel-side cost of one watchpoint
+// domain switch, excluding the syscall trap around it (the trap is paid by
+// the real emulated SVC in microbenchmarks, or by the measured syscall
+// cost in application models).
+func (w *Watchpoint) SwitchCost(k *kernel.Kernel) int64 {
+	return 2 * int64(WatchpointPairs) * pairCost(k)
+}
+
+// ErrTooManyDomains is reported by helpers when exceeding 16 domains.
+var ErrTooManyDomains = fmt.Errorf("watchpoint supports at most %d domains", MaxWatchpointDomains)

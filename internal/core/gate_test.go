@@ -1,0 +1,154 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"lightzone/internal/arm64"
+	"lightzone/internal/kernel"
+	"lightzone/internal/mem"
+)
+
+// TestGateCodeStructure checks the §6.2 construction invariants of every
+// generated gate: fits its slot, contains exactly one TTBR0 write followed
+// by an ISB, performs the double re-query (two ENTRY loads), ends its
+// happy path with RET, and has no indirect jump between the MSR and the
+// RET (so phase ② always executes once TTBR0 changed).
+func TestGateCodeStructure(t *testing.T) {
+	for _, id := range []int{0, 1, 7, 255, MaxGates - 1} {
+		words, err := buildGateCode(id)
+		if err != nil {
+			t.Fatalf("gate %d: %v", id, err)
+		}
+		if len(words)*arm64.InsnBytes > gateSlotLen {
+			t.Fatalf("gate %d exceeds slot: %d bytes", id, len(words)*arm64.InsnBytes)
+		}
+		msrAt, isbAt, retAt := -1, -1, -1
+		entryLoads := 0
+		for i, w := range words {
+			in := arm64.Decode(w)
+			switch {
+			case w == arm64.MSR(arm64.TTBR0EL1, 17):
+				if msrAt != -1 {
+					t.Errorf("gate %d: multiple TTBR0 writes", id)
+				}
+				msrAt = i
+			case w == arm64.WordISB:
+				isbAt = i
+			case in.Op == arm64.OpRET:
+				retAt = i
+			case in.Op == arm64.OpLdrImm && in.Imm == 0:
+				entryLoads++
+			case in.Op == arm64.OpBR || in.Op == arm64.OpBLR:
+				if msrAt != -1 && retAt == -1 {
+					t.Errorf("gate %d: indirect jump between MSR and RET at word %d", id, i)
+				}
+			}
+		}
+		if msrAt == -1 || isbAt != msrAt+1 {
+			t.Errorf("gate %d: MSR/ISB sequence wrong (msr=%d isb=%d)", id, msrAt, isbAt)
+		}
+		if retAt == -1 || retAt < msrAt {
+			t.Errorf("gate %d: RET placement wrong (%d)", id, retAt)
+		}
+		if entryLoads < 2 {
+			t.Errorf("gate %d: expected the TTBR load plus two re-query loads, saw %d zero-offset loads", id, entryLoads)
+		}
+		// The fail path must end in the violation hypercall.
+		if words[len(words)-1] != arm64.HVC(HVCViolation) {
+			t.Errorf("gate %d: fail path does not raise HVCViolation", id)
+		}
+	}
+}
+
+func TestGateIDBounds(t *testing.T) {
+	if _, err := buildGateCode(MaxGates - 1); err != nil {
+		t.Errorf("max gate id rejected: %v", err)
+	}
+	// Registration of an out-of-range gate must fail at enter.
+	r := newRig(t)
+	a := arm64.NewAsm()
+	svcCall(a, SysLZEnter, 1, uint64(SanTTBR))
+	hvcCall(a, kernel.SysExit, 0)
+	words, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.m.Host.CreateProcess("big-gate", kernel.Program{Text: words})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.lz.RegisterGateEntries(p, []GateEntry{{GateID: MaxGates, Entry: 0x400000}})
+	if err := r.m.RunHostProcess(p, 10000); err == nil {
+		t.Error("out-of-range gate id accepted at enter")
+	}
+}
+
+func TestProtArgumentValidation(t *testing.T) {
+	r := newRig(t)
+	a := arm64.NewAsm()
+	svcCall(a, SysLZEnter, 1, uint64(SanTTBR))
+	// Unaligned address.
+	hvcCall(a, SysLZProt, 0x4100_0001, mem.PageSize, 0, PermRead)
+	a.Emit(arm64.MOVReg(19, 0))
+	// Zero length.
+	hvcCall(a, SysLZProt, 0x4100_0000, 0, 0, PermRead)
+	a.Emit(arm64.MOVReg(20, 0))
+	// TTBR1-range address.
+	hvcCall(a, SysLZProt, uint64(mem.TTBR1Base), mem.PageSize, 0, PermRead)
+	a.Emit(arm64.MOVReg(21, 0))
+	// Bad page table id.
+	hvcCall(a, SysLZProt, 0x4100_0000, mem.PageSize, 99, PermRead)
+	a.Emit(arm64.MOVReg(22, 0))
+	hvcCall(a, kernel.SysExit, 0)
+	p := r.run(t, a, nil)
+	if p.Killed {
+		t.Fatalf("killed: %s", p.KillMsg)
+	}
+	for reg, what := range map[uint8]string{19: "unaligned", 20: "zero-length", 21: "ttbr1-range", 22: "bad-pgt"} {
+		if int64(r.m.CPU.R(reg)) != -1 {
+			t.Errorf("%s lz_prot returned %d, want -1", what, int64(r.m.CPU.R(reg)))
+		}
+	}
+}
+
+func TestMapGatePgtValidation(t *testing.T) {
+	r := newRig(t)
+	a := arm64.NewAsm()
+	svcCall(a, SysLZEnter, 1, uint64(SanTTBR))
+	// Unregistered gate.
+	hvcCall(a, SysLZMapGatePgt, 0, 77)
+	a.Emit(arm64.MOVReg(19, 0))
+	// Registered gate, missing table.
+	hvcCall(a, SysLZMapGatePgt, 55, 0)
+	a.Emit(arm64.MOVReg(20, 0))
+	hvcCall(a, kernel.SysExit, 0)
+	p := r.run(t, a, []GateEntry{{GateID: 0, Entry: 0x123}})
+	if p.Killed {
+		t.Fatalf("killed: %s", p.KillMsg)
+	}
+	if int64(r.m.CPU.R(19)) != -1 || int64(r.m.CPU.R(20)) != -1 {
+		t.Errorf("validation results: %d, %d", int64(r.m.CPU.R(19)), int64(r.m.CPU.R(20)))
+	}
+}
+
+func TestListings(t *testing.T) {
+	listing, err := GateListing(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"msr ttbr0_el1", "isb", "ret x30", "cmp x30", "hvc"} {
+		if !strings.Contains(listing, want) {
+			t.Errorf("gate listing missing %q", want)
+		}
+	}
+	stub := StubListing()
+	for _, want := range []string{"eret", "hvc #0x4c01", "hvc #0x4c02"} {
+		if !strings.Contains(stub, want) {
+			t.Errorf("stub listing missing %q", want)
+		}
+	}
+	if _, err := GateListing(MaxGates + 1); err == nil {
+		t.Error("out-of-range gate listing accepted")
+	}
+}

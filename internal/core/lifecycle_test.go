@@ -1,0 +1,295 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"lightzone/internal/arm64"
+	"lightzone/internal/kernel"
+	"lightzone/internal/mem"
+)
+
+// TestJITWriteExecCycle exercises the benign W-xor-X flow (§6.1: "JIT code
+// pages can switch between writable and executable permissions"): write a
+// function, execute it, rewrite it with different benign code, execute
+// again. Every transition flows through break-before-make and
+// re-sanitization and must succeed.
+func TestJITWriteExecCycle(t *testing.T) {
+	r := newRig(t)
+	const jit = uint64(0x4600_0000)
+	a := arm64.NewAsm()
+	svcCall(a, SysLZEnter, 1, uint64(SanTTBR))
+	hvcCall(a, kernel.SysMmap, jit, mem.PageSize, uint64(kernel.ProtRead|kernel.ProtWrite|kernel.ProtExec))
+	// Generation 1: f() { return 11 }.
+	a.MovImm(1, jit)
+	a.MovImm(2, uint64(arm64.MOVZ(0, 11, 0)))
+	a.Emit(arm64.STRImm(2, 1, 0, 2))
+	a.MovImm(2, uint64(arm64.RET(30)))
+	a.Emit(arm64.STRImm(2, 1, 4, 2))
+	a.Emit(arm64.MOVReg(16, 1))
+	a.Emit(arm64.BLR(16))
+	a.Emit(arm64.MOVReg(19, 0)) // x19 = 11
+	// Generation 2: f() { return 22 } — the write flips the page back to
+	// W (not X), the call flips it to X (not W) after re-sanitizing.
+	a.MovImm(1, jit)
+	a.MovImm(2, uint64(arm64.MOVZ(0, 22, 0)))
+	a.Emit(arm64.STRImm(2, 1, 0, 2))
+	a.Emit(arm64.MOVReg(16, 1))
+	a.Emit(arm64.BLR(16))
+	a.Emit(arm64.MOVReg(20, 0)) // x20 = 22
+	hvcCall(a, kernel.SysExit, 0)
+	p := r.run(t, a, nil)
+	if p.Killed {
+		t.Fatalf("killed: %s", p.KillMsg)
+	}
+	if r.m.CPU.R(19) != 11 || r.m.CPU.R(20) != 22 {
+		t.Errorf("jit generations returned %d, %d", r.m.CPU.R(19), r.m.CPU.R(20))
+	}
+	lp, _ := r.lz.ProcState(p)
+	if lp.Violations != 0 {
+		t.Errorf("violations = %d", lp.Violations)
+	}
+}
+
+// TestFreePageTableLifecycle: lz_free destroys a table; the freed id is
+// rejected afterwards, the base table (0) and the active table are
+// protected from freeing.
+func TestFreePageTableLifecycle(t *testing.T) {
+	r := newRig(t)
+	const data = uint64(0x4100_0000)
+	a := arm64.NewAsm()
+	svcCall(a, SysLZEnter, 1, uint64(SanTTBR))
+	hvcCall(a, kernel.SysMmap, data, mem.PageSize, uint64(kernel.ProtRead|kernel.ProtWrite))
+	hvcCall(a, SysLZAlloc) // -> 1
+	hvcCall(a, SysLZAlloc) // -> 2
+	hvcCall(a, SysLZFree, 2)
+	a.Emit(arm64.MOVReg(19, 0))                            // 0 on success
+	hvcCall(a, SysLZFree, 2)                               // double free
+	a.Emit(arm64.MOVReg(20, 0))                            // -1
+	hvcCall(a, SysLZFree, 0)                               // base table
+	a.Emit(arm64.MOVReg(21, 0))                            // -1
+	hvcCall(a, SysLZProt, data, mem.PageSize, 2, PermRead) // freed table
+	a.Emit(arm64.MOVReg(22, 0))                            // -1
+	hvcCall(a, kernel.SysExit, 0)
+	p := r.run(t, a, nil)
+	if p.Killed {
+		t.Fatalf("killed: %s", p.KillMsg)
+	}
+	c := r.m.CPU
+	if int64(c.R(19)) != 0 {
+		t.Errorf("free(2) = %d", int64(c.R(19)))
+	}
+	for reg, what := range map[uint8]string{20: "double free", 21: "free base", 22: "prot freed"} {
+		if int64(c.R(reg)) != -1 {
+			t.Errorf("%s returned %d, want -1", what, int64(c.R(reg)))
+		}
+	}
+	lp, _ := r.lz.ProcState(p)
+	if lp.NumPageTables() != 2 { // base + pgt1
+		t.Errorf("tables = %d", lp.NumPageTables())
+	}
+}
+
+// TestFreeActiveTableRejected: the currently installed table cannot be
+// freed out from under the thread.
+func TestFreeActiveTableRejected(t *testing.T) {
+	r := newRig(t)
+	a := arm64.NewAsm()
+	svcCall(a, SysLZEnter, 1, uint64(SanTTBR))
+	hvcCall(a, SysLZAlloc) // -> 1
+	a.Emit(arm64.MOVReg(0, 0))
+	a.MovImm(1, 0)
+	a.MovImm(8, SysLZMapGatePgt)
+	a.Emit(arm64.HVC(HVCSyscall))
+	entry := EmitGateSwitch(a, 0, "act") // now running on pgt 1
+	hvcCall(a, SysLZFree, 1)
+	a.Emit(arm64.MOVReg(19, 0)) // must be -1
+	hvcCall(a, kernel.SysExit, 0)
+	off, err := a.Offset(entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := r.run(t, a, []GateEntry{{GateID: 0, Entry: uint64(off)}})
+	if p.Killed {
+		t.Fatalf("killed: %s", p.KillMsg)
+	}
+	if int64(r.m.CPU.R(19)) != -1 {
+		t.Errorf("freeing the active table returned %d", int64(r.m.CPU.R(19)))
+	}
+}
+
+// TestHugePageDomain: a 2MB huge-page region protected as one domain,
+// accessed through its gate (the §9.3 NVM configuration).
+func TestHugePageDomain(t *testing.T) {
+	r := newRig(t)
+	const buf = uint64(0x8000_0000) // 2MB aligned
+	words, entries := func() ([]uint32, []GateEntry) {
+		a := arm64.NewAsm()
+		svcCall(a, SysLZEnter, 1, uint64(SanTTBR))
+		hvcCall(a, SysLZAlloc)
+		a.Emit(arm64.MOVReg(0, 0))
+		a.MovImm(1, 0)
+		a.MovImm(8, SysLZMapGatePgt)
+		a.Emit(arm64.HVC(HVCSyscall))
+		hvcCall(a, SysLZProt, buf, mem.HugePageSize, 1, PermRead|PermWrite)
+		entry := EmitGateSwitch(a, 0, "huge")
+		a.MovImm(1, buf+0x123000) // deep inside the 2MB block
+		a.MovImm(2, 0x77)
+		a.Emit(arm64.STRImm(2, 1, 0, 3))
+		a.Emit(arm64.LDRImm(19, 1, 0, 3))
+		hvcCall(a, kernel.SysExit, 0)
+		off, err := a.Offset(entry)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := a.Assemble()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w, []GateEntry{{GateID: 0, Entry: uint64(kernel.TextBase) + uint64(off)}}
+	}()
+	p, err := r.m.Host.CreateProcess("huge", kernel.Program{Text: words, Extra: []kernel.VMA{{
+		Start: mem.VA(buf), End: mem.VA(buf + mem.HugePageSize),
+		Prot: kernel.ProtRead | kernel.ProtWrite, Name: "nvm", Huge: true,
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.lz.RegisterGateEntries(p, entries)
+	if err := r.m.RunHostProcess(p, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if p.Killed {
+		t.Fatalf("killed: %s", p.KillMsg)
+	}
+	if r.m.CPU.R(19) != 0x77 {
+		t.Errorf("huge-page readback = %#x", r.m.CPU.R(19))
+	}
+}
+
+// TestIdentityPhysAblation: with the fake-physical layer disabled, the
+// system still works (the "intuitive" translation) — and the stage-1 PTEs
+// now contain real physical addresses, which is exactly the leak the
+// randomization layer closes.
+func TestIdentityPhysAblation(t *testing.T) {
+	r := newRig(t)
+	r.lz.Opts.IdentityPhys = true
+	a := arm64.NewAsm()
+	svcCall(a, SysLZEnter, 1, uint64(SanTTBR))
+	a.MovImm(1, uint64(kernel.DataBase))
+	a.MovImm(2, 5)
+	a.Emit(arm64.STRImm(2, 1, 0, 3))
+	hvcCall(a, kernel.SysExit, 0)
+	p := r.run(t, a, nil)
+	if p.Killed {
+		t.Fatalf("killed: %s", p.KillMsg)
+	}
+	lp, _ := r.lz.ProcState(p)
+	base, _ := lp.PageTable(0)
+	res, err := base.S1.Walk(kernel.DataBase)
+	if err != nil || !res.Found {
+		t.Fatalf("walk: %+v %v", res, err)
+	}
+	kres, _ := p.AS.S1.Walk(kernel.DataBase)
+	if res.Desc&mem.OAMask != kres.Desc&mem.OAMask {
+		t.Error("identity mode should expose the real physical address")
+	}
+}
+
+// TestFakePhysHidesRealAddresses is the converse: with the layer on, the
+// LightZone PTE's output address differs from the kernel's real frame and
+// lies in the fake region.
+func TestFakePhysHidesRealAddresses(t *testing.T) {
+	r := newRig(t)
+	a := arm64.NewAsm()
+	svcCall(a, SysLZEnter, 1, uint64(SanTTBR))
+	a.MovImm(1, uint64(kernel.DataBase))
+	a.MovImm(2, 5)
+	a.Emit(arm64.STRImm(2, 1, 0, 3))
+	hvcCall(a, kernel.SysExit, 0)
+	p := r.run(t, a, nil)
+	if p.Killed {
+		t.Fatalf("killed: %s", p.KillMsg)
+	}
+	lp, _ := r.lz.ProcState(p)
+	base, _ := lp.PageTable(0)
+	res, err := base.S1.Walk(kernel.DataBase)
+	if err != nil || !res.Found {
+		t.Fatalf("walk: %+v %v", res, err)
+	}
+	kres, _ := p.AS.S1.Walk(kernel.DataBase)
+	fakeOA := res.Desc & mem.OAMask
+	if fakeOA == kres.Desc&mem.OAMask {
+		t.Error("fake layer leaked the real physical address")
+	}
+	if fakeOA < FakeBase {
+		t.Errorf("fake OA %#x below FakeBase %#x", fakeOA, FakeBase)
+	}
+}
+
+// TestMunmapSynchronizesLZTables: §5.1.2 "when the kernel unmaps a page,
+// related stage-1 and stage-2 PTEs are zeroed" — after munmap, a LightZone
+// access to the page is a violation, not a stale-mapping success.
+func TestMunmapSynchronizesLZTables(t *testing.T) {
+	r := newRig(t)
+	const addr = uint64(0x4700_0000)
+	a := arm64.NewAsm()
+	svcCall(a, SysLZEnter, 1, uint64(SanTTBR))
+	hvcCall(a, kernel.SysMmap, addr, mem.PageSize, uint64(kernel.ProtRead|kernel.ProtWrite))
+	a.MovImm(1, addr)
+	a.MovImm(2, 9)
+	a.Emit(arm64.STRImm(2, 1, 0, 3)) // fault in: mapped in LZ tables
+	hvcCall(a, kernel.SysMunmap, addr, mem.PageSize)
+	a.MovImm(1, addr)
+	a.Emit(arm64.LDRImm(3, 1, 0, 3)) // must now be fatal
+	hvcCall(a, kernel.SysExit, 0)
+	p := r.run(t, a, nil)
+	if !p.Killed || !strings.Contains(p.KillMsg, "no VMA") {
+		t.Errorf("killed=%v msg=%q", p.Killed, p.KillMsg)
+	}
+}
+
+// TestDisableEagerS2FunctionalEquivalence: the ablation produces the same
+// results, just slower (back-to-back faults).
+func TestDisableEagerS2FunctionalEquivalence(t *testing.T) {
+	r := newRig(t)
+	r.lz.Opts.DisableEagerS2 = true
+	a := arm64.NewAsm()
+	svcCall(a, SysLZEnter, 1, uint64(SanTTBR))
+	a.MovImm(1, uint64(kernel.DataBase))
+	a.MovImm(2, 0x55)
+	a.Emit(arm64.STRImm(2, 1, 0, 3))
+	a.Emit(arm64.LDRImm(19, 1, 0, 3))
+	hvcCall(a, kernel.SysExit, 0)
+	p := r.run(t, a, nil)
+	if p.Killed {
+		t.Fatalf("killed: %s", p.KillMsg)
+	}
+	if r.m.CPU.R(19) != 0x55 {
+		t.Errorf("readback = %#x", r.m.CPU.R(19))
+	}
+}
+
+// TestMprotectSynchronizesLZTables: §5.1.2 synchronization extends to
+// protection changes — after mprotect removes write permission, a
+// LightZone write must be blocked even though the page was mapped
+// writable in the duplicated tables before the call.
+func TestMprotectSynchronizesLZTables(t *testing.T) {
+	r := newRig(t)
+	const addr = uint64(0x4A00_0000)
+	a := arm64.NewAsm()
+	svcCall(a, SysLZEnter, 1, uint64(SanTTBR))
+	hvcCall(a, kernel.SysMmap, addr, mem.PageSize, uint64(kernel.ProtRead|kernel.ProtWrite))
+	a.MovImm(1, addr)
+	a.MovImm(2, 1)
+	a.Emit(arm64.STRImm(2, 1, 0, 3)) // writable: maps W into LZ tables
+	hvcCall(a, kernel.SysMprotect, addr, mem.PageSize, uint64(kernel.ProtRead))
+	a.MovImm(1, addr)
+	a.Emit(arm64.LDRImm(3, 1, 0, 3)) // read still fine
+	a.Emit(arm64.STRImm(2, 1, 0, 3)) // write must now die
+	hvcCall(a, kernel.SysExit, 0)
+	p := r.run(t, a, nil)
+	if !p.Killed || !strings.Contains(p.KillMsg, "read-only") {
+		t.Errorf("killed=%v msg=%q", p.Killed, p.KillMsg)
+	}
+}

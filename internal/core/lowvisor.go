@@ -1,0 +1,79 @@
+package core
+
+import (
+	"lightzone/internal/arm64"
+	"lightzone/internal/cpu"
+	"lightzone/internal/hyp"
+	"lightzone/internal/kernel"
+)
+
+// Lowvisor is LightZone's hypervisor patch (§4.1.1, §5.2.2): it implements
+// software nested virtualization so that processes inside a guest VM can
+// run in the kernel mode of their own (nested) virtual environments. It
+// forwards syscalls and exceptions from guest LightZone processes to the
+// guest kernel module, context-switching only the reduced register set the
+// two environments do not share, transferring pt_regs through a page
+// shared with the guest kernel, and relocating the shared context pointer
+// after scheduling events (the source of Table 4's 29,020~32,881 band).
+type Lowvisor struct {
+	Module *LightZone // the guest kernel module it collaborates with
+}
+
+var _ hyp.Lowvisor = (*Lowvisor)(nil)
+
+// InstallLowvisor wires a guest kernel module and the hypervisor together
+// for guest LightZone processes.
+func InstallLowvisor(h *hyp.Hypervisor, guestModule *LightZone) *Lowvisor {
+	lv := &Lowvisor{Module: guestModule}
+	h.LZ = lv
+	guestModule.GuestMode = true
+	return lv
+}
+
+// HandleEL2Exit processes an EL2 exit from a guest LightZone process: the
+// roundtrip to the guest kernel module and back.
+func (lv *Lowvisor) HandleEL2Exit(h *hyp.Hypervisor, k *kernel.Kernel, t *kernel.Thread, exit cpu.Exit) (bool, error) {
+	lp, ok := t.Proc.LZ.(*LZProc)
+	if !ok {
+		return false, nil // not a LightZone thread: default EL2 handling
+	}
+	c := h.CPU
+	guestVTTBR := lp.outerVTTBR // the enclosing guest VM's VMID
+
+	// Forward direction: switch the partial EL1 register set to the
+	// guest kernel's values, install the guest VM's VMID, hand pt_regs
+	// over through the shared page, and "enter" the guest kernel.
+	h.ChargePartialEL1Switch()
+	c.WriteSysReg(arm64.VTTBREL2, guestVTTBR) // guest kernel VM's VMID
+	h.ChargeGPRTransfer()
+	c.Charge(h.Prof.NestedForwardCost)
+	if k.SchedEvents != lp.lastSchedSeen {
+		// The cached shared pt_regs pointer is stale after scheduling;
+		// the Lowvisor relocates the current thread's context (§8.1).
+		c.Charge(h.Prof.PtRegsRelookupCost)
+		lp.lastSchedSeen = k.SchedEvents
+	}
+	c.Charge(h.Prof.ERETFrom[arm64.EL2]) // eret into the guest kernel
+
+	// The guest kernel module handles the trap (functionally, with its
+	// EL1-position costs). Its final ERET is suppressed: the Lowvisor
+	// performs the real return below.
+	err := lv.Module.dispatch(k, t, lp, exit)
+	if err != nil {
+		return true, err
+	}
+	if t.Proc.Exited || t.State == kernel.ThreadExited {
+		return true, nil
+	}
+
+	// Return direction: guest kernel requests resume via HVC; the
+	// Lowvisor switches the partial set back and erets into the
+	// LightZone process. The dispatch above already performed the
+	// architectural ERET from EL2; account for the extra nested hop.
+	c.Charge(h.Prof.ExcEntryTo[arm64.EL2]) // guest kernel's HVC
+	c.Charge(h.Prof.NestedForwardCost)
+	h.ChargePartialEL1Switch()
+	c.WriteSysReg(arm64.VTTBREL2, lp.vm.VTTBR()) // back to the LZ VM
+	h.ChargeGPRTransfer()
+	return true, nil
+}

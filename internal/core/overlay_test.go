@@ -1,0 +1,181 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"lightzone/internal/arm64"
+	"lightzone/internal/kernel"
+	"lightzone/internal/mem"
+)
+
+// TestMultiTableOverlays reproduces §6.1's JIT scenario: the same domain
+// page attached to two page tables with different permission overlays —
+// writable (not executable) via table 1, executable (not writable) via
+// table 2 — so the process can flip between "generate" and "run" views by
+// switching TTBR0, never holding W and X simultaneously.
+func TestMultiTableOverlays(t *testing.T) {
+	r := newRig(t)
+	const jit = uint64(0x4900_0000)
+	a := arm64.NewAsm()
+	svcCall(a, SysLZEnter, 1, uint64(SanTTBR))
+	hvcCall(a, kernel.SysMmap, jit, mem.PageSize, uint64(kernel.ProtRead|kernel.ProtWrite|kernel.ProtExec))
+	hvcCall(a, SysLZAlloc) // 1: the writer view
+	hvcCall(a, SysLZAlloc) // 2: the executor view
+	hvcCall(a, SysLZMapGatePgt, 1, 0)
+	hvcCall(a, SysLZMapGatePgt, 2, 1)
+	hvcCall(a, SysLZProt, jit, mem.PageSize, 1, PermRead|PermWrite)
+	hvcCall(a, SysLZProt, jit, mem.PageSize, 2, PermRead|PermExec)
+
+	// Writer view: generate {movz x0,#33; ret}.
+	e0 := EmitGateSwitch(a, 0, "writer")
+	a.MovImm(1, jit)
+	a.MovImm(2, uint64(arm64.MOVZ(0, 33, 0)))
+	a.Emit(arm64.STRImm(2, 1, 0, 2))
+	a.MovImm(2, uint64(arm64.RET(30)))
+	a.Emit(arm64.STRImm(2, 1, 4, 2))
+
+	// Executor view: run it.
+	e1 := EmitGateSwitch(a, 1, "executor")
+	a.MovImm(16, jit)
+	a.Emit(arm64.BLR(16))
+	a.Emit(arm64.MOVReg(19, 0))
+	hvcCall(a, kernel.SysExit, 0)
+
+	off0, err := a.Offset(e0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off1, err := a.Offset(e1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := r.run(t, a, []GateEntry{
+		{GateID: 0, Entry: uint64(off0)},
+		{GateID: 1, Entry: uint64(off1)},
+	})
+	if p.Killed {
+		t.Fatalf("killed: %s", p.KillMsg)
+	}
+	if r.m.CPU.R(19) != 33 {
+		t.Errorf("generated function returned %d", r.m.CPU.R(19))
+	}
+}
+
+// TestOverlayViewsEnforced: writing through the executor view (which lacks
+// PermWrite) must terminate the process, and executing through the writer
+// view (which lacks PermExec) must too. Gates: 0 -> writer table (seed
+// site), 1 -> executor table, 2 -> writer table (attack site).
+func TestOverlayViewsEnforced(t *testing.T) {
+	const jit = uint64(0x4900_0000)
+	for _, tc := range []struct {
+		name       string
+		attackGate int
+		attack     func(a *arm64.Asm)
+		expect     string
+	}{
+		{"write via exec view", 1, func(a *arm64.Asm) {
+			a.MovImm(1, jit)
+			a.MovImm(2, 7)
+			a.Emit(arm64.STRImm(2, 1, 0, 3))
+		}, "read-only domain page"},
+		{"exec via write view", 2, func(a *arm64.Asm) {
+			a.MovImm(16, jit)
+			a.Emit(arm64.BLR(16))
+		}, "execution of non-executable"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := newRig(t)
+			a := arm64.NewAsm()
+			svcCall(a, SysLZEnter, 1, uint64(SanTTBR))
+			hvcCall(a, kernel.SysMmap, jit, mem.PageSize, uint64(kernel.ProtRead|kernel.ProtWrite|kernel.ProtExec))
+			hvcCall(a, SysLZAlloc) // 1: writer
+			hvcCall(a, SysLZAlloc) // 2: executor
+			hvcCall(a, SysLZMapGatePgt, 1, 0)
+			hvcCall(a, SysLZMapGatePgt, 2, 1)
+			hvcCall(a, SysLZMapGatePgt, 1, 2)
+			hvcCall(a, SysLZProt, jit, mem.PageSize, 1, PermRead|PermWrite)
+			hvcCall(a, SysLZProt, jit, mem.PageSize, 2, PermRead|PermExec)
+			// Seed benign content through the writer view.
+			e0 := EmitGateSwitch(a, 0, "seed")
+			a.MovImm(1, jit)
+			a.MovImm(2, uint64(arm64.RET(30)))
+			a.Emit(arm64.STRImm(2, 1, 0, 2))
+			// Attack through the selected view.
+			e1 := EmitGateSwitch(a, tc.attackGate, "atk")
+			tc.attack(a)
+			hvcCall(a, kernel.SysExit, 0)
+
+			off0, err := a.Offset(e0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			off1, err := a.Offset(e1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := r.run(t, a, []GateEntry{
+				{GateID: 0, Entry: uint64(off0)},
+				{GateID: tc.attackGate, Entry: uint64(off1)},
+			})
+			if !p.Killed || !strings.Contains(p.KillMsg, tc.expect) {
+				t.Errorf("killed=%v msg=%q want %q", p.Killed, p.KillMsg, tc.expect)
+			}
+		})
+	}
+}
+
+// TestDualViewTOCTTOUBlocked is the regression test for the multi-view
+// sanitizer bypass: execute a benign page through the executor view, write
+// a sensitive instruction through the WRITER view (a different page table
+// — no fault on the executable alias in a naive design), then execute
+// again. Break-before-make across all views forces re-sanitization.
+func TestDualViewTOCTTOUBlocked(t *testing.T) {
+	r := newRig(t)
+	const jit = uint64(0x4900_0000)
+	a := arm64.NewAsm()
+	svcCall(a, SysLZEnter, 1, uint64(SanTTBR))
+	hvcCall(a, kernel.SysMmap, jit, mem.PageSize, uint64(kernel.ProtRead|kernel.ProtWrite|kernel.ProtExec))
+	hvcCall(a, SysLZAlloc) // 1: writer
+	hvcCall(a, SysLZAlloc) // 2: executor
+	hvcCall(a, SysLZMapGatePgt, 1, 0)
+	hvcCall(a, SysLZMapGatePgt, 2, 1)
+	hvcCall(a, SysLZMapGatePgt, 1, 2)
+	hvcCall(a, SysLZMapGatePgt, 2, 3)
+	hvcCall(a, SysLZProt, jit, mem.PageSize, 1, PermRead|PermWrite)
+	hvcCall(a, SysLZProt, jit, mem.PageSize, 2, PermRead|PermExec)
+
+	e0 := EmitGateSwitch(a, 0, "w1")
+	a.MovImm(1, jit)
+	a.MovImm(2, uint64(arm64.RET(30)))
+	a.Emit(arm64.STRImm(2, 1, 0, 2)) // benign
+	e1 := EmitGateSwitch(a, 1, "x1")
+	a.MovImm(16, jit)
+	a.Emit(arm64.BLR(16)) // sanitized + executed
+	e2 := EmitGateSwitch(a, 2, "w2")
+	a.MovImm(1, jit)
+	a.MovImm(2, uint64(arm64.MSR(arm64.TTBR0EL1, 9))) // inject via writer view
+	a.Emit(arm64.STRImm(2, 1, 0, 2))
+	e3 := EmitGateSwitch(a, 3, "x2") // a fresh gate for the second executor site
+	a.MovImm(16, jit)
+	a.Emit(arm64.BLR(16)) // must die in re-sanitization
+	hvcCall(a, kernel.SysExit, 0)
+
+	offs := make(map[string]uint64)
+	for _, l := range []string{e0, e1, e2, e3} {
+		off, err := a.Offset(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offs[l] = uint64(off)
+	}
+	p := r.run(t, a, []GateEntry{
+		{GateID: 0, Entry: offs[e0]},
+		{GateID: 1, Entry: offs[e1]},
+		{GateID: 2, Entry: offs[e2]},
+		{GateID: 3, Entry: offs[e3]},
+	})
+	if !p.Killed || !strings.Contains(p.KillMsg, "sanitizer") {
+		t.Fatalf("dual-view TOCTTOU injection not caught by the sanitizer: killed=%v msg=%q", p.Killed, p.KillMsg)
+	}
+}

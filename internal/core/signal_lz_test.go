@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+
+	"lightzone/internal/arm64"
+	"lightzone/internal/kernel"
+	"lightzone/internal/mem"
+)
+
+// TestSignalContextCarriesTTBR0AndPAN verifies the paper's §6 kernel
+// patch: "PAN and TTBR0 are added in the signal contexts of the kernel for
+// correct signal handling." A LightZone thread switches into a protected
+// domain and drops PAN; a signal handler runs, switches state arbitrarily,
+// and rt_sigreturn must restore both the domain (TTBR0) and PAN.
+func TestSignalContextCarriesTTBR0AndPAN(t *testing.T) {
+	r := newRig(t)
+	const (
+		data = uint64(0x4100_0000)
+		key  = uint64(0x4300_0000)
+	)
+	a := arm64.NewAsm()
+	svcCall(a, SysLZEnter, 1, uint64(SanTTBR))
+	hvcCall(a, kernel.SysMmap, data, mem.PageSize, uint64(kernel.ProtRead|kernel.ProtWrite))
+	hvcCall(a, kernel.SysMmap, key, mem.PageSize, uint64(kernel.ProtRead|kernel.ProtWrite))
+	hvcCall(a, SysLZAlloc)
+	a.Emit(arm64.MOVReg(21, 0))
+	a.Emit(arm64.MOVReg(0, 21))
+	a.MovImm(1, 0)
+	a.MovImm(8, SysLZMapGatePgt)
+	a.Emit(arm64.HVC(HVCSyscall))
+	a.MovImm(0, data)
+	a.MovImm(1, mem.PageSize)
+	a.Emit(arm64.MOVReg(2, 21))
+	a.MovImm(3, PermRead|PermWrite)
+	a.MovImm(8, SysLZProt)
+	a.Emit(arm64.HVC(HVCSyscall))
+	hvcCall(a, SysLZProt, key, mem.PageSize, 0, PermRead|PermWrite|PermUser)
+
+	// Register the handler.
+	a.ADR(1, "handler")
+	a.MovImm(0, kernel.SIGUSR1)
+	a.MovImm(8, kernel.SysSigaction)
+	a.Emit(arm64.HVC(HVCSyscall))
+
+	// Enter domain 1 and drop PAN; x19 holds a sentinel.
+	entry := EmitGateSwitch(a, 0, "sig")
+	EmitSetPAN(a, 0)
+	a.MovImm(19, 7777)
+
+	// raise(SIGUSR1): kill(getpid(), SIGUSR1).
+	hvcCall(a, kernel.SysGetpid)
+	a.Emit(arm64.MOVReg(20, 0))
+	a.Emit(arm64.MOVReg(0, 20))
+	a.MovImm(1, kernel.SIGUSR1)
+	a.MovImm(8, kernel.SysKill)
+	a.Emit(arm64.HVC(HVCSyscall))
+
+	// After the handler returns: the domain must still be pgt 1 (the
+	// protected data accessible) and PAN must still be clear (the key
+	// accessible), and x19 must be restored.
+	a.MovImm(1, data)
+	a.MovImm(2, 1234)
+	a.Emit(arm64.STRImm(2, 1, 0, 3)) // faults dead if TTBR0 lost
+	a.MovImm(3, key)
+	a.Emit(arm64.LDRImm(4, 3, 0, 3)) // faults dead if PAN restored wrong
+	hvcCall(a, kernel.SysExit, 60)
+
+	a.Label("handler")
+	a.MovImm(19, 1) // clobber the sentinel
+	EmitSetPAN(a, 1)
+	a.MovImm(8, kernel.SysSigreturn)
+	a.Emit(arm64.HVC(HVCSyscall))
+
+	off, err := a.Offset(entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := r.run(t, a, []GateEntry{{GateID: 0, Entry: uint64(off)}})
+	if p.Killed {
+		t.Fatalf("killed: %s", p.KillMsg)
+	}
+	if p.ExitCode != 60 {
+		t.Errorf("exit = %d", p.ExitCode)
+	}
+	if got := r.m.CPU.R(19); got != 7777 {
+		t.Errorf("x19 = %d, want 7777 (restored by sigreturn)", got)
+	}
+}

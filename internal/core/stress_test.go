@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"lightzone/internal/arm64"
+	"lightzone/internal/hyp"
+	"lightzone/internal/kernel"
+	"lightzone/internal/mem"
+)
+
+// TestRandomizedIsolationPrograms generates random-but-well-formed
+// LightZone programs: D TTBR domains plus a PAN region, followed by a
+// random sequence of operations. Legal sequences must complete; the first
+// illegal operation must terminate the process. This is the §7.2 "random
+// illegal memory access program" generalized into a property test.
+func TestRandomizedIsolationPrograms(t *testing.T) {
+	const (
+		domains    = 8
+		regionBase = uint64(0x5000_0000)
+		stride     = uint64(0x1_0000)
+		panBase    = uint64(0x6000_0000)
+	)
+	for seed := int64(1); seed <= 24; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			m := hyp.NewMachine(arm64.ProfileCortexA55(), 512<<20)
+			lz := New(m.Hyp)
+			lz.Install(m.Host)
+
+			a := arm64.NewAsm()
+			svcCall(a, SysLZEnter, 1, uint64(SanTTBR))
+			hvcCall(a, kernel.SysMmap, regionBase, uint64(domains)*stride, uint64(kernel.ProtRead|kernel.ProtWrite))
+			hvcCall(a, kernel.SysMmap, panBase, mem.PageSize, uint64(kernel.ProtRead|kernel.ProtWrite))
+			for d := 0; d < domains; d++ {
+				hvcCall(a, SysLZAlloc)
+				hvcCall(a, SysLZMapGatePgt, uint64(d+1), uint64(d))
+				hvcCall(a, SysLZProt, regionBase+uint64(d)*stride, mem.PageSize, uint64(d+1), PermRead|PermWrite)
+			}
+			hvcCall(a, SysLZProt, panBase, mem.PageSize, 0, PermRead|PermWrite|PermUser)
+			a.MovImm(5, regionBase)
+
+			var entries []GateEntry
+			current := -1 // domain the thread is in (-1: base table)
+			panOpen := false
+			expectKill := ""
+			nextGate := domains // fresh gate per switch site (one gate, one entry)
+			nOps := 6 + rng.Intn(10)
+			for i := 0; i < nOps && expectKill == ""; i++ {
+				switch rng.Intn(5) {
+				case 0: // legal gate switch through a per-site gate
+					d := rng.Intn(domains)
+					gate := nextGate
+					nextGate++
+					hvcCall(a, SysLZMapGatePgt, uint64(d+1), uint64(gate))
+					label := fmt.Sprintf("op%d", i)
+					entry := EmitGateSwitch(a, gate, label)
+					off, err := a.Offset(entry)
+					if err != nil {
+						t.Fatal(err)
+					}
+					entries = append(entries, GateEntry{GateID: gate, Entry: uint64(off)})
+					current = d
+				case 1: // access current domain (legal only when inside one)
+					if current < 0 {
+						continue
+					}
+					a.MovImm(12, uint64(current))
+					a.Emit(arm64.ADDShifted(13, 5, 12, 16))
+					a.Emit(arm64.LDRImm(9, 13, 0, 3))
+				case 2: // cross-domain access: illegal once inside a domain
+					d := rng.Intn(domains)
+					if current < 0 || d == current {
+						continue
+					}
+					a.MovImm(12, uint64(d))
+					a.Emit(arm64.ADDShifted(13, 5, 12, 16))
+					a.Emit(arm64.LDRImm(9, 13, 0, 3))
+					expectKill = "not mapped by current page table"
+				case 3: // PAN open-access-close (legal)
+					a.Emit(arm64.MSRPan(0))
+					a.MovImm(13, panBase)
+					a.Emit(arm64.LDRImm(9, 13, 0, 3))
+					a.Emit(arm64.MSRPan(1))
+					panOpen = false
+				case 4: // PAN access without opening: illegal
+					if panOpen {
+						continue
+					}
+					a.Emit(arm64.MSRPan(1))
+					a.MovImm(13, panBase)
+					a.Emit(arm64.LDRImm(9, 13, 0, 3))
+					expectKill = "PAN-protected"
+				}
+			}
+			hvcCall(a, kernel.SysExit, 11)
+
+			words, err := a.Assemble()
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := m.Host.CreateProcess("stress", kernel.Program{Text: words})
+			if err != nil {
+				t.Fatal(err)
+			}
+			resolved := make([]GateEntry, len(entries))
+			for i, e := range entries {
+				resolved[i] = GateEntry{GateID: e.GateID, Entry: uint64(kernel.TextBase) + e.Entry}
+			}
+			lz.RegisterGateEntries(p, resolved)
+			if err := m.RunHostProcess(p, 2_000_000); err != nil {
+				t.Fatal(err)
+			}
+
+			if expectKill == "" {
+				if p.Killed {
+					t.Fatalf("legal sequence killed: %s", p.KillMsg)
+				}
+				if p.ExitCode != 11 {
+					t.Errorf("exit = %d", p.ExitCode)
+				}
+			} else {
+				if !p.Killed {
+					t.Fatalf("illegal sequence survived (expected %q)", expectKill)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"lightzone/internal/arm64"
+	"lightzone/internal/cpu"
+	"lightzone/internal/mem"
+)
+
+// buildStubPage assembles the TTBR1-mapped trap stub installed at the
+// LightZone process's VBAR_EL1. Exceptions that hardware delivers to the
+// process's own kernel mode (raw SVC instructions in pre-compiled
+// binaries, stage-1 page faults) land here and are forwarded to the kernel
+// module via HVC; the module returns to the stub, which ERETs back into
+// the interrupted application code (§5.1.3).
+//
+// ERET is a sensitive instruction, but the stub never passes through the
+// sanitizer: it is kernel-provided code in the TTBR1 range, which the
+// sanitizer guarantees application code cannot remap.
+func buildStubPage() []byte {
+	page := make([]byte, mem.PageSize)
+	seq := arm64.WordsToBytes([]uint32{arm64.HVC(HVCForwardSync), arm64.WordERET})
+	irq := arm64.WordsToBytes([]uint32{arm64.HVC(HVCForwardIRQ), arm64.WordERET})
+	copy(page[cpu.VecCurSync:], seq)
+	copy(page[cpu.VecCurIRQ:], irq)
+	copy(page[cpu.VecLowerSync:], seq)
+	copy(page[cpu.VecLowerIRQ:], irq)
+	return page
+}
+
+// installStub allocates, fills, and maps the stub page.
+func (lp *LZProc) installStub() error {
+	pa, err := lp.kern.PM.AllocFrame()
+	if err != nil {
+		return err
+	}
+	if err := lp.kern.PM.Write(pa, buildStubPage()); err != nil {
+		return err
+	}
+	// Executable (no PXN), read-only, kernel page.
+	return lp.mapTTBR1Page(stubVA, pa, mem.AttrAPRO|mem.AttrUXN)
+}
+
+// StubListing disassembles the TTBR1-mapped trap stub's populated vector
+// entries.
+func StubListing() string {
+	page := buildStubPage()
+	var b []byte
+	out := ""
+	for _, vec := range []struct {
+		name string
+		off  int
+	}{
+		{"current-EL sync (0x200)", cpu.VecCurSync},
+		{"current-EL irq  (0x280)", cpu.VecCurIRQ},
+		{"lower-EL sync   (0x400)", cpu.VecLowerSync},
+		{"lower-EL irq    (0x480)", cpu.VecLowerIRQ},
+	} {
+		b = page[vec.off : vec.off+8]
+		out += vec.name + ":\n" + arm64.DisassembleAll(arm64.BytesToWords(b))
+	}
+	return out
+}

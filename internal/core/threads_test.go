@@ -1,0 +1,167 @@
+package core
+
+import (
+	"testing"
+
+	"lightzone/internal/arm64"
+	"lightzone/internal/kernel"
+	"lightzone/internal/mem"
+)
+
+// TestPerThreadDomains exercises §4.1's security goal — "Threads in a
+// process are assigned specific access permissions to protected memory
+// domains" — across real scheduler interleavings: the main thread lives in
+// domain 1, a spawned thread enters domain 2, the round-robin scheduler
+// switches between them repeatedly, and each thread's TTBR0 (its domain)
+// must be preserved across every context switch. Both threads hammer their
+// own domain; any leakage of the wrong TTBR0 would fault as a cross-domain
+// violation.
+func TestPerThreadDomains(t *testing.T) {
+	r := newRig(t)
+	const (
+		dom1      = uint64(0x4100_0000)
+		dom2      = uint64(0x4200_0000)
+		stackBase = uint64(0x4800_0000)
+		rounds    = 40 // far beyond the scheduling quantum
+	)
+	a := arm64.NewAsm()
+	svcCall(a, SysLZEnter, 1, uint64(SanTTBR))
+	hvcCall(a, kernel.SysMmap, dom1, mem.PageSize, uint64(kernel.ProtRead|kernel.ProtWrite))
+	hvcCall(a, kernel.SysMmap, dom2, mem.PageSize, uint64(kernel.ProtRead|kernel.ProtWrite))
+	hvcCall(a, kernel.SysMmap, stackBase, 4*mem.PageSize, uint64(kernel.ProtRead|kernel.ProtWrite))
+	hvcCall(a, SysLZAlloc) // 1
+	hvcCall(a, SysLZAlloc) // 2
+	hvcCall(a, SysLZMapGatePgt, 1, 0)
+	hvcCall(a, SysLZMapGatePgt, 2, 1)
+	hvcCall(a, SysLZProt, dom1, mem.PageSize, 1, PermRead|PermWrite)
+	hvcCall(a, SysLZProt, dom2, mem.PageSize, 2, PermRead|PermWrite)
+
+	// Spawn the second thread at "worker" with its own stack.
+	a.ADR(10, "worker")
+	a.Emit(arm64.MOVReg(0, 10))
+	a.MovImm(1, stackBase+4*mem.PageSize-64)
+	a.MovImm(8, kernel.SysClone)
+	a.Emit(arm64.HVC(HVCSyscall))
+
+	// Main thread: enter domain 1, then loop writing its own domain with
+	// frequent yields so the scheduler interleaves the threads.
+	e0 := EmitGateSwitch(a, 0, "main")
+	a.MovImm(5, dom1)
+	a.MovImm(11, rounds)
+	a.Label("main_loop")
+	a.MovImm(2, 0x1111)
+	a.Emit(arm64.STRImm(2, 5, 0, 3))
+	a.Emit(arm64.LDRImm(19, 5, 0, 3))
+	a.MovImm(8, kernel.SysSchedYield)
+	a.Emit(arm64.HVC(HVCSyscall))
+	a.Emit(arm64.LDRImm(19, 5, 0, 3)) // after resume: domain must be back
+	a.Emit(arm64.SUBSImm(11, 11, 1))
+	a.BCond(arm64.CondNE, "main_loop")
+	// Wait for the worker's completion flag.
+	a.MovImm(6, uint64(kernel.DataBase))
+	a.Label("main_wait")
+	a.Emit(arm64.LDRImm(12, 6, 0, 3))
+	a.CBNZ(12, "main_done")
+	a.MovImm(8, kernel.SysSchedYield)
+	a.Emit(arm64.HVC(HVCSyscall))
+	a.B("main_wait")
+	a.Label("main_done")
+	hvcCall(a, kernel.SysExit, 77)
+
+	// Worker thread: enter domain 2 and do the same.
+	a.Label("worker")
+	e1 := EmitGateSwitch(a, 1, "worker_gate")
+	a.MovImm(5, dom2)
+	a.MovImm(11, rounds)
+	a.Label("worker_loop")
+	a.MovImm(2, 0x2222)
+	a.Emit(arm64.STRImm(2, 5, 0, 3))
+	a.Emit(arm64.LDRImm(20, 5, 0, 3))
+	a.MovImm(8, kernel.SysSchedYield)
+	a.Emit(arm64.HVC(HVCSyscall))
+	a.Emit(arm64.LDRImm(20, 5, 0, 3))
+	a.Emit(arm64.SUBSImm(11, 11, 1))
+	a.BCond(arm64.CondNE, "worker_loop")
+	// Set the completion flag (the data page is unprotected: visible in
+	// every domain table).
+	a.MovImm(6, uint64(kernel.DataBase))
+	a.MovImm(2, 1)
+	a.Emit(arm64.STRImm(2, 6, 0, 3))
+	a.MovImm(8, kernel.SysExit)
+	a.MovImm(0, 0)
+	a.Emit(arm64.HVC(HVCSyscall))
+
+	off0, err := a.Offset(e0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off1, err := a.Offset(e1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := r.run(t, a, []GateEntry{
+		{GateID: 0, Entry: uint64(off0)},
+		{GateID: 1, Entry: uint64(off1)},
+	})
+	if p.Killed {
+		t.Fatalf("killed: %s", p.KillMsg)
+	}
+	if p.ExitCode != 77 {
+		t.Errorf("exit = %d", p.ExitCode)
+	}
+	if r.m.Host.SchedEvents < 10 {
+		t.Errorf("only %d scheduling events: threads did not interleave", r.m.Host.SchedEvents)
+	}
+	lp, _ := r.lz.ProcState(p)
+	if lp.Violations != 0 {
+		t.Errorf("violations = %d: a thread leaked into the wrong domain", lp.Violations)
+	}
+}
+
+// TestThreadCannotReachSiblingDomain: with the same two-thread layout, the
+// worker maliciously touches the main thread's domain and must die without
+// taking the whole run's integrity down (the process is terminated — the
+// paper's policy — but the host and the test harness stay consistent).
+func TestThreadCannotReachSiblingDomain(t *testing.T) {
+	r := newRig(t)
+	const (
+		dom1      = uint64(0x4100_0000)
+		dom2      = uint64(0x4200_0000)
+		stackBase = uint64(0x4800_0000)
+	)
+	a := arm64.NewAsm()
+	svcCall(a, SysLZEnter, 1, uint64(SanTTBR))
+	hvcCall(a, kernel.SysMmap, dom1, mem.PageSize, uint64(kernel.ProtRead|kernel.ProtWrite))
+	hvcCall(a, kernel.SysMmap, dom2, mem.PageSize, uint64(kernel.ProtRead|kernel.ProtWrite))
+	hvcCall(a, kernel.SysMmap, stackBase, 2*mem.PageSize, uint64(kernel.ProtRead|kernel.ProtWrite))
+	hvcCall(a, SysLZAlloc)
+	hvcCall(a, SysLZAlloc)
+	hvcCall(a, SysLZMapGatePgt, 1, 0)
+	hvcCall(a, SysLZMapGatePgt, 2, 1)
+	hvcCall(a, SysLZProt, dom1, mem.PageSize, 1, PermRead|PermWrite)
+	hvcCall(a, SysLZProt, dom2, mem.PageSize, 2, PermRead|PermWrite)
+	a.ADR(10, "rogue")
+	a.Emit(arm64.MOVReg(0, 10))
+	a.MovImm(1, stackBase+2*mem.PageSize-64)
+	a.MovImm(8, kernel.SysClone)
+	a.Emit(arm64.HVC(HVCSyscall))
+	// Main spins until terminated with the process.
+	a.Label("spin")
+	a.MovImm(8, kernel.SysSchedYield)
+	a.Emit(arm64.HVC(HVCSyscall))
+	a.B("spin")
+	// Rogue worker: enters domain 2, then reads domain 1.
+	a.Label("rogue")
+	e1 := EmitGateSwitch(a, 1, "rogue_gate")
+	a.MovImm(5, dom1)
+	a.Emit(arm64.LDRImm(9, 5, 0, 3))
+	hvcCall(a, kernel.SysExit, 0)
+	off1, err := a.Offset(e1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := r.run(t, a, []GateEntry{{GateID: 1, Entry: uint64(off1)}})
+	if !p.Killed {
+		t.Fatal("rogue thread's cross-domain read survived")
+	}
+}

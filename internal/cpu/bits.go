@@ -1,0 +1,66 @@
+// Package cpu implements the simulated ARM64 vCPU: register file, PSTATE,
+// the A64-subset interpreter, two-stage address translation with TLB and
+// cycle charging, exception entry/return across EL0-EL2, and the
+// hypervisor-configurable trap rules (HCR_EL2) that LightZone uses to
+// confine kernel-mode processes.
+//
+// Privileged software at EL2 (host kernels, Lowvisor) and functional guest
+// kernels are implemented as Go handlers in the kernel/hyp packages; the
+// interpreter runs EL0 and EL1 code (applications, LightZone processes,
+// call gates, trap stubs) and exits to those handlers on exceptions, the
+// same way a hardware CPU exits to a hypervisor.
+package cpu
+
+// HCR_EL2 control bits (architectural positions).
+const (
+	HCRVM    uint64 = 1 << 0  // stage-2 translation enable
+	HCRFMO   uint64 = 1 << 3  // route FIQ to EL2
+	HCRIMO   uint64 = 1 << 4  // route IRQ to EL2
+	HCRTWI   uint64 = 1 << 13 // trap WFI
+	HCRTSC   uint64 = 1 << 19 // trap SMC
+	HCRTIDCP uint64 = 1 << 20 // trap implementation-defined sysregs
+	HCRTACR  uint64 = 1 << 21 // trap auxiliary control registers
+	HCRTTLB  uint64 = 1 << 25 // trap TLB maintenance
+	HCRTVM   uint64 = 1 << 26 // trap EL1 writes to stage-1 control regs
+	HCRTGE   uint64 = 1 << 27 // trap general exceptions (VHE host EL0)
+	HCRTRVM  uint64 = 1 << 30 // trap EL1 reads of stage-1 control regs
+	HCRE2H   uint64 = 1 << 34 // VHE: EL2 hosts the OS kernel
+)
+
+// SCTLR_EL1 bits.
+const (
+	SCTLRM   uint64 = 1 << 0  // MMU enable
+	SCTLRWXN uint64 = 1 << 19 // writable implies XN
+)
+
+// TTBR layout: bits 47:1 hold the table base, bits 63:48 the ASID
+// (TTBR_EL1.ASID with TCR.AS==1).
+const (
+	TTBRBaddrMask uint64 = 0x0000_FFFF_FFFF_FFFE
+	TTBRASIDShift        = 48
+)
+
+// MakeTTBR composes a TTBR value from a table root and ASID.
+func MakeTTBR(root uint64, asid uint16) uint64 {
+	return root&TTBRBaddrMask | uint64(asid)<<TTBRASIDShift
+}
+
+// TTBRRoot extracts the table base address.
+func TTBRRoot(ttbr uint64) uint64 { return ttbr & TTBRBaddrMask }
+
+// TTBRASID extracts the ASID field.
+func TTBRASID(ttbr uint64) uint16 { return uint16(ttbr >> TTBRASIDShift) }
+
+// VTTBR layout: bits 47:1 base, bits 63:48 VMID.
+const VTTBRVMIDShift = 48
+
+// MakeVTTBR composes a VTTBR_EL2 value.
+func MakeVTTBR(root uint64, vmid uint16) uint64 {
+	return root&TTBRBaddrMask | uint64(vmid)<<VTTBRVMIDShift
+}
+
+// VTTBRRoot extracts the stage-2 table base.
+func VTTBRRoot(v uint64) uint64 { return v & TTBRBaddrMask }
+
+// VTTBRVMID extracts the VMID.
+func VTTBRVMID(v uint64) uint16 { return uint16(v >> VTTBRVMIDShift) }

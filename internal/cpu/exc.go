@@ -1,0 +1,212 @@
+package cpu
+
+import (
+	"fmt"
+
+	"lightzone/internal/arm64"
+	"lightzone/internal/mem"
+)
+
+// ExcClass classifies exceptions (modelled subset of the ESR.EC space,
+// using the architectural EC values).
+type ExcClass uint8
+
+const (
+	ECUnknown        ExcClass = 0x00 // undefined instruction
+	ECWFx            ExcClass = 0x01
+	ECSVC            ExcClass = 0x15
+	ECHVC            ExcClass = 0x16
+	ECSMC            ExcClass = 0x17
+	ECMSRTrap        ExcClass = 0x18 // trapped MSR/MRS/SYS
+	ECInsAbortLower  ExcClass = 0x20
+	ECInsAbortSame   ExcClass = 0x21
+	ECDataAbortLower ExcClass = 0x24
+	ECDataAbortSame  ExcClass = 0x25
+	ECIRQ            ExcClass = 0x3F // not an ESR EC; internal marker
+)
+
+func (e ExcClass) String() string {
+	switch e {
+	case ECUnknown:
+		return "undefined"
+	case ECWFx:
+		return "wfx"
+	case ECSVC:
+		return "svc"
+	case ECHVC:
+		return "hvc"
+	case ECSMC:
+		return "smc"
+	case ECMSRTrap:
+		return "msr-trap"
+	case ECInsAbortLower, ECInsAbortSame:
+		return "instruction-abort"
+	case ECDataAbortLower, ECDataAbortSame:
+		return "data-abort"
+	case ECIRQ:
+		return "irq"
+	default:
+		return fmt.Sprintf("ec(%#x)", uint8(e))
+	}
+}
+
+// Syndrome carries decoded exception information for functional handlers,
+// mirroring what ESR/FAR/HPFAR encode in hardware.
+type Syndrome struct {
+	Class ExcClass
+	Imm   uint16 // SVC/HVC immediate
+	// Abort details.
+	VA     mem.VA
+	IPA    mem.IPA
+	Access mem.AccessType
+	Kind   mem.FaultKind
+	Stage  int
+	// Trapped system access details.
+	SysEnc arm64.SysRegEnc
+	IsRead bool
+	Rt     uint8
+	// PC of the faulting/trapping instruction.
+	PC uint64
+}
+
+// packESR builds an architectural-looking ESR value: EC in bits 31:26, IL
+// set, and an ISS carrying the SVC/HVC immediate or, for aborts, the fault
+// kind/access/stage so that forwarded exceptions can be reconstructed from
+// the banked ESR alone (as the LightZone kernel module does when the trap
+// stub forwards an EL1 exception, §5.1.3).
+func packESR(s Syndrome) uint64 {
+	iss := uint64(s.Imm)
+	switch s.Class {
+	case ECDataAbortLower, ECDataAbortSame, ECInsAbortLower, ECInsAbortSame:
+		iss = uint64(s.Kind)&7 | uint64(s.Access)&7<<3
+		if s.Stage == 2 {
+			iss |= 1 << 6
+		}
+	}
+	return uint64(s.Class)<<26 | 1<<25 | iss
+}
+
+// UnpackESR reconstructs a Syndrome from a banked ESR/FAR register pair.
+func UnpackESR(esr, far uint64) Syndrome {
+	s := Syndrome{Class: ExcClass(esr >> 26 & 0x3F), VA: mem.VA(far)}
+	switch s.Class {
+	case ECSVC, ECHVC, ECSMC:
+		s.Imm = uint16(esr)
+	case ECDataAbortLower, ECDataAbortSame, ECInsAbortLower, ECInsAbortSame:
+		s.Kind = mem.FaultKind(esr & 7)
+		s.Access = mem.AccessType(esr >> 3 & 7)
+		s.Stage = 1
+		if esr>>6&1 != 0 {
+			s.Stage = 2
+		}
+	}
+	return s
+}
+
+// Vector table offsets (A64 layout: current-EL-SPx sync at 0x200,
+// lower-EL-A64 sync at 0x400, IRQ at +0x80 within each block).
+const (
+	VecCurSync   = 0x200
+	VecCurIRQ    = 0x280
+	VecLowerSync = 0x400
+	VecLowerIRQ  = 0x480
+)
+
+// Exit reports why the interpreter stopped.
+type Exit struct {
+	// TargetEL is the exception level the exception was routed to.
+	TargetEL arm64.EL
+	Syndrome Syndrome
+}
+
+// TakeException performs architectural exception entry to target: banks
+// PC/PSTATE into ELR/SPSR, records the syndrome into ESR/FAR, raises the
+// EL, masks interrupts, and charges the platform's exception-entry cost.
+// preferReturn is the PC to bank (the faulting instruction for aborts, the
+// next instruction for SVC/HVC).
+func (c *VCPU) TakeException(target arm64.EL, s Syndrome, preferReturn uint64) {
+	fromLower := c.EL() < target
+	c.Charge(c.Prof.ExcEntryTo[target])
+	c.LastSyndrome = s
+
+	switch target {
+	case arm64.EL1:
+		c.sys[arm64.ELREL1] = preferReturn
+		c.sys[arm64.SPSREL1] = c.PState
+		c.sys[arm64.ESREL1] = packESR(s)
+		c.sys[arm64.FAREL1] = uint64(s.VA)
+		base := c.sys[arm64.VBAREL1]
+		if s.Class == ECIRQ {
+			if fromLower {
+				c.PC = base + VecLowerIRQ
+			} else {
+				c.PC = base + VecCurIRQ
+			}
+		} else if fromLower {
+			c.PC = base + VecLowerSync
+		} else {
+			c.PC = base + VecCurSync
+		}
+	case arm64.EL2:
+		c.sys[arm64.ELREL2] = preferReturn
+		c.sys[arm64.SPSREL2] = c.PState
+		c.sys[arm64.ESREL2] = packESR(s)
+		c.sys[arm64.FAREL2] = uint64(s.VA)
+		c.sys[arm64.HPFAREL2] = uint64(s.IPA) >> 8 << 8
+		c.PC = c.sys[arm64.VBAREL2] + VecLowerSync // EL2 software is functional
+	}
+	c.SetEL(target)
+	c.PState |= arm64.PStateI | arm64.PStateF
+}
+
+// ERET performs exception return from the current EL, charging the
+// platform's ERET cost. Returns an error at EL0.
+func (c *VCPU) ERET() error {
+	from := c.EL()
+	if from == arm64.EL0 {
+		return fmt.Errorf("eret at EL0")
+	}
+	c.Charge(c.Prof.ERETFrom[from])
+	var elr, spsr uint64
+	if from == arm64.EL2 {
+		elr, spsr = c.sys[arm64.ELREL2], c.sys[arm64.SPSREL2]
+	} else {
+		elr, spsr = c.sys[arm64.ELREL1], c.sys[arm64.SPSREL1]
+	}
+	if arm64.ELFromPState(spsr) > from {
+		return fmt.Errorf("eret to higher EL (spsr=%#x from %v)", spsr, from)
+	}
+	c.PState = spsr
+	c.PC = elr
+	return nil
+}
+
+// routeSyncException decides where a synchronous exception raised at the
+// current EL is taken, per the modelled HCR_EL2 routing rules:
+//   - exceptions from EL2 are impossible here (EL2 is functional),
+//   - HVC and stage-2 aborts always target EL2,
+//   - with HCR_EL2.TGE set (VHE host processes), EL0 exceptions target EL2,
+//   - otherwise EL0/EL1 exceptions target EL1.
+func (c *VCPU) routeSyncException(s Syndrome) arm64.EL {
+	if s.Class == ECHVC || s.Class == ECSMC {
+		return arm64.EL2
+	}
+	if s.Stage == 2 {
+		return arm64.EL2
+	}
+	if s.Class == ECMSRTrap {
+		return arm64.EL2 // only hypervisor-configured traps are modelled
+	}
+	if c.sys[arm64.HCREL2]&HCRTGE != 0 {
+		return arm64.EL2
+	}
+	return arm64.EL1
+}
+
+// routeIRQ decides interrupt routing (HCR_EL2.IMO / TGE).
+func (c *VCPU) routeIRQ() arm64.EL {
+	if c.sys[arm64.HCREL2]&(HCRIMO|HCRTGE) != 0 {
+		return arm64.EL2
+	}
+	return arm64.EL1
+}

@@ -1,0 +1,473 @@
+package cpu
+
+import (
+	"errors"
+	"fmt"
+
+	"lightzone/internal/arm64"
+	"lightzone/internal/mem"
+)
+
+// ErrInsnLimit is returned by Run when maxInsns is reached without an exit.
+var ErrInsnLimit = errors.New("instruction limit reached")
+
+// Run executes emulated code until an exception leaves the emulated world
+// (to EL2, or to a functional EL1 kernel), or maxInsns instructions retire.
+func (c *VCPU) Run(maxInsns int64) (Exit, error) {
+	for i := int64(0); i < maxInsns; i++ {
+		exit, err := c.Step()
+		if err != nil {
+			return Exit{}, err
+		}
+		if exit != nil {
+			return *exit, nil
+		}
+	}
+	return Exit{}, ErrInsnLimit
+}
+
+// deliver routes and takes a synchronous exception; it returns a non-nil
+// Exit when the exception leaves the emulated world.
+func (c *VCPU) deliver(s Syndrome, preferReturn uint64) *Exit {
+	target := c.routeSyncException(s)
+	c.TakeException(target, s, preferReturn)
+	if target == arm64.EL2 || !c.EmulatedEL1 {
+		return &Exit{TargetEL: target, Syndrome: s}
+	}
+	return nil
+}
+
+// Step executes one instruction. It returns a non-nil Exit when control
+// leaves the emulated world.
+func (c *VCPU) Step() (*Exit, error) {
+	if c.EL() == arm64.EL2 {
+		return nil, fmt.Errorf("interpreter invoked at EL2 (pc=%#x)", c.PC)
+	}
+	if c.PendingIRQ && c.PState&arm64.PStateI == 0 {
+		c.PendingIRQ = false
+		s := Syndrome{Class: ECIRQ, PC: c.PC}
+		target := c.routeIRQ()
+		c.TakeException(target, s, c.PC)
+		if target == arm64.EL2 || !c.EmulatedEL1 {
+			return &Exit{TargetEL: target, Syndrome: s}, nil
+		}
+		return nil, nil
+	}
+
+	word, ab := c.FetchInsn(mem.VA(c.PC))
+	if ab != nil {
+		ab.Syndrome.Class = classifyAbort(mem.AccessExec, c.EL(), ab.Syndrome.Stage)
+		return c.deliver(ab.Syndrome, c.PC), nil
+	}
+
+	in := arm64.Decode(word)
+	c.Insns++
+	c.Charge(c.Prof.InsnCost)
+	next := c.PC + arm64.InsnBytes
+
+	switch in.Op {
+	case arm64.OpNOP:
+	case arm64.OpISB:
+		c.Charge(c.Prof.ISBCost)
+	case arm64.OpDSB, arm64.OpDMB:
+		c.Charge(c.Prof.DSBCost)
+
+	case arm64.OpMOVZ:
+		c.SetR(in.Rd, uint64(in.Imm)<<in.ShiftAmt)
+	case arm64.OpMOVK:
+		maskv := uint64(0xFFFF) << in.ShiftAmt
+		c.SetR(in.Rd, c.R(in.Rd)&^maskv|uint64(in.Imm)<<in.ShiftAmt)
+	case arm64.OpMOVN:
+		c.SetR(in.Rd, ^(uint64(in.Imm) << in.ShiftAmt))
+	case arm64.OpADR:
+		c.SetR(in.Rd, c.PC+uint64(in.Imm))
+
+	case arm64.OpAddImm:
+		c.aluAddSub(in, c.R(in.Rn), uint64(in.Imm), false)
+	case arm64.OpSubImm:
+		c.aluAddSub(in, c.R(in.Rn), uint64(in.Imm), true)
+	case arm64.OpAddReg:
+		c.aluAddSub(in, c.R(in.Rn), c.R(in.Rm)<<in.ShiftAmt, false)
+	case arm64.OpSubReg:
+		c.aluAddSub(in, c.R(in.Rn), c.R(in.Rm)<<in.ShiftAmt, true)
+	case arm64.OpAndReg:
+		v := c.R(in.Rn) & (c.R(in.Rm) << in.ShiftAmt)
+		c.SetR(in.Rd, v)
+		if in.SetFlags {
+			c.setNZ(v)
+		}
+	case arm64.OpOrrReg:
+		c.SetR(in.Rd, c.R(in.Rn)|c.R(in.Rm)<<in.ShiftAmt)
+	case arm64.OpEorReg:
+		c.SetR(in.Rd, c.R(in.Rn)^c.R(in.Rm)<<in.ShiftAmt)
+	case arm64.OpLSLV:
+		c.SetR(in.Rd, c.R(in.Rn)<<(c.R(in.Rm)&63))
+	case arm64.OpLSRV:
+		c.SetR(in.Rd, c.R(in.Rn)>>(c.R(in.Rm)&63))
+	case arm64.OpMAdd:
+		c.SetR(in.Rd, c.R(in.Ra)+c.R(in.Rn)*c.R(in.Rm))
+	case arm64.OpUDiv:
+		if d := c.R(in.Rm); d == 0 {
+			c.SetR(in.Rd, 0)
+		} else {
+			c.SetR(in.Rd, c.R(in.Rn)/d)
+		}
+
+	case arm64.OpB:
+		c.Charge(c.Prof.BranchCost)
+		next = c.PC + uint64(in.Imm)
+	case arm64.OpBL:
+		c.Charge(c.Prof.BranchCost)
+		c.SetR(30, next)
+		next = c.PC + uint64(in.Imm)
+	case arm64.OpBCond:
+		if c.condHolds(in.Cond) {
+			c.Charge(c.Prof.BranchCost)
+			next = c.PC + uint64(in.Imm)
+		}
+	case arm64.OpCBZ:
+		if c.R(in.Rt) == 0 {
+			c.Charge(c.Prof.BranchCost)
+			next = c.PC + uint64(in.Imm)
+		}
+	case arm64.OpCBNZ:
+		if c.R(in.Rt) != 0 {
+			c.Charge(c.Prof.BranchCost)
+			next = c.PC + uint64(in.Imm)
+		}
+	case arm64.OpBR:
+		c.Charge(c.Prof.BranchCost)
+		next = c.R(in.Rn)
+	case arm64.OpBLR:
+		c.Charge(c.Prof.BranchCost)
+		c.SetR(30, next)
+		next = c.R(in.Rn)
+	case arm64.OpRET:
+		c.Charge(c.Prof.BranchCost)
+		next = c.R(in.Rn)
+
+	case arm64.OpUBFM:
+		// LSR when imms == 63; LSL when imms == immr-1 (mod 64);
+		// general bitfield extract otherwise.
+		immr := uint64(in.ShiftAmt)
+		imms := uint64(in.Imm)
+		v := c.R(in.Rn)
+		if imms == 63 {
+			c.SetR(in.Rd, v>>immr)
+		} else if imms+1 == immr%64 || (immr == 0 && imms == 63) {
+			c.SetR(in.Rd, v<<((64-immr)%64))
+		} else if imms < immr {
+			c.SetR(in.Rd, v<<(64-immr)%64) // LSL form
+		} else {
+			width := imms - immr + 1
+			c.SetR(in.Rd, v>>immr&(1<<width-1))
+		}
+
+	case arm64.OpCSel:
+		if c.condHolds(in.Cond) {
+			c.SetR(in.Rd, c.R(in.Rn))
+		} else {
+			c.SetR(in.Rd, c.R(in.Rm))
+		}
+	case arm64.OpCSInc:
+		if c.condHolds(in.Cond) {
+			c.SetR(in.Rd, c.R(in.Rn))
+		} else {
+			c.SetR(in.Rd, c.R(in.Rm)+1)
+		}
+
+	case arm64.OpLdp:
+		addr := mem.VA(c.baseReg(in.Rn) + uint64(in.Imm))
+		v1, ab := c.MemRead(addr, 8, false)
+		if ab != nil {
+			ab.Syndrome.Class = classifyAbort(mem.AccessRead, c.EL(), ab.Syndrome.Stage)
+			return c.deliver(ab.Syndrome, c.PC), nil
+		}
+		v2, ab := c.MemRead(addr+8, 8, false)
+		if ab != nil {
+			ab.Syndrome.Class = classifyAbort(mem.AccessRead, c.EL(), ab.Syndrome.Stage)
+			return c.deliver(ab.Syndrome, c.PC), nil
+		}
+		c.SetR(in.Rt, v1)
+		c.SetR(in.Rt2, v2)
+	case arm64.OpStp:
+		addr := mem.VA(c.baseReg(in.Rn) + uint64(in.Imm))
+		if ab := c.MemWrite(addr, 8, c.R(in.Rt), false); ab != nil {
+			ab.Syndrome.Class = classifyAbort(mem.AccessWrite, c.EL(), ab.Syndrome.Stage)
+			return c.deliver(ab.Syndrome, c.PC), nil
+		}
+		if ab := c.MemWrite(addr+8, 8, c.R(in.Rt2), false); ab != nil {
+			ab.Syndrome.Class = classifyAbort(mem.AccessWrite, c.EL(), ab.Syndrome.Stage)
+			return c.deliver(ab.Syndrome, c.PC), nil
+		}
+	case arm64.OpLdrReg:
+		addr := mem.VA(c.baseReg(in.Rn) + c.R(in.Rm))
+		v, ab := c.MemRead(addr, 1<<in.Size, false)
+		if ab != nil {
+			ab.Syndrome.Class = classifyAbort(mem.AccessRead, c.EL(), ab.Syndrome.Stage)
+			return c.deliver(ab.Syndrome, c.PC), nil
+		}
+		c.SetR(in.Rt, v)
+	case arm64.OpStrReg:
+		addr := mem.VA(c.baseReg(in.Rn) + c.R(in.Rm))
+		if ab := c.MemWrite(addr, 1<<in.Size, c.R(in.Rt), false); ab != nil {
+			ab.Syndrome.Class = classifyAbort(mem.AccessWrite, c.EL(), ab.Syndrome.Stage)
+			return c.deliver(ab.Syndrome, c.PC), nil
+		}
+
+	case arm64.OpLdrImm, arm64.OpLdur, arm64.OpLdtr:
+		addr := mem.VA(c.baseReg(in.Rn) + uint64(in.Imm))
+		v, ab := c.MemRead(addr, 1<<in.Size, in.Op == arm64.OpLdtr)
+		if ab != nil {
+			ab.Syndrome.Class = classifyAbort(mem.AccessRead, c.EL(), ab.Syndrome.Stage)
+			return c.deliver(ab.Syndrome, c.PC), nil
+		}
+		c.SetR(in.Rt, v)
+	case arm64.OpStrImm, arm64.OpStur, arm64.OpSttr:
+		addr := mem.VA(c.baseReg(in.Rn) + uint64(in.Imm))
+		if ab := c.MemWrite(addr, 1<<in.Size, c.R(in.Rt), in.Op == arm64.OpSttr); ab != nil {
+			ab.Syndrome.Class = classifyAbort(mem.AccessWrite, c.EL(), ab.Syndrome.Stage)
+			return c.deliver(ab.Syndrome, c.PC), nil
+		}
+
+	case arm64.OpSVC:
+		return c.deliver(Syndrome{Class: ECSVC, Imm: uint16(in.Imm), PC: c.PC}, next), nil
+	case arm64.OpHVC:
+		if c.EL() == arm64.EL0 {
+			return c.deliver(Syndrome{Class: ECUnknown, PC: c.PC}, c.PC), nil
+		}
+		return c.deliver(Syndrome{Class: ECHVC, Imm: uint16(in.Imm), PC: c.PC}, next), nil
+	case arm64.OpSMC:
+		return c.deliver(Syndrome{Class: ECSMC, Imm: uint16(in.Imm), PC: c.PC}, c.PC), nil
+	case arm64.OpERET:
+		if c.EL() != arm64.EL1 {
+			return c.deliver(Syndrome{Class: ECUnknown, PC: c.PC}, c.PC), nil
+		}
+		if err := c.ERET(); err != nil {
+			return nil, err
+		}
+		return nil, nil
+
+	case arm64.OpMSRImm:
+		if exit := c.execMSRImm(in); exit != nil {
+			return exit, nil
+		}
+	case arm64.OpMSRReg, arm64.OpMRS:
+		if exit := c.execMSRReg(in, next); exit != nil {
+			return exit, nil
+		}
+	case arm64.OpSYS, arm64.OpSYSL:
+		if exit := c.execSYS(in, next); exit != nil {
+			return exit, nil
+		}
+
+	default:
+		return c.deliver(Syndrome{Class: ECUnknown, PC: c.PC}, c.PC), nil
+	}
+
+	c.PC = next
+	return nil, nil
+}
+
+func classifyAbort(acc mem.AccessType, from arm64.EL, stage int) ExcClass {
+	lower := from == arm64.EL0 || stage == 2
+	if acc == mem.AccessExec {
+		if lower {
+			return ECInsAbortLower
+		}
+		return ECInsAbortSame
+	}
+	if lower {
+		return ECDataAbortLower
+	}
+	return ECDataAbortSame
+}
+
+func (c *VCPU) aluAddSub(in arm64.Insn, a, b uint64, sub bool) {
+	var v uint64
+	if sub {
+		v = a - b
+	} else {
+		v = a + b
+	}
+	if !in.SF {
+		v = uint64(uint32(v))
+	}
+	if in.SetFlags {
+		c.setFlagsAddSub(a, b, v, sub, in.SF)
+	}
+	if in.Rd == arm64.XZR && !in.SetFlags {
+		return
+	}
+	c.SetR(in.Rd, v)
+}
+
+func (c *VCPU) setNZ(v uint64) {
+	c.PState &^= arm64.PStateN | arm64.PStateZ | arm64.PStateC | arm64.PStateV
+	if v == 0 {
+		c.PState |= arm64.PStateZ
+	}
+	if v>>63 != 0 {
+		c.PState |= arm64.PStateN
+	}
+}
+
+func (c *VCPU) setFlagsAddSub(a, b, v uint64, sub, sf bool) {
+	c.PState &^= arm64.PStateN | arm64.PStateZ | arm64.PStateC | arm64.PStateV
+	signBit := uint(63)
+	if !sf {
+		signBit = 31
+		a, b, v = uint64(uint32(a)), uint64(uint32(b)), uint64(uint32(v))
+	}
+	if v == 0 {
+		c.PState |= arm64.PStateZ
+	}
+	if v>>signBit&1 != 0 {
+		c.PState |= arm64.PStateN
+	}
+	if sub {
+		if a >= b {
+			c.PState |= arm64.PStateC
+		}
+		if (a^b)>>signBit&1 != 0 && (a^v)>>signBit&1 != 0 {
+			c.PState |= arm64.PStateV
+		}
+	} else {
+		if v < a {
+			c.PState |= arm64.PStateC
+		}
+		if (a^b)>>signBit&1 == 0 && (a^v)>>signBit&1 != 0 {
+			c.PState |= arm64.PStateV
+		}
+	}
+}
+
+func (c *VCPU) condHolds(cond uint8) bool {
+	n := c.PState&arm64.PStateN != 0
+	z := c.PState&arm64.PStateZ != 0
+	cf := c.PState&arm64.PStateC != 0
+	v := c.PState&arm64.PStateV != 0
+	switch cond {
+	case arm64.CondEQ:
+		return z
+	case arm64.CondNE:
+		return !z
+	case arm64.CondCS:
+		return cf
+	case arm64.CondCC:
+		return !cf
+	case arm64.CondMI:
+		return n
+	case arm64.CondPL:
+		return !n
+	case arm64.CondVS:
+		return v
+	case arm64.CondVC:
+		return !v
+	case arm64.CondHI:
+		return cf && !z
+	case arm64.CondLS:
+		return !cf || z
+	case arm64.CondGE:
+		return n == v
+	case arm64.CondLT:
+		return n != v
+	case arm64.CondGT:
+		return !z && n == v
+	case arm64.CondLE:
+		return z || n != v
+	default:
+		return true // AL/NV
+	}
+}
+
+// execMSRImm handles MSR <pstatefield>, #imm: the PAN toggle that is
+// LightZone's cheap domain switch, plus SPSel.
+func (c *VCPU) execMSRImm(in arm64.Insn) *Exit {
+	if c.EL() == arm64.EL0 {
+		return c.deliver(Syndrome{Class: ECUnknown, PC: c.PC}, c.PC)
+	}
+	switch {
+	case in.Sys.Op1 == arm64.PStateFieldPANOp1 && in.Sys.Op2 == arm64.PStateFieldPANOp2:
+		c.Charge(c.Prof.PanToggleCost)
+		c.SetPAN(in.Sys.CRm&1 != 0)
+	case in.Sys.Op1 == arm64.PStateFieldSPSel1 && in.Sys.Op2 == arm64.PStateFieldSPSel2:
+		if in.Sys.CRm&1 != 0 {
+			c.PState |= arm64.PStateSPSel
+		} else {
+			c.PState &^= arm64.PStateSPSel
+		}
+	default:
+		return c.deliver(Syndrome{Class: ECUnknown, PC: c.PC}, c.PC)
+	}
+	return nil
+}
+
+// execMSRReg handles MSR/MRS of named system registers, applying the
+// hypervisor trap configuration (HCR_EL2.TVM/TRVM) that LightZone uses to
+// lock stage-1 translation for PAN-mode processes (§5.1.2).
+func (c *VCPU) execMSRReg(in arm64.Insn, next uint64) *Exit {
+	r, known := arm64.LookupSysReg(in.Sys)
+	isRead := in.Op == arm64.OpMRS
+	if !known {
+		return c.deliver(Syndrome{Class: ECUnknown, PC: c.PC}, c.PC)
+	}
+	if r.MinEL() > c.EL() {
+		return c.deliver(Syndrome{Class: ECUnknown, PC: c.PC}, c.PC)
+	}
+	if c.EL() == arm64.EL1 && arm64.IsStage1Reg(r) {
+		hcr := c.sys[arm64.HCREL2]
+		if !isRead && hcr&HCRTVM != 0 || isRead && hcr&HCRTRVM != 0 {
+			s := Syndrome{
+				Class: ECMSRTrap, SysEnc: in.Sys, IsRead: isRead,
+				Rt: in.Rt, PC: c.PC,
+			}
+			return c.deliver(s, next)
+		}
+	}
+	if isRead {
+		c.Charge(c.Prof.SysRegReadCost(r))
+		c.SetR(in.Rt, c.sys[r])
+		return nil
+	}
+	if r.ReadOnly() {
+		return c.deliver(Syndrome{Class: ECUnknown, PC: c.PC}, c.PC)
+	}
+	c.Charge(c.Prof.SysRegWriteCost(r))
+	if r == arm64.TTBR0EL1 && c.OnTTBR0Write != nil {
+		c.OnTTBR0Write(c.sys[r], c.R(in.Rt))
+	}
+	c.sys[r] = c.R(in.Rt)
+	return nil
+}
+
+// execSYS handles the SYS space (TLBI at CRn=8, AT at CRn=7), trapped to
+// EL2 under HCR_EL2.TTLB/TACR as LightZone configures for kernel-mode
+// processes ("TLB maintenance and system register access", §5.1.1).
+func (c *VCPU) execSYS(in arm64.Insn, next uint64) *Exit {
+	if c.EL() == arm64.EL0 {
+		return c.deliver(Syndrome{Class: ECUnknown, PC: c.PC}, c.PC)
+	}
+	hcr := c.sys[arm64.HCREL2]
+	trapped := (in.Sys.CRn == 8 && hcr&HCRTTLB != 0) ||
+		(in.Sys.CRn == 7 && hcr&HCRTACR != 0)
+	if trapped {
+		s := Syndrome{Class: ECMSRTrap, SysEnc: in.Sys, Rt: in.Rt, PC: c.PC}
+		return c.deliver(s, next)
+	}
+	switch in.Sys.CRn {
+	case 8: // TLBI: invalidate this VM's entries
+		c.Charge(c.Prof.DSBCost)
+		c.TLB.InvalidateVMID(c.CurrentVMID())
+	case 7: // AT: address translation into PAR_EL1
+		pa, ab := c.Translate(mem.VA(c.R(in.Rt)), mem.AccessRead, false)
+		if ab != nil {
+			c.sys[arm64.PAREL1] = 1 // F bit: translation failed
+		} else {
+			c.sys[arm64.PAREL1] = uint64(pa) &^ uint64(mem.PageMask)
+		}
+	default:
+		return c.deliver(Syndrome{Class: ECUnknown, PC: c.PC}, c.PC)
+	}
+	return nil
+}

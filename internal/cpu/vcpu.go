@@ -1,0 +1,171 @@
+package cpu
+
+import (
+	"fmt"
+
+	"lightzone/internal/arm64"
+	"lightzone/internal/mem"
+)
+
+// VCPU is a simulated ARM64 hardware thread.
+type VCPU struct {
+	Prof *arm64.Profile
+	Mem  *mem.PhysMem
+	TLB  *mem.TLB
+
+	// Architectural state.
+	X      [32]uint64 // general-purpose; index 31 reads as zero
+	PC     uint64
+	PState uint64
+	sys    [arm64.NumSysRegs]uint64 // system register file, indexed by arm64.SysReg
+
+	// EmulatedEL1 selects whether exceptions targeting EL1 are delivered
+	// to emulated code at VBAR_EL1 (LightZone process VMs, whose EL1
+	// vector is the TTBR1-mapped trap stub) or exit the interpreter to a
+	// functional Go kernel (ordinary guest VMs).
+	EmulatedEL1 bool
+
+	// Cycle and instruction accounting.
+	Cycles int64
+	Insns  int64
+
+	// LastSyndrome describes the most recent exception taken, for
+	// functional handlers (the architectural ESR/FAR registers are also
+	// populated).
+	LastSyndrome Syndrome
+
+	// PendingIRQ requests an interrupt before the next instruction.
+	PendingIRQ bool
+
+	// OnTTBR0Write, when set, observes emulated TTBR0_EL1 writes — the
+	// LightZone domain switches performed by call gates. Diagnostic
+	// tracing only; it must not mutate state.
+	OnTTBR0Write func(old, new uint64)
+}
+
+// New creates a vCPU at EL1 with interrupts masked and MMU off.
+func New(prof *arm64.Profile, pm *mem.PhysMem) *VCPU {
+	return &VCPU{
+		Prof:   prof,
+		Mem:    pm,
+		TLB:    mem.NewTLB(prof.TLBCapacity),
+		PState: arm64.PStateForEL(arm64.EL1) | arm64.PStateI | arm64.PStateF,
+	}
+}
+
+// EL returns the current exception level.
+func (c *VCPU) EL() arm64.EL { return arm64.ELFromPState(c.PState) }
+
+// SetEL rewrites the PSTATE exception-level field.
+func (c *VCPU) SetEL(el arm64.EL) {
+	c.PState = c.PState&^arm64.PStateELMask | arm64.PStateForEL(el)&arm64.PStateELMask
+	if el != arm64.EL0 {
+		c.PState |= arm64.PStateSPSel
+	} else {
+		c.PState &^= arm64.PStateSPSel
+	}
+}
+
+// PAN returns PSTATE.PAN.
+func (c *VCPU) PAN() bool { return c.PState&arm64.PStatePAN != 0 }
+
+// SetPAN writes PSTATE.PAN.
+func (c *VCPU) SetPAN(v bool) {
+	if v {
+		c.PState |= arm64.PStatePAN
+	} else {
+		c.PState &^= arm64.PStatePAN
+	}
+}
+
+// R reads general-purpose register i with XZR semantics.
+func (c *VCPU) R(i uint8) uint64 {
+	if i == arm64.XZR {
+		return 0
+	}
+	return c.X[i]
+}
+
+// SetR writes general-purpose register i with XZR semantics.
+func (c *VCPU) SetR(i uint8, v uint64) {
+	if i != arm64.XZR {
+		c.X[i] = v
+	}
+}
+
+// SP returns the stack pointer selected by PSTATE.
+func (c *VCPU) SP() uint64 {
+	if c.PState&arm64.PStateSPSel != 0 && c.EL() != arm64.EL0 {
+		if c.EL() == arm64.EL2 {
+			return c.sys[arm64.SPEL2]
+		}
+		return c.sys[arm64.SPEL1]
+	}
+	return c.sys[arm64.SPEL0]
+}
+
+// SetSP writes the selected stack pointer.
+func (c *VCPU) SetSP(v uint64) {
+	if c.PState&arm64.PStateSPSel != 0 && c.EL() != arm64.EL0 {
+		if c.EL() == arm64.EL2 {
+			c.sys[arm64.SPEL2] = v
+			return
+		}
+		c.sys[arm64.SPEL1] = v
+		return
+	}
+	c.sys[arm64.SPEL0] = v
+}
+
+// baseReg reads register i as a load/store base (register 31 selects SP).
+func (c *VCPU) baseReg(i uint8) uint64 {
+	if i == 31 {
+		return c.SP()
+	}
+	return c.X[i]
+}
+
+// Sys reads a system register without charging cycles (for functional
+// privileged software and tests; emulated MRS goes through ReadSysReg).
+func (c *VCPU) Sys(r arm64.SysReg) uint64 { return c.sys[r] }
+
+// SetSys writes a system register without charging cycles.
+func (c *VCPU) SetSys(r arm64.SysReg, v uint64) { c.sys[r] = v }
+
+// ReadSysReg performs a cycle-charged MRS as privileged software would.
+func (c *VCPU) ReadSysReg(r arm64.SysReg) uint64 {
+	c.Charge(c.Prof.SysRegReadCost(r))
+	return c.sys[r]
+}
+
+// WriteSysReg performs a cycle-charged MSR as privileged software would.
+func (c *VCPU) WriteSysReg(r arm64.SysReg, v uint64) {
+	c.Charge(c.Prof.SysRegWriteCost(r))
+	c.sys[r] = v
+}
+
+// Charge adds n cycles to the vCPU's counter. Functional privileged
+// software (kernels, hypervisor) uses it to account for work that is not
+// emulated instruction by instruction.
+func (c *VCPU) Charge(n int64) { c.Cycles += n }
+
+// ChargeInsns models n generic instructions executed by functional code.
+func (c *VCPU) ChargeInsns(n int64) { c.Cycles += n * c.Prof.InsnCost }
+
+// stage2Enabled reports whether stage-2 translation applies to the current
+// execution context (EL0/EL1 with HCR_EL2.VM set).
+func (c *VCPU) stage2Enabled() bool {
+	return c.sys[arm64.HCREL2]&HCRVM != 0 && c.EL() != arm64.EL2
+}
+
+// CurrentVMID returns the VMID tag for TLB entries (0 outside stage-2).
+func (c *VCPU) CurrentVMID() uint16 {
+	if c.sys[arm64.HCREL2]&HCRVM == 0 {
+		return 0
+	}
+	return VTTBRVMID(c.sys[arm64.VTTBREL2])
+}
+
+func (c *VCPU) String() string {
+	return fmt.Sprintf("vcpu{pc=%#x el=%v pan=%v cycles=%d}", c.PC, c.EL(), c.PAN(), c.Cycles)
+}

@@ -1,0 +1,143 @@
+// Package hyp implements the hypervisor substrate: virtual machines with
+// stage-2 translation, the VHE host machine assembly, conventional
+// KVM-style world switches with full register-context cost accounting, and
+// the hook points the LightZone Lowvisor (internal/core) plugs into for
+// software nested virtualization (§5.2.2).
+package hyp
+
+import (
+	"fmt"
+
+	"lightzone/internal/arm64"
+	"lightzone/internal/cpu"
+	"lightzone/internal/kernel"
+	"lightzone/internal/mem"
+)
+
+// Lowvisor is the LightZone hypervisor patch (§4.1.1). When installed it
+// gets first claim on EL2 exits from guest worlds, implementing trap
+// forwarding between guest LightZone processes and their guest kernels.
+type Lowvisor interface {
+	HandleEL2Exit(h *Hypervisor, k *kernel.Kernel, t *kernel.Thread, exit cpu.Exit) (handled bool, err error)
+}
+
+// Opts carries the trap-optimization ablation switches of §5.2. All false
+// means "fully optimized" (the paper's configuration).
+type Opts struct {
+	// DisableRetainRegs forces HCR_EL2/VTTBR_EL2 writes on every world
+	// entry instead of retaining unchanged values (§5.2.1).
+	DisableRetainRegs bool
+	// DisableSharedPtRegs forces the conventional double context save
+	// instead of the shared pt_regs page (§5.2.2, first optimization).
+	DisableSharedPtRegs bool
+	// DisablePartialSwitch makes the Lowvisor switch the full
+	// conventional EL1 context instead of the reduced LightZone set
+	// (§5.2.2, second optimization).
+	DisablePartialSwitch bool
+}
+
+// Hypervisor owns VMs and the EL2 state of one physical machine.
+type Hypervisor struct {
+	Prof *arm64.Profile
+	PM   *mem.PhysMem
+	CPU  *cpu.VCPU
+
+	Opts Opts
+
+	// LZ is the installed Lowvisor (nil without LightZone guest support).
+	LZ Lowvisor
+
+	vms      map[uint16]*VM
+	nextVMID uint16
+
+	// Stats.
+	Stage2Faults int64
+	Hypercalls   int64
+}
+
+// VM is a virtual machine: a VMID, a stage-2 table, and (for full guests)
+// a functional guest kernel. LightZone per-process VMs have no kernel of
+// their own — their "kernel" is the host/guest kernel outside (§5.1).
+type VM struct {
+	VMID   uint16
+	Name   string
+	S2     *mem.Stage2
+	Kernel *kernel.Kernel
+
+	// IdentityS2 marks ordinary guest VMs whose stage-2 is populated
+	// lazily as an identity mapping (see DESIGN.md deviations). LightZone
+	// process VMs use explicit fake-physical mappings instead.
+	IdentityS2 bool
+}
+
+// VTTBR returns the architectural VTTBR_EL2 value for the VM.
+func (vm *VM) VTTBR() uint64 {
+	return cpu.MakeVTTBR(uint64(vm.S2.Root()), vm.VMID)
+}
+
+// NewHypervisor creates the EL2 layer.
+func NewHypervisor(prof *arm64.Profile, pm *mem.PhysMem, c *cpu.VCPU) *Hypervisor {
+	return &Hypervisor{
+		Prof:     prof,
+		PM:       pm,
+		CPU:      c,
+		vms:      make(map[uint16]*VM),
+		nextVMID: 1,
+	}
+}
+
+// NewVM allocates a VM with an empty stage-2 table.
+func (h *Hypervisor) NewVM(name string, identity bool) (*VM, error) {
+	s2, err := mem.NewStage2(h.PM, h.nextVMID)
+	if err != nil {
+		return nil, fmt.Errorf("vm %s: %w", name, err)
+	}
+	vm := &VM{VMID: h.nextVMID, Name: name, S2: s2, IdentityS2: identity}
+	h.nextVMID++
+	h.vms[vm.VMID] = vm
+	return vm, nil
+}
+
+// VMByID looks up a VM.
+func (h *Hypervisor) VMByID(vmid uint16) (*VM, bool) {
+	vm, ok := h.vms[vmid]
+	return vm, ok
+}
+
+// DestroyVM releases a VM's stage-2 tables.
+func (h *Hypervisor) DestroyVM(vm *VM) {
+	vm.S2.Free()
+	delete(h.vms, vm.VMID)
+}
+
+var _ kernel.HypBackend = (*Hypervisor)(nil)
+
+// HandleEL2Exit processes an exit that reached EL2 while a guest kernel's
+// process (or a LightZone process) was running: Lowvisor forwarding first,
+// then stage-2 demand population for identity VMs.
+func (h *Hypervisor) HandleEL2Exit(k *kernel.Kernel, t *kernel.Thread, exit cpu.Exit) (bool, error) {
+	if h.LZ != nil {
+		handled, err := h.LZ.HandleEL2Exit(h, k, t, exit)
+		if err != nil || handled {
+			return handled, err
+		}
+	}
+	s := exit.Syndrome
+	if s.Stage == 2 && s.Kind == mem.FaultTranslation {
+		vm, ok := h.vms[cpu.VTTBRVMID(h.CPU.Sys(arm64.VTTBREL2))]
+		if !ok {
+			return false, fmt.Errorf("stage-2 fault with unknown VMID")
+		}
+		if !vm.IdentityS2 {
+			return false, nil // LightZone VMs handle their own stage-2
+		}
+		h.Stage2Faults++
+		h.CPU.Charge(h.Prof.HypDispatchCost / 4) // abbreviated fault path
+		base := mem.IPA(uint64(s.IPA) &^ uint64(mem.PageMask))
+		if err := vm.S2.Map(base, mem.PA(base), mem.S2APRead|mem.S2APWrite); err != nil {
+			return false, err
+		}
+		return true, h.CPU.ERET()
+	}
+	return false, nil
+}

@@ -1,0 +1,360 @@
+package hyp
+
+import (
+	"testing"
+
+	"lightzone/internal/arm64"
+	"lightzone/internal/cpu"
+	"lightzone/internal/kernel"
+	"lightzone/internal/mem"
+)
+
+func TestGuestProcessSyscallAndStage2Population(t *testing.T) {
+	m := NewMachine(arm64.ProfileCortexA55(), 256<<20)
+	vm, err := m.NewGuestVM("guest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := arm64.NewAsm()
+	a.MovImm(8, kernel.SysGetpid)
+	a.Emit(arm64.SVC(0))
+	a.Emit(arm64.MOVReg(19, 0))
+	a.MovImm(0, 5)
+	a.MovImm(8, kernel.SysExit)
+	a.Emit(arm64.SVC(0))
+	words, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := vm.Kernel.CreateProcess("guestproc", kernel.Program{Text: words})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunGuestProcess(vm, p, 100000); err != nil {
+		t.Fatal(err)
+	}
+	if p.Killed {
+		t.Fatalf("killed: %s", p.KillMsg)
+	}
+	if p.ExitCode != 5 {
+		t.Errorf("exit code = %d", p.ExitCode)
+	}
+	if m.CPU.R(19) != uint64(p.PID) {
+		t.Errorf("getpid = %d", m.CPU.R(19))
+	}
+	if m.Hyp.Stage2Faults == 0 {
+		t.Error("expected lazy stage-2 population faults")
+	}
+}
+
+// measureGuestSyscall measures the guest EL0 -> guest EL1 roundtrip
+// (Table 4 row 2).
+func measureGuestSyscall(t *testing.T, prof *arm64.Profile) int64 {
+	t.Helper()
+	m := NewMachine(prof, 256<<20)
+	vm, err := m.NewGuestVM("guest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := arm64.NewAsm()
+	for i := 0; i < 3; i++ {
+		a.MovImm(8, kernel.SysGetpid)
+		a.Emit(arm64.SVC(0))
+	}
+	a.MovImm(8, kernel.SysExit)
+	a.Emit(arm64.SVC(0))
+	words, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := vm.Kernel.CreateProcess("m", kernel.Program{Text: words})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Hyp.WriteWorldReg(arm64.HCREL2, cpu.HCRVM)
+	m.Hyp.WriteWorldReg(arm64.VTTBREL2, vm.VTTBR())
+	k := vm.Kernel
+	th := p.MainThread()
+	k.SwitchTo(th, &kernel.World{EL: arm64.EL0, HCR: cpu.HCRVM, VTTBR: vm.VTTBR(), SCTLR: cpu.SCTLRM})
+	seen := 0
+	var cost int64
+	for !p.Exited {
+		exit, err := m.CPU.Run(1 << 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var before int64
+		measuring := false
+		if exit.Syndrome.Class == cpu.ECSVC && exit.TargetEL == arm64.EL1 {
+			seen++
+			if seen == 3 { // third syscall: everything warm
+				before = m.CPU.Cycles - prof.ExcEntryTo[arm64.EL1]
+				measuring = true
+			}
+		}
+		if err := k.HandleExit(th, exit); err != nil {
+			t.Fatal(err)
+		}
+		if measuring {
+			cost = m.CPU.Cycles - before
+		}
+	}
+	return cost
+}
+
+func TestGuestSyscallCostMatchesTable4(t *testing.T) {
+	for _, tc := range []struct {
+		prof *arm64.Profile
+		want int64
+	}{
+		{arm64.ProfileCarmel(), 1423},
+		{arm64.ProfileCortexA55(), 288},
+	} {
+		t.Run(tc.prof.Name, func(t *testing.T) {
+			got := measureGuestSyscall(t, tc.prof)
+			lo, hi := tc.want*85/100, tc.want*115/100
+			if got < lo || got > hi {
+				t.Errorf("guest syscall roundtrip = %d, want %d ±15%%", got, tc.want)
+			}
+		})
+	}
+}
+
+// measureHypercall measures a conventional KVM VHE hypercall roundtrip
+// (Table 4 row 5): emulated guest EL1 code executing HVC with the
+// hypervisor doing a full world switch.
+func measureHypercall(t *testing.T, prof *arm64.Profile) int64 {
+	t.Helper()
+	m := NewMachine(prof, 256<<20)
+	vm, err := m.Hyp.NewVM("hvcguest", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Guest "kernel" code page, identity stage-2, stage-1 MMU off for
+	// simplicity (EL1 code, flat addressing).
+	code := arm64.NewAsm()
+	for i := 0; i < 3; i++ {
+		code.Emit(arm64.HVC(0))
+	}
+	code.Label("spin")
+	code.B("spin")
+	words, err := code.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	codePA := mem.PA(0x100000)
+	if err := m.PM.Write(codePA, arm64.WordsToBytes(words)); err != nil {
+		t.Fatal(err)
+	}
+	for off := mem.IPA(0); off < 0x4000; off += mem.PageSize {
+		if err := vm.S2.Map(mem.IPA(codePA)+off, codePA+mem.PA(off), mem.S2APRead|mem.S2APWrite); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := m.CPU
+	c.SetSys(arm64.SCTLREL1, 0) // stage-1 off
+	c.SetSys(arm64.HCREL2, cpu.HCRVM)
+	c.SetSys(arm64.VTTBREL2, vm.VTTBR())
+	c.SetEL(arm64.EL1)
+	c.PC = uint64(codePA)
+
+	var cost int64
+	for seen := 0; seen < 3; {
+		exit, err := c.Run(1 << 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exit.Syndrome.Class != cpu.ECHVC {
+			t.Fatalf("unexpected exit %+v", exit.Syndrome)
+		}
+		seen++
+		var before int64
+		measuring := seen == 3
+		if measuring {
+			before = c.Cycles - prof.ExcEntryTo[arm64.EL2]
+		}
+		m.Hyp.HandleEmptyHypercall()
+		if err := c.ERET(); err != nil {
+			t.Fatal(err)
+		}
+		if measuring {
+			cost = c.Cycles - before
+		}
+	}
+	return cost
+}
+
+func TestKVMHypercallCostMatchesTable4(t *testing.T) {
+	for _, tc := range []struct {
+		prof *arm64.Profile
+		want int64
+	}{
+		{arm64.ProfileCarmel(), 28580},
+		{arm64.ProfileCortexA55(), 1287},
+	} {
+		t.Run(tc.prof.Name, func(t *testing.T) {
+			got := measureHypercall(t, tc.prof)
+			lo, hi := tc.want*85/100, tc.want*115/100
+			if got < lo || got > hi {
+				t.Errorf("KVM VHE hypercall = %d, want %d ±15%%", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestRetainOptimizationSkipsUnchangedWrites(t *testing.T) {
+	m := NewMachine(arm64.ProfileCarmel(), 64<<20)
+	m.CPU.SetSys(arm64.HCREL2, 0x55)
+	before := m.CPU.Cycles
+	m.Hyp.WriteWorldReg(arm64.HCREL2, 0x55) // unchanged: free
+	if m.CPU.Cycles != before {
+		t.Error("retained write charged cycles")
+	}
+	m.Hyp.WriteWorldReg(arm64.HCREL2, 0x66) // changed: charged
+	if m.CPU.Cycles-before < 1550 {
+		t.Errorf("HCR write undercharged: %d", m.CPU.Cycles-before)
+	}
+
+	m.Hyp.Opts.DisableRetainRegs = true
+	before = m.CPU.Cycles
+	m.Hyp.WriteWorldReg(arm64.HCREL2, 0x66) // unchanged but ablated: charged
+	if m.CPU.Cycles == before {
+		t.Error("ablation did not force the write")
+	}
+}
+
+func TestPartialSwitchCheaperThanFull(t *testing.T) {
+	m := NewMachine(arm64.ProfileCarmel(), 64<<20)
+	before := m.CPU.Cycles
+	m.Hyp.ChargePartialEL1Switch()
+	partial := m.CPU.Cycles - before
+
+	m.Hyp.Opts.DisablePartialSwitch = true
+	before = m.CPU.Cycles
+	m.Hyp.ChargePartialEL1Switch()
+	full := m.CPU.Cycles - before
+
+	if partial >= full {
+		t.Errorf("partial switch (%d) not cheaper than full (%d)", partial, full)
+	}
+}
+
+func TestSharedPtRegsHalvesTransfer(t *testing.T) {
+	m := NewMachine(arm64.ProfileCarmel(), 64<<20)
+	before := m.CPU.Cycles
+	m.Hyp.ChargeGPRTransfer()
+	shared := m.CPU.Cycles - before
+
+	m.Hyp.Opts.DisableSharedPtRegs = true
+	before = m.CPU.Cycles
+	m.Hyp.ChargeGPRTransfer()
+	conventional := m.CPU.Cycles - before
+	if conventional != 2*shared {
+		t.Errorf("conventional (%d) != 2x shared (%d)", conventional, shared)
+	}
+}
+
+func TestVMLifecycle(t *testing.T) {
+	m := NewMachine(arm64.ProfileCortexA55(), 64<<20)
+	vm, err := m.Hyp.NewVM("v", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := m.Hyp.VMByID(vm.VMID); !ok || got != vm {
+		t.Error("VMByID lookup failed")
+	}
+	m.Hyp.DestroyVM(vm)
+	if _, ok := m.Hyp.VMByID(vm.VMID); ok {
+		t.Error("VM survived destroy")
+	}
+}
+
+func TestGuestVMRunsMultipleProcesses(t *testing.T) {
+	m := NewMachine(arm64.ProfileCortexA55(), 256<<20)
+	vm, err := m.NewGuestVM("guest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		a := arm64.NewAsm()
+		a.MovImm(0, uint64(10+i))
+		a.MovImm(8, kernel.SysExit)
+		a.Emit(arm64.SVC(0))
+		words, err := a.Assemble()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := vm.Kernel.CreateProcess("gp", kernel.Program{Text: words})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.RunGuestProcess(vm, p, 10000); err != nil {
+			t.Fatal(err)
+		}
+		if p.ExitCode != 10+i {
+			t.Errorf("process %d exit = %d", i, p.ExitCode)
+		}
+	}
+}
+
+func TestRunGuestProcessWithoutKernelFails(t *testing.T) {
+	m := NewMachine(arm64.ProfileCortexA55(), 64<<20)
+	vm, err := m.Hyp.NewVM("bare", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunGuestProcess(vm, nil, 10); err == nil {
+		t.Error("kernel-less VM accepted a process")
+	}
+}
+
+func TestHypercallRetainsGuestWorld(t *testing.T) {
+	// HandleEmptyHypercall must leave HCR/VTTBR at their guest values
+	// (the roundtrip restores them).
+	m := NewMachine(arm64.ProfileCarmel(), 64<<20)
+	m.CPU.SetSys(arm64.HCREL2, cpu.HCRVM|cpu.HCRIMO)
+	m.CPU.SetSys(arm64.VTTBREL2, cpu.MakeVTTBR(0x8000, 7))
+	m.Hyp.HandleEmptyHypercall()
+	if got := m.CPU.Sys(arm64.HCREL2); got != cpu.HCRVM|cpu.HCRIMO {
+		t.Errorf("HCR after hypercall = %#x", got)
+	}
+	if got := cpu.VTTBRVMID(m.CPU.Sys(arm64.VTTBREL2)); got != 7 {
+		t.Errorf("VMID after hypercall = %d", got)
+	}
+	if m.Hyp.Hypercalls != 1 {
+		t.Errorf("hypercall count = %d", m.Hyp.Hypercalls)
+	}
+}
+
+func TestStage2FaultCountsAndPopulates(t *testing.T) {
+	m := NewMachine(arm64.ProfileCortexA55(), 256<<20)
+	vm, err := m.NewGuestVM("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := arm64.NewAsm()
+	a.MovImm(1, uint64(kernel.DataBase))
+	a.MovImm(2, 1)
+	a.Emit(arm64.STRImm(2, 1, 0, 3))
+	a.MovImm(8, kernel.SysExit)
+	a.Emit(arm64.SVC(0))
+	words, _ := a.Assemble()
+	p, err := vm.Kernel.CreateProcess("g", kernel.Program{Text: words})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunGuestProcess(vm, p, 10000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Hyp.Stage2Faults == 0 {
+		t.Error("no stage-2 faults recorded")
+	}
+	// The populated mappings must be identity.
+	res, err := vm.S2.Walk(0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found && res.PA != 0x1000 {
+		t.Errorf("stage-2 not identity: %v", res.PA)
+	}
+}

@@ -1,0 +1,63 @@
+package hyp
+
+import (
+	"fmt"
+
+	"lightzone/internal/arm64"
+	"lightzone/internal/cpu"
+	"lightzone/internal/kernel"
+	"lightzone/internal/mem"
+)
+
+// Machine assembles one simulated platform: physical memory, a vCPU, the
+// hypervisor, and a VHE host kernel at EL2 — the environment the paper's
+// host-side experiments run on. Guest experiments add a VM with a guest
+// kernel at EL1 via NewGuestVM.
+type Machine struct {
+	Prof *arm64.Profile
+	PM   *mem.PhysMem
+	CPU  *cpu.VCPU
+	Hyp  *Hypervisor
+	Host *kernel.Kernel
+}
+
+// NewMachine boots a platform with the given cost profile and physical
+// memory size.
+func NewMachine(prof *arm64.Profile, memSize uint64) *Machine {
+	pm := mem.NewPhysMem(memSize)
+	c := cpu.New(prof, pm)
+	h := NewHypervisor(prof, pm, c)
+	host := kernel.NewKernel("host", prof, pm, c, arm64.EL2)
+	host.Hyp = h
+	return &Machine{Prof: prof, PM: pm, CPU: c, Hyp: h, Host: host}
+}
+
+// NewGuestVM creates a QEMU/KVM-style full guest: a VM with lazily
+// populated identity stage-2 and a functional guest kernel at EL1.
+func (m *Machine) NewGuestVM(name string) (*VM, error) {
+	vm, err := m.Hyp.NewVM(name, true)
+	if err != nil {
+		return nil, err
+	}
+	gk := kernel.NewKernel(name+"-kernel", m.Prof, m.PM, m.CPU, arm64.EL1)
+	gk.Hyp = m.Hyp
+	vm.Kernel = gk
+	return vm, nil
+}
+
+// RunHostProcess runs p as a VHE host process (EL0 under the EL2 host
+// kernel) to completion.
+func (m *Machine) RunHostProcess(p *kernel.Process, maxTraps int64) error {
+	return m.Host.RunProcess(p, maxTraps)
+}
+
+// RunGuestProcess runs p as a process of vm's guest kernel. The VM's
+// stage-2 and VMID are installed (through the retain filter) before entry.
+func (m *Machine) RunGuestProcess(vm *VM, p *kernel.Process, maxTraps int64) error {
+	if vm.Kernel == nil {
+		return fmt.Errorf("vm %s has no guest kernel", vm.Name)
+	}
+	m.Hyp.WriteWorldReg(arm64.HCREL2, cpu.HCRVM)
+	m.Hyp.WriteWorldReg(arm64.VTTBREL2, vm.VTTBR())
+	return vm.Kernel.RunProcess(p, maxTraps)
+}

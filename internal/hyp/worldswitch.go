@@ -1,0 +1,93 @@
+package hyp
+
+import (
+	"lightzone/internal/arm64"
+)
+
+// ChargeGuestContextSave models saving the full conventional EL1 guest
+// context (the register list KVM switches on every world switch).
+func (h *Hypervisor) ChargeGuestContextSave() {
+	for _, r := range arm64.GuestContextRegs {
+		h.CPU.Charge(h.Prof.SysRegReadCost(r))
+	}
+	h.CPU.Charge(int64(len(arm64.GuestContextRegs)) * h.Prof.MemAccessCost)
+}
+
+// ChargeGuestContextLoad models restoring the full conventional EL1 guest
+// context.
+func (h *Hypervisor) ChargeGuestContextLoad() {
+	for _, r := range arm64.GuestContextRegs {
+		h.CPU.Charge(h.Prof.SysRegWriteCost(r))
+	}
+	h.CPU.Charge(int64(len(arm64.GuestContextRegs)) * h.Prof.MemAccessCost)
+}
+
+// ChargePartialEL1Switch models the Lowvisor's reduced register switch
+// between a guest kernel and its guest LightZone process (§5.2.2): only
+// the registers whose values differ between the two virtual environments.
+// With DisablePartialSwitch it degenerates to the conventional full list.
+func (h *Hypervisor) ChargePartialEL1Switch() {
+	regs := arm64.LightZonePartialRegs
+	if h.Opts.DisablePartialSwitch {
+		regs = arm64.GuestContextRegs
+	}
+	for _, r := range regs {
+		h.CPU.Charge(h.Prof.SysRegReadCost(r))
+		h.CPU.Charge(h.Prof.SysRegWriteCost(r))
+	}
+}
+
+// ChargeGPRTransfer models moving the 31 general-purpose registers between
+// hardware and a pt_regs area. With the shared pt_regs page (§5.2.2) the
+// Lowvisor writes directly into the page the guest kernel reads, saving one
+// full pass; conventionally the context is saved by the hypervisor and then
+// saved again by the guest kernel.
+func (h *Hypervisor) ChargeGPRTransfer() {
+	passes := int64(1)
+	if h.Opts.DisableSharedPtRegs {
+		passes = 2
+	}
+	h.CPU.Charge(passes * 16 * h.Prof.MemAccessCost)
+}
+
+// WriteWorldReg writes an EL2 control register through the retain filter
+// (§5.2.1): unchanged values are not rewritten unless the ablation switch
+// forces conventional behaviour.
+func (h *Hypervisor) WriteWorldReg(r arm64.SysReg, v uint64) {
+	if !h.Opts.DisableRetainRegs && h.CPU.Sys(r) == v {
+		return
+	}
+	h.CPU.WriteSysReg(r, v)
+}
+
+// HandleEmptyHypercall models a conventional KVM VHE hypercall roundtrip
+// body (the Table 4 "KVM Virtualization Host Extensions hypercall" row):
+// full guest context save, HCR switch to host, dispatch, HCR switch back,
+// full guest context load, plus the GPR transfers. Exception entry and the
+// final ERET are charged by the caller's trap machinery.
+func (h *Hypervisor) HandleEmptyHypercall() {
+	h.Hypercalls++
+	c := h.CPU
+	hcrGuest := c.Sys(arm64.HCREL2)
+	vttbrGuest := c.Sys(arm64.VTTBREL2)
+	el2Config := []arm64.SysReg{arm64.CPTREL2, arm64.MDCREL2, arm64.CNTHCTLEL2}
+
+	// __deactivate_traps / __deactivate_vm: host values installed.
+	c.Charge(16 * h.Prof.MemAccessCost) // __guest_exit: save guest GPRs
+	h.ChargeGuestContextSave()
+	c.WriteSysReg(arm64.HCREL2, hcrGuest&^0x1)
+	c.WriteSysReg(arm64.VTTBREL2, 0)
+	for _, r := range el2Config {
+		c.WriteSysReg(r, c.Sys(r))
+	}
+	c.Charge(h.Prof.HypDispatchCost)
+	// __activate_traps / __activate_vm: guest values reinstalled.
+	c.WriteSysReg(arm64.HCREL2, hcrGuest)
+	c.WriteSysReg(arm64.VTTBREL2, vttbrGuest)
+	for _, r := range el2Config {
+		c.WriteSysReg(r, c.Sys(r))
+	}
+	h.ChargeGuestContextLoad()
+	c.Charge(16 * h.Prof.MemAccessCost) // __guest_enter: restore guest GPRs
+	c.SetSys(arm64.HCREL2, hcrGuest)
+}

@@ -1,0 +1,383 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+
+	"lightzone/internal/arm64"
+	"lightzone/internal/cpu"
+	"lightzone/internal/mem"
+)
+
+func newTestKernel(t *testing.T) *Kernel {
+	t.Helper()
+	prof := arm64.ProfileCortexA55()
+	pm := mem.NewPhysMem(256 << 20)
+	c := cpu.New(prof, pm)
+	return NewKernel("host", prof, pm, c, arm64.EL2)
+}
+
+// svc emits the Linux syscall convention: number in x8, args in x0.., SVC.
+func svc(a *arm64.Asm, num uint64, args ...uint64) {
+	for i, arg := range args {
+		a.MovImm(uint8(i), arg)
+	}
+	a.MovImm(8, num)
+	a.Emit(arm64.SVC(0))
+}
+
+func buildAndRun(t *testing.T, k *Kernel, a *arm64.Asm, extra ...VMA) *Process {
+	t.Helper()
+	words, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := k.CreateProcess("test", Program{Text: words, Data: []byte("hello"), Extra: extra})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunProcess(p, 100000); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSyscallGetpidWriteExit(t *testing.T) {
+	k := newTestKernel(t)
+	a := arm64.NewAsm()
+	svc(a, SysGetpid)
+	a.Emit(arm64.MOVReg(19, 0)) // save pid
+	svc(a, SysWrite, 1, uint64(DataBase), 5)
+	a.Emit(arm64.MOVReg(20, 0)) // save write count
+	svc(a, SysExit, 7)
+	p := buildAndRun(t, k, a)
+
+	if !p.Exited || p.Killed {
+		t.Fatalf("process state: exited=%v killed=%v (%s)", p.Exited, p.Killed, p.KillMsg)
+	}
+	if p.ExitCode != 7 {
+		t.Errorf("exit code = %d", p.ExitCode)
+	}
+	if got := p.Stdout.String(); got != "hello" {
+		t.Errorf("stdout = %q", got)
+	}
+	if k.CPU.R(19) != uint64(p.PID) {
+		t.Errorf("getpid = %d, want %d", k.CPU.R(19), p.PID)
+	}
+	if k.CPU.R(20) != 5 {
+		t.Errorf("write returned %d", k.CPU.R(20))
+	}
+	if k.Syscalls != 3 {
+		t.Errorf("syscall count = %d", k.Syscalls)
+	}
+}
+
+func TestDemandPagingOnStack(t *testing.T) {
+	k := newTestKernel(t)
+	a := arm64.NewAsm()
+	// Touch a fresh stack page far below the initial SP.
+	a.MovImm(1, uint64(StackTop)-256*1024)
+	a.MovImm(2, 0xAB)
+	a.Emit(arm64.STRImm(2, 1, 0, 3))
+	a.Emit(arm64.LDRImm(3, 1, 0, 3))
+	svc(a, SysExit, 0)
+	p := buildAndRun(t, k, a)
+	if p.Killed {
+		t.Fatalf("killed: %s", p.KillMsg)
+	}
+	if k.CPU.R(3) != 0xAB {
+		t.Errorf("x3 = %#x", k.CPU.R(3))
+	}
+	if k.PageFaults == 0 {
+		t.Error("expected demand-paging faults")
+	}
+}
+
+func TestSegfaultKillsProcess(t *testing.T) {
+	k := newTestKernel(t)
+	a := arm64.NewAsm()
+	a.MovImm(1, 0x5000_0000) // no VMA there
+	a.Emit(arm64.LDRImm(0, 1, 0, 3))
+	svc(a, SysExit, 0)
+	p := buildAndRun(t, k, a)
+	if !p.Killed || !strings.Contains(p.KillMsg, "SIGSEGV") {
+		t.Errorf("killed=%v msg=%q", p.Killed, p.KillMsg)
+	}
+}
+
+func TestUndefinedInstructionKills(t *testing.T) {
+	k := newTestKernel(t)
+	a := arm64.NewAsm()
+	a.Emit(0x0000_0000) // UDF
+	p := buildAndRun(t, k, a)
+	if !p.Killed || !strings.Contains(p.KillMsg, "SIGILL") {
+		t.Errorf("killed=%v msg=%q", p.Killed, p.KillMsg)
+	}
+}
+
+func TestPrivilegedInstructionFromUserKills(t *testing.T) {
+	k := newTestKernel(t)
+	a := arm64.NewAsm()
+	a.Emit(arm64.MSR(arm64.TTBR0EL1, 0))
+	p := buildAndRun(t, k, a)
+	if !p.Killed {
+		t.Error("MSR TTBR0_EL1 at EL0 must kill the process")
+	}
+}
+
+func TestMmapMunmap(t *testing.T) {
+	k := newTestKernel(t)
+	a := arm64.NewAsm()
+	svc(a, SysMmap, 0, 2*mem.PageSize, uint64(ProtRead|ProtWrite))
+	a.Emit(arm64.MOVReg(19, 0))
+	a.Emit(arm64.MOVK(19, 0, 3))       // clear any sign bits (paranoia)
+	a.Emit(arm64.STRImm(19, 19, 8, 3)) // store into the new mapping
+	a.Emit(arm64.LDRImm(20, 19, 8, 3))
+	// munmap it again
+	a.Emit(arm64.MOVReg(0, 19))
+	a.MovImm(1, 2*mem.PageSize)
+	a.MovImm(8, SysMunmap)
+	a.Emit(arm64.SVC(0))
+	a.Emit(arm64.MOVReg(21, 0))
+	svc(a, SysExit, 0)
+	p := buildAndRun(t, k, a)
+	if p.Killed {
+		t.Fatalf("killed: %s", p.KillMsg)
+	}
+	if k.CPU.R(20) != k.CPU.R(19) {
+		t.Errorf("readback %#x != addr %#x", k.CPU.R(20), k.CPU.R(19))
+	}
+	if int64(k.CPU.R(21)) != 0 {
+		t.Errorf("munmap returned %d", int64(k.CPU.R(21)))
+	}
+}
+
+func TestMunmapNotifiesLightZoneSync(t *testing.T) {
+	k := newTestKernel(t)
+	var unmapped []mem.VA
+	a := arm64.NewAsm()
+	svc(a, SysMmap, 0x4800_0000, mem.PageSize, uint64(ProtRead|ProtWrite))
+	a.Emit(arm64.MOVReg(1, 0))
+	a.Emit(arm64.STRImm(2, 1, 0, 3)) // fault the page in
+	svc(a, SysMunmap, 0x4800_0000, mem.PageSize)
+	svc(a, SysExit, 0)
+	words, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := k.CreateProcess("sync", Program{Text: words})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.AS.UnmapNotify = func(va mem.VA) { unmapped = append(unmapped, va) }
+	if err := k.RunProcess(p, 100000); err != nil {
+		t.Fatal(err)
+	}
+	if len(unmapped) != 1 || unmapped[0] != 0x4800_0000 {
+		t.Errorf("unmap notifications = %v", unmapped)
+	}
+}
+
+func TestCloneThreadsShareAddressSpace(t *testing.T) {
+	k := newTestKernel(t)
+	a := arm64.NewAsm()
+	// Main: mmap a stack for the child, clone, then spin-yield until the
+	// child writes a flag into the data page, then exit(first-byte).
+	svc(a, SysMmap, 0x4100_0000, 4*mem.PageSize, uint64(ProtRead|ProtWrite))
+	a.ADR(10, "child")
+	a.Emit(arm64.MOVReg(0, 10))
+	a.MovImm(1, 0x4100_0000+4*mem.PageSize-64)
+	a.MovImm(8, SysClone)
+	a.Emit(arm64.SVC(0))
+	a.Label("wait")
+	a.MovImm(11, uint64(DataBase))
+	a.Emit(arm64.LDRImm(12, 11, 64, 3))
+	a.CBNZ(12, "done")
+	a.MovImm(8, SysSchedYield)
+	a.Emit(arm64.SVC(0))
+	a.B("wait")
+	a.Label("done")
+	a.Emit(arm64.MOVReg(0, 12))
+	a.MovImm(8, SysExit)
+	a.Emit(arm64.SVC(0))
+	a.Label("child")
+	a.MovImm(11, uint64(DataBase))
+	a.MovImm(12, 99)
+	a.Emit(arm64.STRImm(12, 11, 64, 3))
+	svc(a, SysExit, 0)
+	p := buildAndRun(t, k, a)
+	if p.Killed {
+		t.Fatalf("killed: %s", p.KillMsg)
+	}
+	if p.ExitCode != 99 {
+		t.Errorf("exit code = %d, want 99 (child flag observed)", p.ExitCode)
+	}
+	if len(p.Threads) != 2 {
+		t.Errorf("threads = %d", len(p.Threads))
+	}
+}
+
+func TestSignalHandlerAndSigreturn(t *testing.T) {
+	k := newTestKernel(t)
+	a := arm64.NewAsm()
+	// Register a SIGSEGV handler, then fault on an unmapped address.
+	a.ADR(1, "handler")
+	a.Emit(arm64.MOVReg(9, 1))
+	a.MovImm(0, SIGSEGV)
+	a.Emit(arm64.MOVReg(1, 9))
+	a.MovImm(8, SysSigaction)
+	a.Emit(arm64.SVC(0))
+	a.MovImm(1, 0x5000_0000)
+	a.Emit(arm64.LDRImm(0, 1, 0, 3)) // faults -> handler
+	a.Label("handler")
+	// x0 = signal number; exit(40 + x0) proves the handler ran.
+	a.Emit(arm64.ADDImm(0, 0, 40, false))
+	a.MovImm(8, SysExit)
+	a.Emit(arm64.SVC(0))
+	p := buildAndRun(t, k, a)
+	if p.Killed {
+		t.Fatalf("killed: %s", p.KillMsg)
+	}
+	if p.ExitCode != 40+SIGSEGV {
+		t.Errorf("exit code = %d, want %d", p.ExitCode, 40+SIGSEGV)
+	}
+}
+
+func TestSignalFrameRestoresContext(t *testing.T) {
+	// Deliver a signal whose handler returns via rt_sigreturn; the
+	// interrupted computation must resume with registers intact
+	// (including the TTBR0/PAN slots LightZone adds to the context).
+	k := newTestKernel(t)
+	a := arm64.NewAsm()
+	a.ADR(1, "handler")
+	a.MovImm(0, SIGUSR1)
+	a.MovImm(8, SysSigaction)
+	a.Emit(arm64.SVC(0))
+	a.MovImm(19, 1234) // value that must survive the handler
+	// raise(SIGUSR1) via kill(getpid, SIGUSR1)
+	a.MovImm(8, SysGetpid)
+	a.Emit(arm64.SVC(0))
+	a.MovImm(1, SIGUSR1)
+	a.MovImm(8, SysKill)
+	a.Emit(arm64.SVC(0))
+	// After the handler returns, exit with x19 as code modulo trick:
+	a.Emit(arm64.SUBImm(0, 19, 1000, false)) // 234
+	a.MovImm(8, SysExit)
+	a.Emit(arm64.SVC(0))
+	a.Label("handler")
+	a.MovImm(19, 9999) // clobber x19 inside the handler
+	a.MovImm(8, SysSigreturn)
+	a.Emit(arm64.SVC(0))
+	p := buildAndRun(t, k, a)
+	if p.Killed {
+		t.Fatalf("killed: %s", p.KillMsg)
+	}
+	if p.ExitCode != 234 {
+		t.Errorf("exit code = %d, want 234 (x19 restored by sigreturn)", p.ExitCode)
+	}
+}
+
+func TestMprotectMakesPageReadOnly(t *testing.T) {
+	k := newTestKernel(t)
+	a := arm64.NewAsm()
+	svc(a, SysMmap, 0x4200_0000, mem.PageSize, uint64(ProtRead|ProtWrite))
+	a.MovImm(1, 0x4200_0000)
+	a.MovImm(2, 7)
+	a.Emit(arm64.STRImm(2, 1, 0, 3)) // fault in, writable
+	svc(a, SysMprotect, 0x4200_0000, mem.PageSize, uint64(ProtRead))
+	a.MovImm(1, 0x4200_0000)
+	a.Emit(arm64.STRImm(2, 1, 0, 3)) // must now fault fatally
+	svc(a, SysExit, 0)
+	p := buildAndRun(t, k, a)
+	if !p.Killed || !strings.Contains(p.KillMsg, "SIGSEGV") {
+		t.Errorf("killed=%v msg=%q", p.Killed, p.KillMsg)
+	}
+}
+
+func TestUnknownSyscallReturnsENOSYS(t *testing.T) {
+	k := newTestKernel(t)
+	a := arm64.NewAsm()
+	svc(a, 9999)
+	a.Emit(arm64.MOVReg(19, 0))
+	svc(a, SysExit, 0)
+	p := buildAndRun(t, k, a)
+	if p.Killed {
+		t.Fatal(p.KillMsg)
+	}
+	if int64(k.CPU.R(19)) != -ENOSYS {
+		t.Errorf("ret = %d, want %d", int64(k.CPU.R(19)), -ENOSYS)
+	}
+}
+
+func TestSyscallRoundTripCostMatchesTable4HostRow(t *testing.T) {
+	// The empty-syscall roundtrip from a host EL0 process to the VHE
+	// host kernel at EL2 must land near the paper's Table 4 numbers.
+	for _, tc := range []struct {
+		prof *arm64.Profile
+		want int64
+	}{
+		{arm64.ProfileCarmel(), 3848},
+		{arm64.ProfileCortexA55(), 299},
+	} {
+		t.Run(tc.prof.Name, func(t *testing.T) {
+			pm := mem.NewPhysMem(256 << 20)
+			c := cpu.New(tc.prof, pm)
+			k := NewKernel("host", tc.prof, pm, c, arm64.EL2)
+			a := arm64.NewAsm()
+			// Warm up with one getpid, then measure a second one.
+			svc(a, SysGetpid)
+			svc(a, SysGetpid)
+			svc(a, SysExit, 0)
+			words, err := a.Assemble()
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := k.CreateProcess("m", Program{Text: words})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Run to completion while sampling cycles around traps:
+			// measure total cycles of the second syscall by
+			// instrumenting the run manually.
+			measured := measureSecondSyscall(t, k, p)
+			lo, hi := tc.want*85/100, tc.want*115/100
+			if measured < lo || measured > hi {
+				t.Errorf("host syscall roundtrip = %d cycles, want %d ±15%%", measured, tc.want)
+			}
+		})
+	}
+}
+
+// measureSecondSyscall runs p and returns the cycle cost of the second
+// syscall roundtrip (SVC execution through ERET back to user code),
+// excluding cold page-fault effects.
+func measureSecondSyscall(t *testing.T, k *Kernel, p *Process) int64 {
+	t.Helper()
+	th := p.MainThread()
+	k.SwitchTo(th, &World{EL: arm64.EL0, HCR: cpu.HCRE2H | cpu.HCRTGE, SCTLR: cpu.SCTLRM})
+	seen := 0
+	var cost int64
+	for !p.Exited {
+		exit, err := k.CPU.Run(1 << 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var before int64
+		measuring := false
+		if exit.Syndrome.Class == cpu.ECSVC {
+			seen++
+			if seen == 2 {
+				// Include the exception entry cost already charged.
+				before = k.CPU.Cycles - k.Prof.ExcEntryTo[arm64.EL2]
+				measuring = true
+			}
+		}
+		if err := k.HandleExit(th, exit); err != nil {
+			t.Fatal(err)
+		}
+		if measuring {
+			cost = k.CPU.Cycles - before
+		}
+	}
+	return cost
+}

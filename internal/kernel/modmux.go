@@ -1,0 +1,32 @@
+package kernel
+
+import "lightzone/internal/cpu"
+
+// ModuleMux composes multiple kernel modules (e.g. LightZone plus the
+// Watchpoint/lwC comparison prototypes) behind the single Module hook.
+// Each hook is offered to the modules in order until one claims it.
+type ModuleMux []Module
+
+var _ Module = ModuleMux(nil)
+
+// HandleExit implements Module.
+func (mm ModuleMux) HandleExit(k *Kernel, t *Thread, exit cpu.Exit) (bool, error) {
+	for _, m := range mm {
+		handled, err := m.HandleExit(k, t, exit)
+		if handled || err != nil {
+			return handled, err
+		}
+	}
+	return false, nil
+}
+
+// Syscall implements Module.
+func (mm ModuleMux) Syscall(k *Kernel, t *Thread, num int, args [6]uint64) (uint64, bool, error) {
+	for _, m := range mm {
+		ret, ok, err := m.Syscall(k, t, num, args)
+		if ok || err != nil {
+			return ret, ok, err
+		}
+	}
+	return 0, false, nil
+}

@@ -1,0 +1,136 @@
+package kernel
+
+import (
+	"bytes"
+	"fmt"
+
+	"lightzone/internal/arm64"
+	"lightzone/internal/cpu"
+	"lightzone/internal/mem"
+)
+
+// ThreadState tracks scheduling state.
+type ThreadState uint8
+
+// Thread states.
+const (
+	ThreadReady ThreadState = iota + 1
+	ThreadRunning
+	ThreadBlocked
+	ThreadExited
+)
+
+// Context is the per-thread CPU context the kernel saves and restores.
+// For LightZone processes it additionally carries TTBR0 and PAN, which the
+// paper adds to the kernel's signal/thread contexts (§6).
+type Context struct {
+	X      [32]uint64
+	PC     uint64
+	PState uint64
+	SPEL0  uint64
+	TPIDR  uint64
+	TTBR0  uint64
+	TTBR1  uint64
+	VBAR   uint64
+	SCTLR  uint64
+}
+
+// CaptureContext snapshots the vCPU into ctx.
+func CaptureContext(c *cpu.VCPU, ctx *Context) {
+	ctx.X = c.X
+	ctx.PC = c.PC
+	ctx.PState = c.PState
+	ctx.SPEL0 = c.Sys(arm64.SPEL0)
+	ctx.TPIDR = c.Sys(arm64.TPIDREL0)
+	ctx.TTBR0 = c.Sys(arm64.TTBR0EL1)
+	ctx.TTBR1 = c.Sys(arm64.TTBR1EL1)
+	ctx.VBAR = c.Sys(arm64.VBAREL1)
+	ctx.SCTLR = c.Sys(arm64.SCTLREL1)
+}
+
+// RestoreContext loads ctx into the vCPU.
+func RestoreContext(c *cpu.VCPU, ctx *Context) {
+	c.X = ctx.X
+	c.PC = ctx.PC
+	c.PState = ctx.PState
+	c.SetSys(arm64.SPEL0, ctx.SPEL0)
+	c.SetSys(arm64.TPIDREL0, ctx.TPIDR)
+	c.SetSys(arm64.TTBR0EL1, ctx.TTBR0)
+	c.SetSys(arm64.TTBR1EL1, ctx.TTBR1)
+	c.SetSys(arm64.VBAREL1, ctx.VBAR)
+	c.SetSys(arm64.SCTLREL1, ctx.SCTLR)
+}
+
+// Thread is a schedulable kernel thread.
+type Thread struct {
+	TID   int
+	Proc  *Process
+	State ThreadState
+	Ctx   Context
+
+	// Signal handling (§6: PAN and TTBR0 live in signal contexts).
+	sigPending []int
+	sigFrames  []Context
+	inHandler  int
+}
+
+func (t *Thread) String() string {
+	return fmt.Sprintf("thread{tid=%d pid=%d}", t.TID, t.Proc.PID)
+}
+
+// Process is a kernel process.
+type Process struct {
+	PID  int
+	Name string
+	AS   *AddressSpace
+
+	Threads []*Thread
+
+	Exited   bool
+	ExitCode int
+	Killed   bool
+	KillMsg  string
+
+	// Stdout captures write(1, ...) output.
+	Stdout bytes.Buffer
+
+	// Brk is the current program break (0 until first brk call).
+	Brk uint64
+
+	// SigHandlers maps signal number to user handler entry point.
+	SigHandlers map[int]uint64
+
+	// LZ is opaque LightZone per-process state owned by the module
+	// (nil for ordinary processes).
+	LZ any
+}
+
+// MainThread returns the first thread.
+func (p *Process) MainThread() *Thread { return p.Threads[0] }
+
+// Conventional layout constants for loaded programs.
+const (
+	TextBase  = mem.VA(0x0000_0000_0040_0000)
+	DataBase  = mem.VA(0x0000_0000_1000_0000)
+	HeapBase  = mem.VA(0x0000_0000_2000_0000)
+	StackTop  = mem.VA(0x0000_0000_7F00_0000)
+	StackSize = 1 << 20
+)
+
+// Program is a loadable image for process creation.
+type Program struct {
+	Text  []uint32 // instructions placed at TextBase
+	Data  []byte   // bytes placed at DataBase
+	Extra []VMA    // additional regions (heap, workload buffers, ...)
+}
+
+// Kill marks the process dead with a diagnostic. LightZone uses this to
+// terminate compromised processes on illegal domain access (§4.2).
+func (p *Process) Kill(msg string) {
+	p.Exited = true
+	p.Killed = true
+	p.KillMsg = msg
+	for _, t := range p.Threads {
+		t.State = ThreadExited
+	}
+}

@@ -1,0 +1,106 @@
+package kernel
+
+import (
+	"errors"
+
+	"lightzone/internal/arm64"
+	"lightzone/internal/cpu"
+)
+
+// Signal numbers (subset).
+const (
+	SIGILL  = 4
+	SIGUSR1 = 10
+	SIGSEGV = 11
+)
+
+func (k *Kernel) elrReg() arm64.SysReg {
+	if k.EL == arm64.EL2 {
+		return arm64.ELREL2
+	}
+	return arm64.ELREL1
+}
+
+func (k *Kernel) spsrReg() arm64.SysReg {
+	if k.EL == arm64.EL2 {
+		return arm64.SPSREL2
+	}
+	return arm64.SPSREL1
+}
+
+// deliverPendingSignal arranges for t to run its handler for sig on the
+// next return to the process. The interrupted context — including TTBR0
+// and PAN, which LightZone adds to the kernel's signal contexts for
+// correct signal handling (§6) — is pushed on the thread's signal stack.
+// It returns false when no handler is registered.
+func (k *Kernel) deliverPendingSignal(t *Thread, sig int, s cpu.Syndrome) bool {
+	handler, ok := t.Proc.SigHandlers[sig]
+	if !ok {
+		return false
+	}
+	c := k.CPU
+	var frame Context
+	CaptureContext(c, &frame)
+	// The interrupted PC/PSTATE live in ELR/SPSR at this point, not in
+	// the vCPU's PC (we are inside the kernel).
+	frame.PC = c.Sys(k.elrReg())
+	frame.PState = c.Sys(k.spsrReg())
+	t.sigFrames = append(t.sigFrames, frame)
+	t.inHandler++
+
+	// Enter the handler with the signal number and fault address as
+	// arguments; the handler returns via rt_sigreturn.
+	c.SetR(0, uint64(sig))
+	c.SetR(1, uint64(s.VA))
+	c.SetSys(k.elrReg(), handler)
+	// Signal frame setup costs (sigcontext spill, now including TTBR0
+	// and PAN per LightZone's kernel patch).
+	c.Charge(24 * k.Prof.MemAccessCost)
+	return true
+}
+
+// DeliverSignal queues and, when a handler exists, immediately arranges
+// delivery of sig to t (used by kill(2) and by tests).
+func (k *Kernel) DeliverSignal(t *Thread, sig int) bool {
+	return k.deliverPendingSignal(t, sig, cpu.Syndrome{})
+}
+
+var errNoSignalFrame = errors.New("rt_sigreturn with no signal frame")
+
+// sigReturn pops the most recent signal frame, restoring the full
+// interrupted context including TTBR0 and PAN.
+func (k *Kernel) sigReturn(t *Thread) error {
+	if len(t.sigFrames) == 0 {
+		return errNoSignalFrame
+	}
+	frame := t.sigFrames[len(t.sigFrames)-1]
+	t.sigFrames = t.sigFrames[:len(t.sigFrames)-1]
+	t.inHandler--
+
+	c := k.CPU
+	c.X = frame.X
+	c.SetSys(arm64.SPEL0, frame.SPEL0)
+	c.SetSys(arm64.TPIDREL0, frame.TPIDR)
+	c.SetSys(arm64.TTBR0EL1, frame.TTBR0) // LightZone: restore domain
+	c.SetSys(k.elrReg(), frame.PC)
+	c.SetSys(k.spsrReg(), frame.PState) // PSTATE.PAN restored via SPSR
+	c.Charge(24 * k.Prof.MemAccessCost)
+	return nil
+}
+
+// CheckSignals delivers one queued signal if present. The LightZone
+// module calls it on its own syscall return path so kernel-mode processes
+// receive signals with their TTBR0/PAN context preserved (§6).
+func (k *Kernel) CheckSignals(t *Thread) { k.checkPendingSignals(t) }
+
+// checkPendingSignals delivers one queued signal if present.
+func (k *Kernel) checkPendingSignals(t *Thread) {
+	if len(t.sigPending) == 0 {
+		return
+	}
+	sig := t.sigPending[0]
+	t.sigPending = t.sigPending[1:]
+	if !k.deliverPendingSignal(t, sig, cpu.Syndrome{}) && (sig == SIGSEGV || sig == SIGILL) {
+		t.Proc.Kill("unhandled fatal signal")
+	}
+}

@@ -1,0 +1,153 @@
+package mem
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrOutOfFrames is returned when the frame allocator is exhausted.
+var ErrOutOfFrames = errors.New("physical memory exhausted")
+
+// PhysMem is sparse simulated physical memory with a frame allocator.
+// Frames are materialized on first touch, so multi-gigabyte address spaces
+// cost only what is actually used.
+type PhysMem struct {
+	frames    map[uint64]*[PageSize]byte
+	numFrames uint64
+	next      uint64
+	freeList  []uint64
+	allocated uint64
+}
+
+// NewPhysMem creates physical memory of size bytes (rounded down to whole
+// frames).
+func NewPhysMem(size uint64) *PhysMem {
+	return &PhysMem{
+		frames:    make(map[uint64]*[PageSize]byte),
+		numFrames: size >> PageShift,
+	}
+}
+
+// Size returns the modelled physical memory size in bytes.
+func (m *PhysMem) Size() uint64 { return m.numFrames << PageShift }
+
+// AllocatedBytes returns the bytes currently handed out by the allocator.
+func (m *PhysMem) AllocatedBytes() uint64 { return m.allocated << PageShift }
+
+// AllocFrame allocates a zeroed physical frame and returns its base address.
+func (m *PhysMem) AllocFrame() (PA, error) {
+	var idx uint64
+	switch {
+	case len(m.freeList) > 0:
+		idx = m.freeList[len(m.freeList)-1]
+		m.freeList = m.freeList[:len(m.freeList)-1]
+		// Reused frames must be zeroed for page-table safety.
+		if f, ok := m.frames[idx]; ok {
+			*f = [PageSize]byte{}
+		}
+	case m.next < m.numFrames:
+		idx = m.next
+		m.next++
+	default:
+		return 0, ErrOutOfFrames
+	}
+	m.allocated++
+	return PA(idx << PageShift), nil
+}
+
+// AllocContiguous allocates n physically contiguous zeroed frames and
+// returns the base of the run, aligned to the run size when n is a power
+// of two (2MB block mappings require naturally aligned physical memory).
+func (m *PhysMem) AllocContiguous(n uint64) (PA, error) {
+	base := m.next
+	if n&(n-1) == 0 && n > 0 {
+		base = (base + n - 1) &^ (n - 1)
+	}
+	if base+n > m.numFrames {
+		return 0, ErrOutOfFrames
+	}
+	// Skipped frames from alignment are returned to the free list.
+	for f := m.next; f < base; f++ {
+		m.freeList = append(m.freeList, f)
+	}
+	m.next = base + n
+	m.allocated += n
+	return PA(base << PageShift), nil
+}
+
+// FreeFrame returns a frame to the allocator.
+func (m *PhysMem) FreeFrame(pa PA) {
+	m.freeList = append(m.freeList, uint64(pa)>>PageShift)
+	if m.allocated > 0 {
+		m.allocated--
+	}
+}
+
+func (m *PhysMem) frame(pa PA) (*[PageSize]byte, error) {
+	idx := uint64(pa) >> PageShift
+	if idx >= m.numFrames {
+		return nil, fmt.Errorf("physical address %v beyond memory size %#x", pa, m.Size())
+	}
+	f, ok := m.frames[idx]
+	if !ok {
+		f = new([PageSize]byte)
+		m.frames[idx] = f
+	}
+	return f, nil
+}
+
+// Read copies len(buf) bytes starting at pa. Accesses may cross frames.
+func (m *PhysMem) Read(pa PA, buf []byte) error {
+	for len(buf) > 0 {
+		f, err := m.frame(pa)
+		if err != nil {
+			return err
+		}
+		off := uint64(pa) & PageMask
+		n := copy(buf, f[off:])
+		buf = buf[n:]
+		pa += PA(n)
+	}
+	return nil
+}
+
+// Write copies buf into physical memory starting at pa.
+func (m *PhysMem) Write(pa PA, buf []byte) error {
+	for len(buf) > 0 {
+		f, err := m.frame(pa)
+		if err != nil {
+			return err
+		}
+		off := uint64(pa) & PageMask
+		n := copy(f[off:], buf)
+		buf = buf[n:]
+		pa += PA(n)
+	}
+	return nil
+}
+
+// ReadU64 reads a little-endian 64-bit word (page-table descriptors).
+func (m *PhysMem) ReadU64(pa PA) (uint64, error) {
+	var b [8]byte
+	if err := m.Read(pa, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// WriteU64 writes a little-endian 64-bit word.
+func (m *PhysMem) WriteU64(pa PA, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return m.Write(pa, b[:])
+}
+
+// ReadU32 reads a little-endian 32-bit word (instruction fetch).
+func (m *PhysMem) ReadU32(pa PA) (uint32, error) {
+	var b [4]byte
+	if err := m.Read(pa, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}

@@ -1,0 +1,288 @@
+package mem
+
+import "fmt"
+
+// WalkResult is the outcome of a page-table walk.
+type WalkResult struct {
+	// Desc is the leaf descriptor found (0 when !Found).
+	Desc uint64
+	// Level is the level at which the walk ended (leaf level, or the
+	// level whose descriptor was invalid).
+	Level int
+	// Levels is the number of descriptor fetches performed; the CPU
+	// charges TLB-walk cost per fetch.
+	Levels int
+	// Found reports whether a valid leaf was reached.
+	Found bool
+	// PA is the translated output address (leaf OA plus page offset).
+	PA PA
+	// BlockShift is log2 of the mapping size (12 for pages, 21 for 2MB
+	// blocks).
+	BlockShift uint
+}
+
+// Stage1 is a 4-level stage-1 translation table (one per address space /
+// LightZone memory domain).
+type Stage1 struct {
+	pm          *PhysMem
+	root        PA
+	asid        uint16
+	tableFrames int
+
+	// OnAllocTable, when set, is invoked with the physical address of
+	// every newly allocated table frame. The LightZone module uses it to
+	// keep stage-1 table frames identity-mapped (read-only) in a
+	// process's stage-2 table so hardware walks can fetch descriptors.
+	OnAllocTable func(PA)
+}
+
+// NewStage1 allocates an empty stage-1 table.
+func NewStage1(pm *PhysMem, asid uint16) (*Stage1, error) {
+	root, err := pm.AllocFrame()
+	if err != nil {
+		return nil, fmt.Errorf("stage-1 root: %w", err)
+	}
+	return &Stage1{pm: pm, root: root, asid: asid, tableFrames: 1}, nil
+}
+
+// Root returns the physical address of the root table (the TTBR value).
+func (t *Stage1) Root() PA { return t.root }
+
+// ASID returns the address space identifier associated with the table.
+// LightZone assigns each domain page table its own ASID so that TTBR
+// switches need no TLB invalidation (§4.1.2).
+func (t *Stage1) ASID() uint16 { return t.asid }
+
+// TableBytes returns the memory consumed by table frames — the paper's
+// page-table memory overhead metric (§9.1-§9.3).
+func (t *Stage1) TableBytes() uint64 { return uint64(t.tableFrames) * PageSize }
+
+func (t *Stage1) descAddr(table PA, idx uint64) PA { return table + PA(idx*8) }
+
+// nextTable returns the table pointed to by the descriptor at (table, idx),
+// allocating it when absent and alloc is true.
+func (t *Stage1) nextTable(table PA, idx uint64, alloc bool) (PA, error) {
+	addr := t.descAddr(table, idx)
+	desc, err := t.pm.ReadU64(addr)
+	if err != nil {
+		return 0, err
+	}
+	if desc&DescValid != 0 {
+		if desc&DescTable == 0 {
+			return 0, fmt.Errorf("descriptor at %v is a block, not a table", addr)
+		}
+		return PA(desc & OAMask), nil
+	}
+	if !alloc {
+		return 0, nil
+	}
+	next, err := t.pm.AllocFrame()
+	if err != nil {
+		return 0, err
+	}
+	t.tableFrames++
+	if err := t.pm.WriteU64(addr, uint64(next)|DescValid|DescTable); err != nil {
+		return 0, err
+	}
+	if t.OnAllocTable != nil {
+		t.OnAllocTable(next)
+	}
+	return next, nil
+}
+
+// Map installs a 4KB leaf mapping va -> pa with the given attribute bits
+// (AttrAPUser, AttrAPRO, AttrPXN, ...). Valid/table/AF bits are supplied.
+func (t *Stage1) Map(va VA, pa PA, attrs uint64) error {
+	if !ValidVA(va) {
+		return fmt.Errorf("non-canonical %v", va)
+	}
+	table := t.root
+	for level := 0; level < 3; level++ {
+		next, err := t.nextTable(table, s1Index(va, level), true)
+		if err != nil {
+			return fmt.Errorf("map %v level %d: %w", va, level, err)
+		}
+		table = next
+	}
+	desc := uint64(pa)&OAMask | attrs | DescValid | DescTable | AttrAF
+	return t.pm.WriteU64(t.descAddr(table, s1Index(va, 3)), desc)
+}
+
+// MapBlock installs a 2MB block mapping at level 2 (huge pages, §9.3).
+func (t *Stage1) MapBlock(va VA, pa PA, attrs uint64) error {
+	if uint64(va)&HugePageMask != 0 || uint64(pa)&HugePageMask != 0 {
+		return fmt.Errorf("unaligned 2MB mapping %v -> %v", va, pa)
+	}
+	table := t.root
+	for level := 0; level < 2; level++ {
+		next, err := t.nextTable(table, s1Index(va, level), true)
+		if err != nil {
+			return fmt.Errorf("map block %v level %d: %w", va, level, err)
+		}
+		table = next
+	}
+	desc := uint64(pa)&OAMask | attrs | DescValid | AttrAF // no DescTable: block
+	return t.pm.WriteU64(t.descAddr(table, s1Index(va, 2)), desc)
+}
+
+// Walk performs a software walk of the table for va.
+func (t *Stage1) Walk(va VA) (WalkResult, error) {
+	res := WalkResult{BlockShift: PageShift}
+	if !ValidVA(va) {
+		return res, nil
+	}
+	table := t.root
+	for level := 0; level <= 3; level++ {
+		res.Levels++
+		res.Level = level
+		desc, err := t.pm.ReadU64(t.descAddr(table, s1Index(va, level)))
+		if err != nil {
+			return res, err
+		}
+		if desc&DescValid == 0 {
+			return res, nil
+		}
+		if level == 3 {
+			if desc&DescTable == 0 {
+				return res, nil // reserved encoding
+			}
+			res.Desc = desc
+			res.Found = true
+			res.PA = PA(desc&OAMask | uint64(va)&PageMask)
+			return res, nil
+		}
+		if desc&DescTable == 0 {
+			if level != 2 {
+				return res, nil // blocks only modelled at level 2
+			}
+			res.Desc = desc
+			res.Found = true
+			res.BlockShift = HugePageShift
+			res.PA = PA(desc&OAMask&^uint64(HugePageMask) | uint64(va)&HugePageMask)
+			return res, nil
+		}
+		table = PA(desc & OAMask)
+	}
+	return res, nil
+}
+
+// Unmap removes the leaf mapping for va, returning whether one existed.
+// Table frames are not eagerly reclaimed (as in Linux).
+func (t *Stage1) Unmap(va VA) (bool, error) {
+	leaf, err := t.leafAddr(va)
+	if err != nil || leaf == 0 {
+		return false, err
+	}
+	desc, err := t.pm.ReadU64(leaf)
+	if err != nil {
+		return false, err
+	}
+	if desc&DescValid == 0 {
+		return false, nil
+	}
+	return true, t.pm.WriteU64(leaf, 0)
+}
+
+// UpdateLeaf atomically rewrites the leaf descriptor for va. The update
+// function receives the current descriptor (0 if unmapped) and returns the
+// replacement. It reports whether a valid leaf existed.
+func (t *Stage1) UpdateLeaf(va VA, fn func(uint64) uint64) (bool, error) {
+	leaf, err := t.leafAddr(va)
+	if err != nil || leaf == 0 {
+		return false, err
+	}
+	desc, err := t.pm.ReadU64(leaf)
+	if err != nil {
+		return false, err
+	}
+	if desc&DescValid == 0 {
+		return false, nil
+	}
+	return true, t.pm.WriteU64(leaf, fn(desc))
+}
+
+// leafAddr resolves the physical address of the descriptor slot that maps
+// va (page or 2MB block), or 0 when intermediate tables are absent.
+func (t *Stage1) leafAddr(va VA) (PA, error) {
+	table := t.root
+	for level := 0; level < 3; level++ {
+		addr := t.descAddr(table, s1Index(va, level))
+		desc, err := t.pm.ReadU64(addr)
+		if err != nil {
+			return 0, err
+		}
+		if desc&DescValid == 0 {
+			return 0, nil
+		}
+		if desc&DescTable == 0 {
+			if level == 2 {
+				return addr, nil // 2MB block slot
+			}
+			return 0, nil
+		}
+		table = PA(desc & OAMask)
+	}
+	return t.descAddr(table, s1Index(va, 3)), nil
+}
+
+// Visit walks every valid leaf mapping in ascending VA order within the
+// TTBR0 range, calling fn(va, desc, size). Used by the LightZone module to
+// duplicate and synchronize page tables (§5.1.2). Visiting stops when fn
+// returns false.
+func (t *Stage1) Visit(fn func(va VA, desc uint64, size uint64) bool) error {
+	return t.visit(t.root, 0, 0, fn)
+}
+
+func (t *Stage1) visit(table PA, level int, base uint64, fn func(VA, uint64, uint64) bool) error {
+	span := uint64(1) << (PageShift + 9*(3-level))
+	for idx := uint64(0); idx < 512; idx++ {
+		desc, err := t.pm.ReadU64(t.descAddr(table, idx))
+		if err != nil {
+			return err
+		}
+		if desc&DescValid == 0 {
+			continue
+		}
+		va := base + idx*span
+		switch {
+		case level == 3:
+			if !fn(VA(va), desc, PageSize) {
+				return nil
+			}
+		case desc&DescTable == 0:
+			if level == 2 {
+				if !fn(VA(va), desc, HugePageSize) {
+					return nil
+				}
+			}
+		default:
+			if err := t.visit(PA(desc&OAMask), level+1, va, fn); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Free releases every frame owned by the table structure (not the mapped
+// data frames). The table must not be used afterwards.
+func (t *Stage1) Free() {
+	t.free(t.root, 0)
+	t.root = 0
+	t.tableFrames = 0
+}
+
+func (t *Stage1) free(table PA, level int) {
+	if level < 3 {
+		for idx := uint64(0); idx < 512; idx++ {
+			desc, err := t.pm.ReadU64(t.descAddr(table, idx))
+			if err != nil {
+				continue
+			}
+			if desc&DescValid != 0 && desc&DescTable != 0 {
+				t.free(PA(desc&OAMask), level+1)
+			}
+		}
+	}
+	t.pm.FreeFrame(table)
+}

@@ -1,0 +1,135 @@
+package mem
+
+// TLBEntry caches a completed (stage-1 [+ stage-2]) translation.
+type TLBEntry struct {
+	PABase     PA     // output base of the mapping
+	S1Desc     uint64 // stage-1 leaf attributes
+	S2Desc     uint64 // stage-2 leaf attributes (0 when stage-2 disabled)
+	BlockShift uint   // mapping size (12 or 21)
+	HasS2      bool
+}
+
+type tlbKey struct {
+	vmid   uint16
+	asid   uint16
+	page   uint64 // VA >> BlockShift normalized to 4KB pages
+	global bool
+}
+
+// TLB is a unified, ASID- and VMID-tagged translation cache with FIFO
+// replacement. Global (nG==0) stage-1 entries match any ASID of their VMID —
+// the property LightZone exploits so that TTBR-based domain switches leave
+// the TLB warm for unprotected memory (§8.2).
+type TLB struct {
+	entries  map[tlbKey]TLBEntry
+	order    []tlbKey
+	capacity int
+
+	Hits   uint64
+	Misses uint64
+}
+
+// NewTLB creates a TLB with the given entry capacity.
+func NewTLB(capacity int) *TLB {
+	if capacity <= 0 {
+		capacity = 512
+	}
+	return &TLB{
+		entries:  make(map[tlbKey]TLBEntry, capacity),
+		order:    make([]tlbKey, 0, capacity),
+		capacity: capacity,
+	}
+}
+
+func pageOf(va VA) uint64 { return uint64(va) >> PageShift }
+
+// Lookup finds a cached translation for va under (vmid, asid).
+func (t *TLB) Lookup(vmid, asid uint16, va VA) (TLBEntry, bool) {
+	// 2MB block entries are stored under their 2MB-aligned page key; probe
+	// the 4KB key first, then the block key.
+	keys := [4]tlbKey{
+		{vmid: vmid, asid: asid, page: pageOf(va)},
+		{vmid: vmid, global: true, page: pageOf(va)},
+		{vmid: vmid, asid: asid, page: pageOf(VA(uint64(va) &^ uint64(HugePageMask)))},
+		{vmid: vmid, global: true, page: pageOf(VA(uint64(va) &^ uint64(HugePageMask)))},
+	}
+	for i, k := range keys {
+		if e, ok := t.entries[k]; ok {
+			if i >= 2 && e.BlockShift != HugePageShift {
+				continue
+			}
+			t.Hits++
+			return e, true
+		}
+	}
+	t.Misses++
+	return TLBEntry{}, false
+}
+
+// Insert caches a translation. Stage-1 global mappings (nG clear) are
+// inserted ASID-agnostic.
+func (t *TLB) Insert(vmid, asid uint16, va VA, e TLBEntry) {
+	key := tlbKey{vmid: vmid, asid: asid}
+	if e.S1Desc&AttrNG == 0 {
+		key = tlbKey{vmid: vmid, global: true}
+	}
+	if e.BlockShift == HugePageShift {
+		key.page = pageOf(VA(uint64(va) &^ uint64(HugePageMask)))
+	} else {
+		key.page = pageOf(va)
+	}
+	if _, exists := t.entries[key]; !exists {
+		for len(t.entries) >= t.capacity {
+			victim := t.order[0]
+			t.order = t.order[1:]
+			delete(t.entries, victim)
+		}
+		t.order = append(t.order, key)
+	}
+	t.entries[key] = e
+}
+
+// InvalidateAll drops every entry (TLBI VMALLE1-style, full cost).
+func (t *TLB) InvalidateAll() {
+	t.entries = make(map[tlbKey]TLBEntry, t.capacity)
+	t.order = t.order[:0]
+}
+
+// InvalidateVMID drops all entries of a virtual machine.
+func (t *TLB) InvalidateVMID(vmid uint16) {
+	t.invalidate(func(k tlbKey) bool { return k.vmid == vmid })
+}
+
+// InvalidateASID drops non-global entries of (vmid, asid).
+func (t *TLB) InvalidateASID(vmid, asid uint16) {
+	t.invalidate(func(k tlbKey) bool {
+		return k.vmid == vmid && !k.global && k.asid == asid
+	})
+}
+
+// InvalidateVA drops all entries mapping the page of va in vmid.
+func (t *TLB) InvalidateVA(vmid uint16, va VA) {
+	page := pageOf(va)
+	blockPage := pageOf(VA(uint64(va) &^ uint64(HugePageMask)))
+	t.invalidate(func(k tlbKey) bool {
+		return k.vmid == vmid && (k.page == page || k.page == blockPage)
+	})
+}
+
+func (t *TLB) invalidate(match func(tlbKey) bool) {
+	kept := t.order[:0]
+	for _, k := range t.order {
+		if match(k) {
+			delete(t.entries, k)
+		} else {
+			kept = append(kept, k)
+		}
+	}
+	t.order = kept
+}
+
+// Len returns the number of cached entries.
+func (t *TLB) Len() int { return len(t.entries) }
+
+// ResetStats clears hit/miss counters.
+func (t *TLB) ResetStats() { t.Hits, t.Misses = 0, 0 }

@@ -1,0 +1,14 @@
+package mem
+
+// ViewStage1 wraps an existing stage-1 table root (e.g. read from a TTBR)
+// for walking. The view shares the underlying tables; mapping through a
+// view is permitted, but TableBytes only counts frames allocated via it.
+func ViewStage1(pm *PhysMem, root PA) *Stage1 {
+	return &Stage1{pm: pm, root: root}
+}
+
+// ViewStage2 wraps an existing stage-2 table root (e.g. read from
+// VTTBR_EL2) for walking.
+func ViewStage2(pm *PhysMem, root PA) *Stage2 {
+	return &Stage2{pm: pm, root: root}
+}

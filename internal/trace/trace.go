@@ -1,0 +1,148 @@
+// Package trace provides a lightweight event recorder for the simulated
+// platform: traps, domain switches, sanitizer runs, W-xor-X transitions
+// and violations are recorded with their cycle timestamps, giving examples
+// and debugging tools a timeline of what the LightZone machinery did.
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies events.
+type Kind uint8
+
+// Event kinds.
+const (
+	KindTrap Kind = iota + 1
+	KindSyscall
+	KindPageFault
+	KindSanitize
+	KindWXFlip
+	KindDomainSwitch
+	KindViolation
+	KindEnter
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindTrap:
+		return "trap"
+	case KindSyscall:
+		return "syscall"
+	case KindPageFault:
+		return "page-fault"
+	case KindSanitize:
+		return "sanitize"
+	case KindWXFlip:
+		return "wx-flip"
+	case KindDomainSwitch:
+		return "domain-switch"
+	case KindViolation:
+		return "VIOLATION"
+	case KindEnter:
+		return "lz-enter"
+	default:
+		return "event"
+	}
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	Cycle int64
+	Kind  Kind
+	PID   int
+	Note  string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("[%10d] pid=%-3d %-13s %s", e.Cycle, e.PID, e.Kind, e.Note)
+}
+
+// Recorder is a bounded ring of events. The zero value is unusable; use
+// NewRecorder. A nil *Recorder is safe to record into (no-op), so
+// components can hold an optional recorder without nil checks.
+type Recorder struct {
+	events []Event
+	next   int
+	full   bool
+
+	// Counts aggregates per kind regardless of ring eviction.
+	Counts map[Kind]int64
+}
+
+// NewRecorder creates a recorder keeping the last capacity events.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Recorder{
+		events: make([]Event, capacity),
+		Counts: make(map[Kind]int64),
+	}
+}
+
+// Record appends an event. Safe on a nil recorder.
+func (r *Recorder) Record(cycle int64, kind Kind, pid int, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	r.Counts[kind]++
+	r.events[r.next] = Event{Cycle: cycle, Kind: kind, PID: pid, Note: fmt.Sprintf(format, args...)}
+	r.next++
+	if r.next == len(r.events) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Events returns the recorded events in order, oldest first.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	if !r.full {
+		out := make([]Event, r.next)
+		copy(out, r.events[:r.next])
+		return out
+	}
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.next:]...)
+	out = append(out, r.events[:r.next]...)
+	return out
+}
+
+// Len reports how many events are retained.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	if r.full {
+		return len(r.events)
+	}
+	return r.next
+}
+
+// Dump renders the retained timeline.
+func (r *Recorder) Dump() string {
+	var b strings.Builder
+	for _, e := range r.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Summary renders per-kind counts.
+func (r *Recorder) Summary() string {
+	if r == nil {
+		return ""
+	}
+	var b strings.Builder
+	for k := KindTrap; k <= KindEnter; k++ {
+		if n := r.Counts[k]; n > 0 {
+			fmt.Fprintf(&b, "%s=%d ", k, n)
+		}
+	}
+	return strings.TrimSpace(b.String())
+}

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecorderOrderAndCounts(t *testing.T) {
+	r := NewRecorder(8)
+	for i := 0; i < 5; i++ {
+		r.Record(int64(i*100), KindTrap, 1, "trap %d", i)
+	}
+	r.Record(600, KindViolation, 1, "boom")
+	evs := r.Events()
+	if len(evs) != 6 || r.Len() != 6 {
+		t.Fatalf("len = %d/%d", len(evs), r.Len())
+	}
+	if evs[0].Cycle != 0 || evs[5].Kind != KindViolation {
+		t.Errorf("order wrong: %+v", evs)
+	}
+	if r.Counts[KindTrap] != 5 || r.Counts[KindViolation] != 1 {
+		t.Errorf("counts = %v", r.Counts)
+	}
+}
+
+func TestRecorderRingEviction(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Record(int64(i), KindSyscall, 2, "s%d", i)
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d", len(evs))
+	}
+	if evs[0].Cycle != 6 || evs[3].Cycle != 9 {
+		t.Errorf("ring order: %+v", evs)
+	}
+	if r.Counts[KindSyscall] != 10 {
+		t.Errorf("counts survived eviction: %d", r.Counts[KindSyscall])
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(1, KindTrap, 1, "x") // must not panic
+	if r.Events() != nil || r.Len() != 0 || r.Summary() != "" {
+		t.Error("nil recorder misbehaved")
+	}
+}
+
+func TestDumpAndSummary(t *testing.T) {
+	r := NewRecorder(16)
+	r.Record(10, KindEnter, 3, "scalable")
+	r.Record(20, KindDomainSwitch, 3, "ttbr0")
+	out := r.Dump()
+	if !strings.Contains(out, "lz-enter") || !strings.Contains(out, "domain-switch") {
+		t.Errorf("dump = %q", out)
+	}
+	sum := r.Summary()
+	if !strings.Contains(sum, "domain-switch=1") {
+		t.Errorf("summary = %q", sum)
+	}
+}
+
+func TestKindStringsTotal(t *testing.T) {
+	for k := KindTrap; k <= KindEnter+1; k++ {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty name", k)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"fmt"
+
+	"lightzone/internal/arm64"
+	"lightzone/internal/core"
+	"lightzone/internal/hyp"
+	"lightzone/internal/kernel"
+	"lightzone/internal/mem"
+)
+
+// Ablations of the paper's §5.2 trap optimizations and §5.1.2 design
+// choices: each ablation disables exactly one mechanism and measures the
+// resulting cost on the path it protects, making every optimization's
+// contribution causal and quantified.
+
+// AblationResult is one ablation measurement.
+type AblationResult struct {
+	Name      string
+	Metric    string
+	Optimized float64
+	Ablated   float64
+}
+
+// Factor returns the slowdown the ablation causes.
+func (r AblationResult) Factor() float64 {
+	if r.Optimized == 0 {
+		return 0
+	}
+	return r.Ablated / r.Optimized
+}
+
+// RunAblations measures every ablation on one cost profile.
+func RunAblations(prof *arm64.Profile) ([]AblationResult, error) {
+	out := make([]AblationResult, 0, 5)
+
+	// §5.2.1: retain HCR_EL2/VTTBR_EL2 across host LightZone traps.
+	base, err := measureLZSyscallOpts(prof, hyp.Opts{}, core.Opts{})
+	if err != nil {
+		return nil, fmt.Errorf("retain base: %w", err)
+	}
+	ablated, err := measureLZSyscallOpts(prof, hyp.Opts{DisableRetainRegs: true}, core.Opts{})
+	if err != nil {
+		return nil, fmt.Errorf("retain ablated: %w", err)
+	}
+	out = append(out, AblationResult{
+		Name: "retain-hcr-vttbr (5.2.1)", Metric: "lz-host-syscall cycles",
+		Optimized: base, Ablated: ablated,
+	})
+
+	// §5.2.2: shared pt_regs page between Lowvisor and guest kernel.
+	gBase, err := measureLZGuestSyscallOpts(prof, hyp.Opts{})
+	if err != nil {
+		return nil, fmt.Errorf("shared-ptregs base: %w", err)
+	}
+	gAblated, err := measureLZGuestSyscallOpts(prof, hyp.Opts{DisableSharedPtRegs: true})
+	if err != nil {
+		return nil, fmt.Errorf("shared-ptregs ablated: %w", err)
+	}
+	out = append(out, AblationResult{
+		Name: "shared-pt-regs (5.2.2)", Metric: "lz-guest-syscall cycles",
+		Optimized: gBase, Ablated: gAblated,
+	})
+
+	// §5.2.2: partial EL1 register switch in the Lowvisor.
+	pAblated, err := measureLZGuestSyscallOpts(prof, hyp.Opts{DisablePartialSwitch: true})
+	if err != nil {
+		return nil, fmt.Errorf("partial-switch ablated: %w", err)
+	}
+	out = append(out, AblationResult{
+		Name: "partial-el1-switch (5.2.2)", Metric: "lz-guest-syscall cycles",
+		Optimized: gBase, Ablated: pAblated,
+	})
+
+	// §5.2: eager stage-2 mapping during stage-1 faults.
+	fBase, err := measureFaultStorm(prof, core.Opts{})
+	if err != nil {
+		return nil, fmt.Errorf("eager-s2 base: %w", err)
+	}
+	fAblated, err := measureFaultStorm(prof, core.Opts{DisableEagerS2: true})
+	if err != nil {
+		return nil, fmt.Errorf("eager-s2 ablated: %w", err)
+	}
+	out = append(out, AblationResult{
+		Name: "eager-stage2-mapping (5.2)", Metric: "cold-page touch cycles",
+		Optimized: fBase, Ablated: fAblated,
+	})
+
+	// §5.1.2: the fake-physical randomization layer's cost (its ablation
+	// is *cheaper* but leaks real physical addresses through PTEs).
+	iBase, err := measureLZSyscallOpts(prof, hyp.Opts{}, core.Opts{IdentityPhys: true})
+	if err != nil {
+		return nil, fmt.Errorf("identity-phys: %w", err)
+	}
+	out = append(out, AblationResult{
+		Name: "fake-physical-layer (5.1.2)", Metric: "lz-host-syscall cycles",
+		Optimized: iBase, Ablated: base, // identity is the "intuitive" baseline
+	})
+	return out, nil
+}
+
+// measureLZSyscallOpts measures a warm LightZone host syscall under the
+// given optimization switches.
+func measureLZSyscallOpts(prof *arm64.Profile, hopts hyp.Opts, copts core.Opts) (float64, error) {
+	plat := Platform{prof, false}
+	env, err := NewEnv(plat)
+	if err != nil {
+		return 0, err
+	}
+	env.M.Hyp.Opts = hopts
+	env.K.DisableRetainOpt = hopts.DisableRetainRegs
+	env.LZ.Opts = copts
+	return measureSyscallInEnv(env, true)
+}
+
+// measureLZGuestSyscallOpts measures a warm guest LightZone syscall.
+func measureLZGuestSyscallOpts(prof *arm64.Profile, hopts hyp.Opts) (float64, error) {
+	plat := Platform{prof, true}
+	env, err := NewEnv(plat)
+	if err != nil {
+		return 0, err
+	}
+	env.M.Hyp.Opts = hopts
+	return measureSyscallInEnv(env, true)
+}
+
+// measureSyscallInEnv is measureSyscall against a pre-configured env.
+func measureSyscallInEnv(env *Env, lz bool) (float64, error) {
+	const iters = 64
+	a := arm64.NewAsm()
+	if lz {
+		svcCall(a, core.SysLZEnter, 1, uint64(core.SanTTBR))
+		hvcCall(a, SysMarkBegin)
+		for i := 0; i < iters; i++ {
+			hvcCall(a, kernel.SysGetpid)
+		}
+		hvcCall(a, SysMarkEnd)
+		hvcCall(a, kernel.SysExit, 0)
+	} else {
+		svcCall(a, SysMarkBegin)
+		for i := 0; i < iters; i++ {
+			svcCall(a, kernel.SysGetpid)
+		}
+		svcCall(a, SysMarkEnd)
+		svcCall(a, kernel.SysExit, 0)
+	}
+	p, err := env.NewProcess("ablation-probe", a, nil, nil)
+	if err != nil {
+		return 0, err
+	}
+	if err := env.Run(p, 1_000_000); err != nil {
+		return 0, err
+	}
+	if p.Killed {
+		return 0, fmt.Errorf("probe killed: %s", p.KillMsg)
+	}
+	return float64(env.Measured()) / iters, nil
+}
+
+// measureFaultStorm touches many cold pages from inside LightZone; with
+// eager stage-2 mapping each touch costs one forwarded stage-1 fault, with
+// the ablation the first access after the stage-1 fix faults again at
+// stage 2 (the paper's "back-to-back page faults").
+func measureFaultStorm(prof *arm64.Profile, copts core.Opts) (float64, error) {
+	const (
+		pages = 64
+		base  = uint64(0x5200_0000)
+	)
+	plat := Platform{prof, false}
+	env, err := NewEnv(plat)
+	if err != nil {
+		return 0, err
+	}
+	env.LZ.Opts = copts
+	a := arm64.NewAsm()
+	svcCall(a, core.SysLZEnter, 1, uint64(core.SanTTBR))
+	hvcCall(a, kernel.SysMmap, base, pages*mem.PageSize, uint64(kernel.ProtRead|kernel.ProtWrite))
+	hvcCall(a, SysMarkBegin)
+	a.MovImm(10, base)
+	a.MovImm(11, pages)
+	a.MovImm(12, mem.PageSize)
+	a.Label("touch")
+	a.Emit(arm64.STRImm(11, 10, 0, 3))
+	a.Emit(arm64.ADDReg(10, 10, 12))
+	a.Emit(arm64.SUBSImm(11, 11, 1))
+	a.BCond(arm64.CondNE, "touch")
+	hvcCall(a, SysMarkEnd)
+	hvcCall(a, kernel.SysExit, 0)
+	p, err := env.NewProcess("fault-probe", a, nil, nil)
+	if err != nil {
+		return 0, err
+	}
+	if err := env.Run(p, 1_000_000); err != nil {
+		return 0, err
+	}
+	if p.Killed {
+		return 0, fmt.Errorf("probe killed: %s", p.KillMsg)
+	}
+	return float64(env.Measured()) / pages, nil
+}

@@ -1,0 +1,44 @@
+package workload
+
+import (
+	"testing"
+
+	"lightzone/internal/arm64"
+)
+
+// Every §5.2 optimization must be load-bearing: ablating it has to make
+// the path it protects measurably slower (and never faster).
+func TestAblationsAreLoadBearing(t *testing.T) {
+	for _, prof := range arm64.Profiles() {
+		t.Run(prof.Name, func(t *testing.T) {
+			results, err := RunAblations(prof)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range results {
+				t.Logf("%-30s %s: optimized %.0f, ablated %.0f (%.2fx)",
+					r.Name, r.Metric, r.Optimized, r.Ablated, r.Factor())
+				if r.Ablated < r.Optimized {
+					t.Errorf("%s: ablation made the path faster (%.0f < %.0f)",
+						r.Name, r.Ablated, r.Optimized)
+				}
+			}
+			// The retain optimization is the headline on Carmel: its
+			// ablation must add roughly the measured HCR+VTTBR write
+			// costs per trap (Table 4: ~2,700 cycles on Carmel).
+			retain := results[0]
+			wantDelta := float64(2 * (prof.SysRegWriteCost(arm64.HCREL2) + prof.SysRegWriteCost(arm64.VTTBREL2)))
+			delta := retain.Ablated - retain.Optimized
+			if delta < wantDelta*0.8 || delta > wantDelta*1.3 {
+				t.Errorf("retain ablation delta = %.0f, want about %.0f", delta, wantDelta)
+			}
+			// The eager stage-2 ablation must produce the back-to-back
+			// fault pattern: a cold-page touch costs at least one extra
+			// trap roundtrip.
+			eager := results[3]
+			if eager.Ablated-eager.Optimized < float64(prof.ExcEntryTo[2]) {
+				t.Errorf("eager-s2 ablation too cheap: %.0f vs %.0f", eager.Ablated, eager.Optimized)
+			}
+		})
+	}
+}

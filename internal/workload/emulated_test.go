@@ -1,0 +1,60 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"lightzone/internal/arm64"
+)
+
+// TestEmulatedTxnMatchesAnalyticModel cross-validates the two evaluation
+// paths: the analytic request model (measured primitives composed per
+// AppParams) and the end-to-end emulated transaction worker must agree on
+// cycles per transaction for the same per-transaction structure.
+func TestEmulatedTxnMatchesAnalyticModel(t *testing.T) {
+	for _, profName := range []string{"CortexA55", "Carmel"} {
+		t.Run(profName, func(t *testing.T) {
+			prof, _ := arm64.ProfileByName(profName)
+			plat := Platform{prof, false}
+			pr, err := MeasurePrimitives(plat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			params := AppParams{
+				Name:           "cross-check",
+				WorkCycles:     map[string]float64{profName: 50_000},
+				SyscallsPerReq: 3,
+				PanPairsPerReq: 8,
+				// Analytic gate passes measured at 2 domains include one
+				// access each, like the worker's.
+				GatePassesPerReq: 2,
+				Domains:          2,
+				S2MissesPerReq:   map[string]float64{profName: 0},
+			}
+			for _, variant := range []Variant{VariantNone, VariantLZPAN, VariantLZTTBR} {
+				analytic, err := pr.CyclesPerRequest(params, variant)
+				if err != nil {
+					t.Fatal(err)
+				}
+				emulated, err := RunEmulatedTxnWorker(EmulatedTxnConfig{
+					Platform:   plat,
+					Variant:    variant,
+					Txns:       200,
+					WorkCycles: 50_000,
+					PanPairs:   8,
+					GatePairs:  2,
+					Syscalls:   3,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				drift := math.Abs(emulated-analytic) / analytic
+				t.Logf("%s %-14s analytic %.0f, emulated %.0f (drift %.1f%%)",
+					profName, variant, analytic, emulated, drift*100)
+				if drift > 0.12 {
+					t.Errorf("%s: analytic model and emulation disagree by %.1f%%", variant, drift*100)
+				}
+			}
+		})
+	}
+}

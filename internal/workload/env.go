@@ -1,0 +1,174 @@
+// Package workload implements the paper's evaluation workloads: the
+// domain-switching microbenchmark (Table 5), the Nginx/OpenSSL key
+// protection model (Figure 3), the MySQL OLTP model (Figure 4), the NVM
+// data-structure benchmark (Figure 5), and the §7.2 penetration tests. The
+// isolation machinery — call gates, PAN toggles, traps, page faults — runs
+// natively on the emulator; bulk application work charges calibrated cycle
+// costs (see DESIGN.md).
+package workload
+
+import (
+	"fmt"
+
+	"lightzone/internal/arm64"
+	"lightzone/internal/baseline"
+	"lightzone/internal/core"
+	"lightzone/internal/cpu"
+	"lightzone/internal/hyp"
+	"lightzone/internal/kernel"
+	"lightzone/internal/trace"
+)
+
+// Variant selects the isolation mechanism under evaluation.
+type Variant string
+
+// Evaluated variants (the five curves of Figures 3-5).
+const (
+	VariantNone       Variant = "original"
+	VariantLZPAN      Variant = "lightzone-pan"
+	VariantLZTTBR     Variant = "lightzone-ttbr"
+	VariantWatchpoint Variant = "watchpoint"
+	VariantLwC        Variant = "lwc"
+)
+
+// Variants lists all evaluated variants in the paper's presentation order.
+func Variants() []Variant {
+	return []Variant{VariantNone, VariantLZPAN, VariantLZTTBR, VariantWatchpoint, VariantLwC}
+}
+
+// Platform selects a cost profile and host/guest placement — the four
+// platform columns of the paper's figures (Carmel Host/Guest, Cortex
+// Host/Guest).
+type Platform struct {
+	Prof  *arm64.Profile
+	Guest bool
+}
+
+func (p Platform) String() string {
+	pos := "Host"
+	if p.Guest {
+		pos = "Guest"
+	}
+	return p.Prof.Name + " " + pos
+}
+
+// AllPlatforms returns the four evaluation platforms.
+func AllPlatforms() []Platform {
+	return []Platform{
+		{arm64.ProfileCarmel(), false},
+		{arm64.ProfileCarmel(), true},
+		{arm64.ProfileCortexA55(), false},
+		{arm64.ProfileCortexA55(), true},
+	}
+}
+
+// Marker module syscall numbers (measurement probes).
+const (
+	SysMarkBegin = 480
+	SysMarkEnd   = 481
+)
+
+// Marker records vCPU cycle counts at program-selected points.
+type Marker struct {
+	c     *cpu.VCPU
+	Begin int64
+	End   int64
+}
+
+var _ kernel.Module = (*Marker)(nil)
+
+// HandleExit implements kernel.Module.
+func (m *Marker) HandleExit(k *kernel.Kernel, t *kernel.Thread, exit cpu.Exit) (bool, error) {
+	return false, nil
+}
+
+// Syscall implements kernel.Module.
+func (m *Marker) Syscall(k *kernel.Kernel, t *kernel.Thread, num int, args [6]uint64) (uint64, bool, error) {
+	switch num {
+	case SysMarkBegin:
+		m.Begin = m.c.Cycles
+		return 0, true, nil
+	case SysMarkEnd:
+		m.End = m.c.Cycles
+		return 0, true, nil
+	}
+	return 0, false, nil
+}
+
+// Env is a booted evaluation environment: a machine with the LightZone
+// module, both baselines, and the measurement marker installed on the
+// process-owning kernel (the host kernel, or a guest VM's kernel).
+type Env struct {
+	Platform Platform
+	M        *hyp.Machine
+	K        *kernel.Kernel
+	VM       *hyp.VM
+	LZ       *core.LightZone
+	WP       *baseline.Watchpoint
+	LWC      *baseline.LwC
+	Marks    *Marker
+}
+
+// EnableTrace attaches an event recorder to the LightZone module and
+// returns it.
+func (e *Env) EnableTrace(capacity int) *trace.Recorder {
+	rec := trace.NewRecorder(capacity)
+	e.LZ.Trace = rec
+	return rec
+}
+
+// NewEnv boots an environment for the platform.
+func NewEnv(p Platform) (*Env, error) {
+	m := hyp.NewMachine(p.Prof, 4<<30)
+	e := &Env{
+		Platform: p,
+		M:        m,
+		LZ:       core.New(m.Hyp),
+		WP:       baseline.NewWatchpoint(),
+		LWC:      baseline.NewLwC(),
+		Marks:    &Marker{c: m.CPU},
+	}
+	if p.Guest {
+		vm, err := m.NewGuestVM("guest")
+		if err != nil {
+			return nil, err
+		}
+		e.VM = vm
+		e.K = vm.Kernel
+		core.InstallLowvisor(m.Hyp, e.LZ)
+	} else {
+		e.K = m.Host
+	}
+	e.K.Module = kernel.ModuleMux{e.LZ, e.WP, e.LWC, e.Marks}
+	return e, nil
+}
+
+// NewProcess assembles a program and creates a process, registering any
+// gate entries (resolved relative to the text base).
+func (e *Env) NewProcess(name string, a *arm64.Asm, data []byte, entries []core.GateEntry, extra ...kernel.VMA) (*kernel.Process, error) {
+	words, err := a.Assemble()
+	if err != nil {
+		return nil, fmt.Errorf("assemble %s: %w", name, err)
+	}
+	p, err := e.K.CreateProcess(name, kernel.Program{Text: words, Data: data, Extra: extra})
+	if err != nil {
+		return nil, err
+	}
+	resolved := make([]core.GateEntry, len(entries))
+	for i, ge := range entries {
+		resolved[i] = core.GateEntry{GateID: ge.GateID, Entry: uint64(kernel.TextBase) + ge.Entry}
+	}
+	e.LZ.RegisterGateEntries(p, resolved)
+	return p, nil
+}
+
+// Run executes a process to completion.
+func (e *Env) Run(p *kernel.Process, maxTraps int64) error {
+	if e.Platform.Guest {
+		return e.M.RunGuestProcess(e.VM, p, maxTraps)
+	}
+	return e.M.RunHostProcess(p, maxTraps)
+}
+
+// Measured returns the cycles between the program's begin/end markers.
+func (e *Env) Measured() int64 { return e.Marks.End - e.Marks.Begin }

@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+// paperFig holds the paper's quoted overhead percentages per platform and
+// variant for a figure, with tolerance in absolute percentage points.
+type figCell struct {
+	guest   bool
+	carmel  bool
+	variant Variant
+	paper   float64
+	tolPP   float64
+}
+
+func primsFor(t *testing.T, carmel, guest bool) *Primitives {
+	t.Helper()
+	var plat Platform
+	for _, p := range AllPlatforms() {
+		if (p.Prof.Name == "Carmel") == carmel && p.Guest == guest {
+			plat = p
+		}
+	}
+	pr, err := MeasurePrimitives(plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr
+}
+
+func TestFigure3NginxOverheadsMatchPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweep is slow")
+	}
+	cells := []figCell{
+		// §9.1 quoted losses.
+		{false, true, VariantLZPAN, 1.35, 1.5},
+		{false, true, VariantLZTTBR, 5.65, 3},
+		{false, true, VariantWatchpoint, 45.46, 6},
+		{false, true, VariantLwC, 59.03, 6},
+		{true, true, VariantLZPAN, 25.24, 6},
+		{true, true, VariantLZTTBR, 26.91, 6},
+		{true, true, VariantWatchpoint, 23.58, 6},
+		{true, true, VariantLwC, 26.65, 7},
+		{false, false, VariantLZPAN, 0.91, 1},
+		{false, false, VariantLZTTBR, 3.01, 2},
+		{false, false, VariantWatchpoint, 6.14, 2},
+		{false, false, VariantLwC, 13.71, 3},
+		{true, false, VariantLZPAN, 1.98, 1.5},
+		{true, false, VariantLZTTBR, 2.03, 1.5},
+		{true, false, VariantWatchpoint, 6.04, 2},
+		{true, false, VariantLwC, 21.24, 5},
+	}
+	checkFigureCells(t, cells, func(pr *Primitives) (map[Variant]float64, error) {
+		series, err := NginxFigure(pr)
+		if err != nil {
+			return nil, err
+		}
+		out := map[Variant]float64{}
+		for _, s := range series {
+			out[s.Variant] = s.OverheadPct
+		}
+		return out, nil
+	})
+}
+
+func TestFigure5NVMOverheadsMatchPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweep is slow")
+	}
+	cells := []figCell{
+		// §9.3 quoted average overheads.
+		{false, true, VariantLZPAN, 1.75, 1.5},
+		{false, true, VariantLZTTBR, 12.92, 4},
+		{true, true, VariantLZPAN, 4.39, 3.5},
+		{true, true, VariantLZTTBR, 16.64, 5},
+		{false, false, VariantLZPAN, 0.26, 1},
+		{false, false, VariantLZTTBR, 1.81, 1.5},
+		{true, false, VariantLZPAN, 0.20, 1},
+		{true, false, VariantLZTTBR, 3.76, 1.5},
+	}
+	checkFigureCells(t, cells, func(pr *Primitives) (map[Variant]float64, error) {
+		series, err := NVMFigure(pr)
+		if err != nil {
+			return nil, err
+		}
+		out := map[Variant]float64{}
+		for _, s := range series {
+			var sum float64
+			for _, v := range s.OverheadPct {
+				sum += v
+			}
+			out[s.Variant] = sum / float64(len(s.OverheadPct))
+		}
+		return out, nil
+	})
+}
+
+func checkFigureCells(t *testing.T, cells []figCell, eval func(*Primitives) (map[Variant]float64, error)) {
+	t.Helper()
+	type key struct{ carmel, guest bool }
+	cache := map[key]map[Variant]float64{}
+	for _, c := range cells {
+		k := key{c.carmel, c.guest}
+		got, ok := cache[k]
+		if !ok {
+			pr := primsFor(t, c.carmel, c.guest)
+			var err error
+			got, err = eval(pr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cache[k] = got
+		}
+		if math.Abs(got[c.variant]-c.paper) > c.tolPP {
+			t.Errorf("carmel=%v guest=%v %v: %.2f%%, paper %.2f%% (tol ±%.1fpp)",
+				c.carmel, c.guest, c.variant, got[c.variant], c.paper, c.tolPP)
+		}
+	}
+}
+
+// Figure 4's headline structural claims (§9.2): LightZone PAN is near
+// free, TTBR stays in single digits at high thread counts on hosts, and
+// LightZone's saturated TTBR loss on Carmel hosts lands in the paper's
+// 5.26-6.23%-ish stabilization band.
+func TestFigure4MySQLStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweep is slow")
+	}
+	for _, carmel := range []bool{true, false} {
+		pr := primsFor(t, carmel, false)
+		series, err := MySQLFigure(pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loss := map[Variant]float64{}
+		for _, s := range series {
+			loss[s.Variant] = s.OverheadPct
+		}
+		if loss[VariantLZPAN] > 2 {
+			t.Errorf("carmel=%v: PAN loss %.2f%% exceeds the paper's <1-ish bound", carmel, loss[VariantLZPAN])
+		}
+		if loss[VariantLZTTBR] < loss[VariantLZPAN] {
+			t.Errorf("carmel=%v: TTBR (%.2f%%) cheaper than PAN (%.2f%%)", carmel, loss[VariantLZTTBR], loss[VariantLZPAN])
+		}
+		if loss[VariantLZTTBR] > 8 {
+			t.Errorf("carmel=%v: TTBR loss %.2f%% far above the 5.26-6.23%% stabilization band", carmel, loss[VariantLZTTBR])
+		}
+		if carmel && loss[VariantWatchpoint] < loss[VariantLZTTBR] {
+			t.Errorf("watchpoint (%.2f%%) beat TTBR (%.2f%%) on Carmel host", loss[VariantWatchpoint], loss[VariantLZTTBR])
+		}
+		// Throughput must scale up with threads to the core count.
+		for _, s := range series {
+			if s.Points[0].Tput >= s.Points[3].Tput {
+				t.Errorf("carmel=%v %v: no thread scaling (%f >= %f)", carmel, s.Variant, s.Points[0].Tput, s.Points[3].Tput)
+			}
+		}
+	}
+}
+
+// The Carmel-guest anomaly of Figure 3 (§9.1): on Carmel hosts Watchpoint
+// and lwC collapse (trap-bound), while on Carmel guests all protections
+// land in the same ~25% band and Watchpoint actually edges out LightZone —
+// the crossover the paper explains by guest traps being cheaper than host
+// traps on Carmel.
+func TestFigure3CarmelCrossover(t *testing.T) {
+	host := primsFor(t, true, false)
+	guest := primsFor(t, true, true)
+	hostSeries, err := NginxFigure(host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guestSeries, err := NginxFigure(guest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(series []FigureSeries, v Variant) float64 {
+		for _, s := range series {
+			if s.Variant == v {
+				return s.OverheadPct
+			}
+		}
+		return math.NaN()
+	}
+	if wp, lz := get(hostSeries, VariantWatchpoint), get(hostSeries, VariantLZTTBR); wp < 4*lz {
+		t.Errorf("host: watchpoint (%.1f%%) does not collapse against TTBR (%.1f%%)", wp, lz)
+	}
+	if wp, lz := get(guestSeries, VariantWatchpoint), get(guestSeries, VariantLZPAN); wp > lz {
+		t.Errorf("guest: watchpoint (%.1f%%) should edge out LightZone PAN (%.1f%%)", wp, lz)
+	}
+}

@@ -1,0 +1,64 @@
+package workload
+
+import "testing"
+
+// Memory overheads (§9.1-§9.3). These are *measured* from the real page
+// tables the module builds, not modelled; the assertions encode the
+// paper's reported values with bands wide enough for the layout
+// simplifications documented in DESIGN.md.
+func TestNginxMemoryOverheads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memory layout construction is slow")
+	}
+	m, err := NginxMemory(AllPlatforms()[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FragPct < 1.0 || m.FragPct > 2.2 {
+		t.Errorf("fragmentation = %.2f%%, paper 1.6%%", m.FragPct)
+	}
+	if m.PANPTPct > 2.0 {
+		t.Errorf("PAN page-table overhead = %.2f%%, paper 1.2%%", m.PANPTPct)
+	}
+	if m.TTBRPTPct < 15 || m.TTBRPTPct > 30 {
+		t.Errorf("TTBR page-table overhead = %.2f%%, paper 22.2%%", m.TTBRPTPct)
+	}
+}
+
+func TestMySQLMemoryOverheads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memory layout construction is slow")
+	}
+	m, err := MySQLMemory(AllPlatforms()[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FragPct < 8 || m.FragPct > 18 {
+		t.Errorf("application overhead = %.2f%%, paper 13.3%%", m.FragPct)
+	}
+	if m.PANPTPct > 1.5 {
+		t.Errorf("PAN page-table overhead = %.2f%%, paper 0.2%%", m.PANPTPct)
+	}
+	if m.TTBRPTPct < 4 || m.TTBRPTPct > 14 {
+		t.Errorf("TTBR page-table overhead = %.2f%%, paper 9.8%%", m.TTBRPTPct)
+	}
+}
+
+func TestNVMMemoryOverheads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memory layout construction is slow")
+	}
+	m, err := NVMMemory(AllPlatforms()[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FragPct != 0 {
+		t.Errorf("fragmentation = %.2f%%, paper reports none", m.FragPct)
+	}
+	if m.PANPTPct > 1 {
+		t.Errorf("PAN page-table overhead = %.2f%%, paper negligible", m.PANPTPct)
+	}
+	if m.TTBRPTPct < 3 || m.TTBRPTPct > 15 {
+		t.Errorf("TTBR page-table overhead = %.2f%%, paper 12.1%%", m.TTBRPTPct)
+	}
+}

@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"testing"
+
+	"lightzone/internal/arm64"
+	"lightzone/internal/core"
+	"lightzone/internal/kernel"
+)
+
+// TestNVMSearchModelAnchor validates the NVM workload model's central
+// constant against reality: the paper reports each substring search costs
+// 7,000-8,500 cycles on both SoCs (§9.3); the model charges
+// nvmParams.WorkCycles per search. Here an actual byte-scan search runs on
+// the emulator inside a LightZone domain, and its measured cost must land
+// in the same range the model assumes.
+func TestNVMSearchModelAnchor(t *testing.T) {
+	for _, plat := range []Platform{
+		{arm64.ProfileCarmel(), false},
+		{arm64.ProfileCortexA55(), false},
+	} {
+		t.Run(plat.Prof.Name, func(t *testing.T) {
+			env, err := NewEnv(plat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Haystack: ~1KB of zeros with the needle byte near the
+			// end, so the scan walks most of the buffer (the paper's
+			// searches have "fixed time complexity").
+			const needleAt = 900
+			hay := make([]byte, 1024)
+			hay[needleAt] = 0xEE
+
+			a := arm64.NewAsm()
+			svcCall(a, core.SysLZEnter, 0, uint64(core.SanPAN))
+			hvcCall(a, core.SysLZProt, uint64(kernel.DataBase), 4096, 0,
+				core.PermRead|core.PermWrite|core.PermUser)
+			// Warm pass (fault the page in, fill the TLB).
+			core.EmitSetPAN(a, 0)
+			a.MovImm(10, uint64(kernel.DataBase))
+			a.Emit(arm64.LDRImm(11, 10, 0, 0))
+			core.EmitSetPAN(a, 1)
+			// Measured search: scan for 0xEE.
+			hvcCall(a, SysMarkBegin)
+			core.EmitSetPAN(a, 0)
+			a.MovImm(10, uint64(kernel.DataBase))
+			a.MovImm(12, 0xEE)
+			a.Label("scan")
+			a.Emit(arm64.LDRImm(11, 10, 0, 0))
+			a.Emit(arm64.ADDImm(10, 10, 1, false))
+			a.Emit(arm64.SUBSReg(9, 11, 12))
+			a.BCond(arm64.CondNE, "scan")
+			core.EmitSetPAN(a, 1)
+			hvcCall(a, SysMarkEnd)
+			hvcCall(a, kernel.SysExit, 0)
+
+			p, err := env.NewProcess("search", a, hay, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := env.Run(p, 1_000_000); err != nil {
+				t.Fatal(err)
+			}
+			if p.Killed {
+				t.Fatalf("killed: %s", p.KillMsg)
+			}
+			got := env.Measured()
+			// The paper's band with slack for our scan's exact shape.
+			if got < 4_500 || got > 12_000 {
+				t.Errorf("emulated search = %d cycles, paper reports 7,000-8,500", got)
+			}
+			model := nvmParams.WorkCycles[plat.Prof.Name]
+			ratio := float64(got) / model
+			if ratio < 0.55 || ratio > 1.6 {
+				t.Errorf("model anchor drift: emulated %d vs modelled %.0f (%.2fx)", got, model, ratio)
+			}
+			t.Logf("%s: emulated search %d cycles (model %.0f)", plat.Prof.Name, got, model)
+		})
+	}
+}

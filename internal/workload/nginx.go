@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"fmt"
+
+	"lightzone/internal/core"
+	"lightzone/internal/kernel"
+	"lightzone/internal/mem"
+)
+
+// Figure 3 — cryptographic key protection in Nginx (§9.1).
+//
+// Workload: ab issues 10,000 HTTPS requests for a 1KB file against a
+// single-worker Nginx 1.12.1 whose OpenSSL AES keys are isolated: one
+// domain per AES_KEY instance with function-grained call gates (TTBR), or
+// all keys in one PAN domain. The model parameters below encode the
+// per-request structure; the measured primitives supply every cycle cost.
+//
+// Model parameters (see EXPERIMENTS.md for the derivation):
+//   - Work cycles: steady-state request processing (TLS record decrypt/
+//     encrypt of 1KB, HTTP parsing, buffer management) excluding kernel
+//     crossings.
+//   - 1 blocking kernel crossing per keep-alive request on the epoll
+//     critical path (other syscalls overlap with interrupt processing).
+//   - 10 gate passes per request: 5 key uses x (acquire + release).
+//   - 4 PAN toggle pairs per request in the PAN configuration (key
+//     accesses batched per TLS record).
+//   - ~93 live key domains (one per connection's AES_KEY) — the domain
+//     count that also drives the §9.1 memory overheads.
+var nginxParams = AppParams{
+	Name: "nginx",
+	WorkCycles: map[string]float64{
+		"Carmel":    81_000,
+		"CortexA55": 139_000,
+	},
+	SyscallsPerReq:    1,
+	GatePassesPerReq:  10,
+	PanPairsPerReq:    4,
+	WPSwitchesPerReq:  10,
+	LwCSwitchesPerReq: 10,
+	Domains:           93,
+	S2MissesPerReq: map[string]float64{
+		"Carmel":    17,
+		"CortexA55": 17,
+	},
+	TTBRS1MissesPerReq: 6,
+}
+
+// NginxConcurrencies is the ab -c sweep of Figure 3.
+var NginxConcurrencies = []int{1, 2, 4, 8, 16, 24, 32}
+
+// FigurePoint is one (x, throughput) sample of a figure series.
+type FigurePoint struct {
+	X    int
+	Tput float64 // requests (or transactions) per second
+}
+
+// FigureSeries is one variant's curve.
+type FigureSeries struct {
+	Variant Variant
+	Points  []FigurePoint
+	// OverheadPct is the saturated relative loss against the
+	// unprotected configuration (the number the paper quotes in §9).
+	OverheadPct float64
+}
+
+// NginxFigure computes the Figure 3 series for one platform.
+func NginxFigure(pr *Primitives) ([]FigureSeries, error) {
+	return requestFigure(pr, nginxParams, NginxConcurrencies, saturate)
+}
+
+// saturate models a single-worker server under c concurrent clients:
+// throughput ramps to the service capacity as the client pool hides
+// network round-trips.
+func saturate(capacity float64, c int) float64 {
+	return capacity * float64(c) / (float64(c) + 0.35)
+}
+
+// requestFigure evaluates all variants of a request workload.
+func requestFigure(pr *Primitives, p AppParams, xs []int, curve func(float64, int) float64) ([]FigureSeries, error) {
+	base, err := pr.CyclesPerRequest(p, VariantNone)
+	if err != nil {
+		return nil, err
+	}
+	freq := float64(pr.Plat.Prof.CPUFreqMHz) * 1e6
+	out := make([]FigureSeries, 0, len(Variants()))
+	for _, v := range Variants() {
+		cyc, err := pr.CyclesPerRequest(p, v)
+		if err != nil {
+			return nil, err
+		}
+		s := FigureSeries{
+			Variant:     v,
+			OverheadPct: (cyc - base) / cyc * 100,
+		}
+		capacity := freq / cyc
+		for _, x := range xs {
+			s.Points = append(s.Points, FigurePoint{X: x, Tput: curve(capacity, x)})
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// NginxMemory measures the §9.1 memory overheads by building the protected
+// process layout for real and reading the page-table state: baseline
+// application memory, per-key page fragmentation, and the page-table
+// overhead of the PAN and scalable configurations.
+type MemoryOverheads struct {
+	BaselineBytes uint64
+	FragPct       float64
+	PANPTPct      float64
+	TTBRPTPct     float64
+}
+
+// NginxMemory builds the Nginx protection layout (§9.1: 21.7MB baseline,
+// one 4KB page per AES_KEY).
+func NginxMemory(plat Platform) (MemoryOverheads, error) {
+	const (
+		appBytes = 21_700 * 1024 // 21.7MB baseline consumption
+		nKeys    = 93
+		keySize  = 280 // AES_KEY structure bytes
+		keysBase = mem.VA(0x6000_0000)
+	)
+	var out MemoryOverheads
+	out.BaselineBytes = appBytes
+	out.FragPct = float64(nKeys*(mem.PageSize-keySize)) / float64(appBytes) * 100
+
+	measure := func(scalable bool) (float64, error) {
+		env, err := NewEnv(plat)
+		if err != nil {
+			return 0, err
+		}
+		appVMA := kernel.VMA{Start: 0x4000_0000, End: 0x4000_0000 + mem.VA(appBytes-nKeys*mem.PageSize), Prot: kernel.ProtRead | kernel.ProtWrite, Name: "app"}
+		keysVMA := kernel.VMA{Start: keysBase, End: keysBase + mem.VA(nKeys*mem.PageSize), Prot: kernel.ProtRead | kernel.ProtWrite, Name: "keys"}
+		p, err := env.K.CreateProcess("nginx-mem", kernel.Program{Extra: []kernel.VMA{appVMA, keysVMA}})
+		if err != nil {
+			return 0, err
+		}
+		if err := p.AS.EnsureMapped(appVMA.Start, uint64(appVMA.End-appVMA.Start)); err != nil {
+			return 0, err
+		}
+		if err := p.AS.EnsureMapped(keysVMA.Start, uint64(keysVMA.End-keysVMA.Start)); err != nil {
+			return 0, err
+		}
+		policy := core.SanPAN
+		if scalable {
+			policy = core.SanTTBR
+		}
+		lp, err := env.LZ.EnterProcess(env.K, p, scalable, policy)
+		if err != nil {
+			return 0, err
+		}
+		if scalable {
+			for k := 0; k < nKeys; k++ {
+				id, err := lp.Alloc()
+				if err != nil {
+					return 0, err
+				}
+				addr := keysBase + mem.VA(k*mem.PageSize)
+				if err := lp.Prot(addr, mem.PageSize, id, core.PermRead|core.PermWrite); err != nil {
+					return 0, err
+				}
+			}
+		} else {
+			if err := lp.Prot(keysBase, nKeys*mem.PageSize, 0, core.PermRead|core.PermWrite|core.PermUser); err != nil {
+				return 0, err
+			}
+		}
+		return float64(lp.PageTableBytes()) / float64(appBytes) * 100, nil
+	}
+
+	var err error
+	if out.PANPTPct, err = measure(false); err != nil {
+		return out, fmt.Errorf("pan layout: %w", err)
+	}
+	if out.TTBRPTPct, err = measure(true); err != nil {
+		return out, fmt.Errorf("ttbr layout: %w", err)
+	}
+	return out, nil
+}

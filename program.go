@@ -1,0 +1,312 @@
+package lightzone
+
+import (
+	"fmt"
+
+	"lightzone/internal/arm64"
+	"lightzone/internal/core"
+	"lightzone/internal/kernel"
+	"lightzone/internal/mem"
+	"lightzone/internal/workload"
+)
+
+// Reg names an emulated general-purpose register (0..30).
+type Reg = uint8
+
+// Program builds an emulated ARM64 application against the LightZone API
+// (paper Table 2). Methods append instructions; errors are latched and
+// reported by System.Run. After EnterLightZone, syscalls are emitted
+// through the API library's HVC fast path automatically.
+type Program struct {
+	name      string
+	a         *arm64.Asm
+	data      []byte
+	extraVMAs []kernel.VMA
+	maxTraps  int64
+
+	entered   bool
+	gateUses  []gateUse
+	gateCount int
+	labelSeq  int
+	err       error
+}
+
+type gateUse struct {
+	gateID int
+	label  string
+}
+
+// NewProgram starts an empty program.
+func NewProgram(name string) *Program {
+	return &Program{name: name, a: arm64.NewAsm(), maxTraps: 10_000_000}
+}
+
+func (p *Program) fail(format string, args ...any) *Program {
+	if p.err == nil {
+		p.err = fmt.Errorf(format, args...)
+	}
+	return p
+}
+
+func (p *Program) nextLabel(prefix string) string {
+	p.labelSeq++
+	return fmt.Sprintf("%s_%d", prefix, p.labelSeq)
+}
+
+// WithData places bytes at the program's data base (DataAddr).
+func (p *Program) WithData(data []byte) *Program {
+	p.data = append([]byte(nil), data...)
+	return p
+}
+
+// WithRegion declares an additional memory region (like a loader segment).
+func (p *Program) WithRegion(addr uint64, length uint64, prot kernel.Prot) *Program {
+	p.extraVMAs = append(p.extraVMAs, kernel.VMA{
+		Start: mem.VA(addr),
+		End:   mem.VA(addr + length),
+		Prot:  prot,
+		Name:  "region",
+	})
+	return p
+}
+
+// DataAddr is where WithData bytes are mapped.
+func DataAddr() uint64 { return uint64(kernel.DataBase) }
+
+// syscall emits the right trap for the current world: SVC before
+// EnterLightZone, the API library's HVC fast path after.
+func (p *Program) syscall(num uint64, args ...uint64) *Program {
+	if len(args) > 6 {
+		return p.fail("syscall %d: too many arguments", num)
+	}
+	for i, arg := range args {
+		p.a.MovImm(uint8(i), arg)
+	}
+	p.a.MovImm(8, num)
+	if p.entered {
+		p.a.Emit(arm64.HVC(core.HVCSyscall))
+	} else {
+		p.a.Emit(arm64.SVC(0))
+	}
+	return p
+}
+
+// EnterLightZone emits lz_enter(allowScalable, policy): the one-way
+// ticket into the per-process virtual environment (Table 2).
+func (p *Program) EnterLightZone(allowScalable bool, policy SanPolicy) *Program {
+	if p.entered {
+		return p.fail("EnterLightZone called twice")
+	}
+	scal := uint64(0)
+	if allowScalable {
+		scal = 1
+	}
+	p.syscall(core.SysLZEnter, scal, uint64(policy))
+	p.entered = true
+	return p
+}
+
+// AllocPageTable emits lz_alloc(); the new table id lands in x0.
+func (p *Program) AllocPageTable() *Program {
+	return p.syscall(core.SysLZAlloc)
+}
+
+// FreePageTable emits lz_free(pgt).
+func (p *Program) FreePageTable(pgt int) *Program {
+	return p.syscall(core.SysLZFree, uint64(pgt))
+}
+
+// Protect emits lz_prot(addr, len, pgt, perm).
+func (p *Program) Protect(addr, length uint64, pgt int, perm int) *Program {
+	return p.syscall(core.SysLZProt, addr, length, uint64(int64(pgt)), uint64(perm))
+}
+
+// MapGatePgt emits lz_map_gate_pgt(pgt, gate).
+func (p *Program) MapGatePgt(pgt, gate int) *Program {
+	return p.syscall(core.SysLZMapGatePgt, uint64(pgt), uint64(gate))
+}
+
+// SwitchToGate expands lz_switch_to_ttbr_gate(gate): jump through the
+// secure call gate; execution resumes at the next emitted operation (the
+// gate's registered legitimate entry).
+func (p *Program) SwitchToGate(gate int) *Program {
+	if gate < 0 || gate >= core.MaxGates {
+		return p.fail("gate id %d out of range", gate)
+	}
+	label := core.EmitGateSwitch(p.a, gate, p.nextLabel("gate"))
+	p.gateUses = append(p.gateUses, gateUse{gateID: gate, label: label})
+	return p
+}
+
+// SetPAN emits set_pan(v): the PAN-based domain switch.
+func (p *Program) SetPAN(enabled bool) *Program {
+	v := uint8(0)
+	if enabled {
+		v = 1
+	}
+	core.EmitSetPAN(p.a, v)
+	return p
+}
+
+// MMap emits mmap(addr, len, prot) and leaves the address in x0.
+func (p *Program) MMap(addr, length uint64, prot kernel.Prot) *Program {
+	return p.syscall(kernel.SysMmap, addr, length, uint64(prot))
+}
+
+// Write emits write(1, addr, len).
+func (p *Program) Write(addr, length uint64) *Program {
+	return p.syscall(kernel.SysWrite, 1, addr, length)
+}
+
+// Getpid emits getpid(); the result lands in x0.
+func (p *Program) Getpid() *Program { return p.syscall(kernel.SysGetpid) }
+
+// Exit emits exit(code).
+func (p *Program) Exit(code int) *Program {
+	return p.syscall(kernel.SysExit, uint64(code))
+}
+
+// MarkBegin/MarkEnd bracket a measured section; System.Run reports the
+// cycles between them.
+func (p *Program) MarkBegin() *Program { return p.syscall(workload.SysMarkBegin) }
+
+// MarkEnd closes the measured section.
+func (p *Program) MarkEnd() *Program { return p.syscall(workload.SysMarkEnd) }
+
+// LoadImm materializes a 64-bit constant into a register.
+func (p *Program) LoadImm(r Reg, v uint64) *Program {
+	p.a.MovImm(r, v)
+	return p
+}
+
+// Store writes register src (8 bytes) to [addrReg + off].
+func (p *Program) Store(src, addrReg Reg, off uint16) *Program {
+	p.a.Emit(arm64.STRImm(src, addrReg, off, 3))
+	return p
+}
+
+// Load reads 8 bytes from [addrReg + off] into dst.
+func (p *Program) Load(dst, addrReg Reg, off uint16) *Program {
+	p.a.Emit(arm64.LDRImm(dst, addrReg, off, 3))
+	return p
+}
+
+// StoreWord32 writes the low 32 bits of src to [addrReg + off] (emitting
+// instruction words for JIT-style flows).
+func (p *Program) StoreWord32(src, addrReg Reg, off uint16) *Program {
+	p.a.Emit(arm64.STRImm(src, addrReg, off, 2))
+	return p
+}
+
+// CallReg emits BLR addrReg (an indirect call into generated code).
+func (p *Program) CallReg(addrReg Reg) *Program {
+	p.a.Emit(arm64.BLR(addrReg))
+	return p
+}
+
+// StoreByte writes the low byte of src to [addrReg + off].
+func (p *Program) StoreByte(src, addrReg Reg, off uint16) *Program {
+	p.a.Emit(arm64.STRImm(src, addrReg, off, 0))
+	return p
+}
+
+// LoadByte reads one byte from [addrReg + off] into dst.
+func (p *Program) LoadByte(dst, addrReg Reg, off uint16) *Program {
+	p.a.Emit(arm64.LDRImm(dst, addrReg, off, 0))
+	return p
+}
+
+// Mov copies a register.
+func (p *Program) Mov(dst, src Reg) *Program {
+	p.a.Emit(arm64.MOVReg(dst, src))
+	return p
+}
+
+// Add computes dst = a + b.
+func (p *Program) Add(dst, a, b Reg) *Program {
+	p.a.Emit(arm64.ADDReg(dst, a, b))
+	return p
+}
+
+// AddImm computes dst = src + imm (imm < 4096).
+func (p *Program) AddImm(dst, src Reg, imm uint16) *Program {
+	p.a.Emit(arm64.ADDImm(dst, src, imm, false))
+	return p
+}
+
+// Label binds a name to the current position for Jump targets.
+func (p *Program) Label(name string) *Program {
+	p.a.Label("user_" + name)
+	return p
+}
+
+// Jump branches unconditionally to a Label.
+func (p *Program) Jump(name string) *Program {
+	p.a.B("user_" + name)
+	return p
+}
+
+// JumpIfZero branches to a Label when the register is zero.
+func (p *Program) JumpIfZero(r Reg, name string) *Program {
+	p.a.CBZ(r, "user_"+name)
+	return p
+}
+
+// JumpIfNonZero branches to a Label when the register is non-zero.
+func (p *Program) JumpIfNonZero(r Reg, name string) *Program {
+	p.a.CBNZ(r, "user_"+name)
+	return p
+}
+
+// Sub computes dst = a - b.
+func (p *Program) Sub(dst, a, b Reg) *Program {
+	p.a.Emit(arm64.SUBReg(dst, a, b))
+	return p
+}
+
+// ShiftLeft computes dst = src << amount.
+func (p *Program) ShiftLeft(dst, src Reg, amount uint8) *Program {
+	p.a.Emit(arm64.LSLImm(dst, src, amount))
+	return p
+}
+
+// Raw appends raw instruction words (for attack construction and tests).
+func (p *Program) Raw(words ...uint32) *Program {
+	p.a.Emit(words...)
+	return p
+}
+
+// Loop runs body n times using the given counter register.
+func (p *Program) Loop(counter Reg, n uint64, body func(*Program)) *Program {
+	label := p.nextLabel("loop")
+	p.a.MovImm(counter, n)
+	p.a.Label(label)
+	body(p)
+	p.a.Emit(arm64.SUBSImm(counter, counter, 1))
+	p.a.BCond(arm64.CondNE, label)
+	return p
+}
+
+// entries resolves the gate entries registered by SwitchToGate uses.
+// Each call gate validates exactly one legitimate entry (§6.2: "Even if
+// several entries switch to the same page table ... we assign a unique
+// call gate to each entry"), so using one gate id from two call sites is
+// rejected here rather than failing at the gate's runtime check.
+func (p *Program) entries() []core.GateEntry {
+	seen := make(map[int]uint64, len(p.gateUses))
+	out := make([]core.GateEntry, 0, len(p.gateUses))
+	for _, g := range p.gateUses {
+		off, err := p.a.Offset(g.label)
+		if err != nil {
+			p.err = err
+			return nil
+		}
+		if prev, dup := seen[g.gateID]; dup && prev != uint64(off) {
+			p.err = fmt.Errorf("gate %d used from multiple call sites; allocate one gate per site and bind both to the same page table with MapGatePgt", g.gateID)
+			return nil
+		}
+		seen[g.gateID] = uint64(off)
+		out = append(out, core.GateEntry{GateID: g.gateID, Entry: uint64(off)})
+	}
+	return out
+}
