@@ -13,9 +13,11 @@
 //	lzbench -figure 5           # NVM overheads
 //	lzbench -pentest            # §7.2 attack battery
 //	lzbench -all                # everything
+//	lzbench -all -json          # machine-readable: one JSON object per line
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,9 +38,11 @@ func main() {
 		all      = flag.Bool("all", false, "run everything")
 		iters    = flag.Int("iters", 10000, "domain-switch iterations (table 5)")
 		csvDir   = flag.String("csv", "", "also write figure series as CSV files into this directory")
+		jsonMode = flag.Bool("json", false, "emit one JSON object per table row / figure point instead of tables")
 	)
 	flag.Parse()
 	csvOut = *csvDir
+	jsonOut = *jsonMode
 	if err := run(*table, *figure, *mem, *pentest, *ablation, *all, *iters); err != nil {
 		fmt.Fprintln(os.Stderr, "lzbench:", err)
 		os.Exit(1)
@@ -85,7 +89,38 @@ func run(table, figure int, mem, pentest, ablation, all bool, iters int) error {
 	return nil
 }
 
+// jsonOut switches every printer to line-delimited JSON.
+var jsonOut bool
+
+// emitJSON writes one self-describing result object per line; kind names
+// the table/figure so mixed -all output stays filterable with jq.
+func emitJSON(obj map[string]any) error {
+	b, err := json.Marshal(obj)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Println(string(b))
+	return err
+}
+
 func printTable4() error {
+	if jsonOut {
+		for _, prof := range arm64.Profiles() {
+			rows, err := workload.RunTable4(prof)
+			if err != nil {
+				return err
+			}
+			for _, r := range rows {
+				if err := emitJSON(map[string]any{
+					"kind": "table4", "profile": prof.Name, "row": r.Name,
+					"cycles_lo": r.Lo, "cycles_hi": r.Hi,
+				}); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
 	fmt.Println("Table 4: cycles spent on empty trap-and-return roundtrips")
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "\tCarmel\tCortex A55")
@@ -115,8 +150,53 @@ func band(r workload.Table4Row) string {
 }
 
 func printTable5(iters int) error {
-	fmt.Printf("Table 5: average cycles of switches (with secure call gate) between protected domains (%d iterations)\n", iters)
 	domains := []int{1, 2, 3, 32, 64, 128}
+	if jsonOut {
+		plats := []struct {
+			plat workload.Platform
+			name string
+		}{
+			{workload.Platform{Prof: arm64.ProfileCarmel(), Guest: false}, "Carmel Host"},
+			{workload.Platform{Prof: arm64.ProfileCarmel(), Guest: true}, "Carmel Guest"},
+			{workload.Platform{Prof: arm64.ProfileCortexA55(), Guest: false}, "Cortex"},
+		}
+		for _, row := range plats {
+			for i, d := range domains {
+				if d <= 16 && i < 3 {
+					res, err := workload.RunDomainSwitch(workload.DomainSwitchConfig{
+						Platform: row.plat, Variant: workload.VariantWatchpoint, Domains: d, Iters: iters, Seed: 42,
+					})
+					if err != nil {
+						return err
+					}
+					if err := emitJSON(map[string]any{
+						"kind": "table5", "platform": row.name, "variant": string(workload.VariantWatchpoint),
+						"domains": d, "iters": iters, "avg_cycles": res.AvgCycles,
+					}); err != nil {
+						return err
+					}
+				}
+				variant := workload.VariantLZTTBR
+				if i == 0 {
+					variant = workload.VariantLZPAN
+				}
+				res, err := workload.RunDomainSwitch(workload.DomainSwitchConfig{
+					Platform: row.plat, Variant: variant, Domains: d, Iters: iters, Seed: 42,
+				})
+				if err != nil {
+					return err
+				}
+				if err := emitJSON(map[string]any{
+					"kind": "table5", "platform": row.name, "variant": string(variant),
+					"domains": d, "iters": iters, "avg_cycles": res.AvgCycles,
+				}); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	fmt.Printf("Table 5: average cycles of switches (with secure call gate) between protected domains (%d iterations)\n", iters)
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprint(w, "\t\t1 (PAN)")
 	for _, d := range domains[1:] {
@@ -186,13 +266,17 @@ func printFigure(f int, withMem bool) error {
 		4: "Figure 4: MySQL sysbench OLTP read-write throughput",
 		5: "Figure 5: NVM data-structure benchmark time overhead",
 	}
-	fmt.Println(names[f])
+	if !jsonOut {
+		fmt.Println(names[f])
+	}
 	for _, plat := range workload.AllPlatforms() {
 		pr, err := workload.MeasurePrimitives(plat)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("  %s:\n", plat)
+		if !jsonOut {
+			fmt.Printf("  %s:\n", plat)
+		}
 		switch f {
 		case 3, 4:
 			var series []workload.FigureSeries
@@ -206,6 +290,20 @@ func printFigure(f int, withMem bool) error {
 			}
 			if err := writeFigureCSV(f, plat, series); err != nil {
 				return err
+			}
+			if jsonOut {
+				for _, s := range series {
+					for _, pt := range s.Points {
+						if err := emitJSON(map[string]any{
+							"kind": "figure", "figure": f, "platform": plat.String(),
+							"variant": string(s.Variant), "x": pt.X,
+							"throughput": pt.Tput, "overhead_pct": s.OverheadPct,
+						}); err != nil {
+							return err
+						}
+					}
+				}
+				continue
 			}
 			w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 			fmt.Fprint(w, "    variant")
@@ -228,6 +326,20 @@ func printFigure(f int, withMem bool) error {
 			}
 			if err := writeNVMCSV(plat, series); err != nil {
 				return err
+			}
+			if jsonOut {
+				for _, s := range series {
+					for i, d := range workload.NVMDomainCounts {
+						if err := emitJSON(map[string]any{
+							"kind": "figure", "figure": f, "platform": plat.String(),
+							"variant": string(s.Variant), "domains": d,
+							"overhead_pct": s.OverheadPct[i],
+						}); err != nil {
+							return err
+						}
+					}
+				}
+				continue
 			}
 			w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 			fmt.Fprint(w, "    variant")
@@ -260,19 +372,41 @@ func printFigure(f int, withMem bool) error {
 		if err != nil {
 			return err
 		}
+		if jsonOut {
+			return emitJSON(map[string]any{
+				"kind": "memory", "figure": f, "platform": plat.String(),
+				"baseline_bytes": m.BaselineBytes, "frag_pct": m.FragPct,
+				"pan_pt_pct": m.PANPTPct, "ttbr_pt_pct": m.TTBRPTPct,
+			})
+		}
 		fmt.Printf("  memory: baseline %.1fMB, fragmentation/app overhead %.1f%%, page tables PAN %.1f%% / TTBR %.1f%%\n",
 			float64(m.BaselineBytes)/(1<<20), m.FragPct, m.PANPTPct, m.TTBRPTPct)
 	}
-	fmt.Println()
+	if !jsonOut {
+		fmt.Println()
+	}
 	return nil
 }
 
 func printPentest() error {
-	fmt.Println("Penetration tests (7.2): 128 protected domains")
+	if !jsonOut {
+		fmt.Println("Penetration tests (7.2): 128 protected domains")
+	}
 	for _, plat := range workload.AllPlatforms() {
 		results, err := workload.RunPentest(plat)
 		if err != nil {
 			return err
+		}
+		if jsonOut {
+			for _, r := range results {
+				if err := emitJSON(map[string]any{
+					"kind": "pentest", "platform": plat.String(), "attack": r.Attack,
+					"blocked": r.Blocked, "detail": r.Detail,
+				}); err != nil {
+					return err
+				}
+			}
+			continue
 		}
 		fmt.Printf("  %s:\n", plat)
 		for _, r := range results {
@@ -286,11 +420,31 @@ func printPentest() error {
 			}
 		}
 	}
-	fmt.Println()
+	if !jsonOut {
+		fmt.Println()
+	}
 	return nil
 }
 
 func printAblations() error {
+	if jsonOut {
+		for _, prof := range arm64.Profiles() {
+			results, err := workload.RunAblations(prof)
+			if err != nil {
+				return err
+			}
+			for _, r := range results {
+				if err := emitJSON(map[string]any{
+					"kind": "ablation", "profile": prof.Name, "optimization": r.Name,
+					"metric": r.Metric, "optimized": r.Optimized, "ablated": r.Ablated,
+					"slowdown": r.Factor(),
+				}); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
 	fmt.Println("Ablations of the 5.2 trap optimizations (cycles on the protected path)")
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "  profile\toptimization\tmetric\toptimized\tablated\tslowdown")

@@ -8,6 +8,7 @@
 //	lzinspect -gate 0          # disassemble call gate 0
 //	lzinspect -stub            # disassemble the trap stub's vectors
 //	lzinspect -word 0xd518200a # classify an instruction under both policies
+//	lzinspect -pipeline        # execution-pipeline counters for a probe run
 package main
 
 import (
@@ -19,22 +20,24 @@ import (
 
 	"lightzone/internal/arm64"
 	"lightzone/internal/core"
+	"lightzone/internal/workload"
 )
 
 func main() {
 	var (
-		gate = flag.Int("gate", -1, "disassemble the call gate with this id")
-		stub = flag.Bool("stub", false, "disassemble the trap stub vectors")
-		word = flag.String("word", "", "classify an instruction word (hex) under the Table 3 policies")
+		gate     = flag.Int("gate", -1, "disassemble the call gate with this id")
+		stub     = flag.Bool("stub", false, "disassemble the trap stub vectors")
+		word     = flag.String("word", "", "classify an instruction word (hex) under the Table 3 policies")
+		pipeline = flag.Bool("pipeline", false, "run a domain-switch probe and report TLB + decode-cache counters")
 	)
 	flag.Parse()
-	if err := run(*gate, *stub, *word); err != nil {
+	if err := run(*gate, *stub, *word, *pipeline); err != nil {
 		fmt.Fprintln(os.Stderr, "lzinspect:", err)
 		os.Exit(1)
 	}
 }
 
-func run(gate int, stub bool, word string) error {
+func run(gate int, stub bool, word string, pipeline bool) error {
 	any := false
 	if gate >= 0 {
 		any = true
@@ -64,8 +67,49 @@ func run(gate int, stub bool, word string) error {
 			fmt.Printf("  policy %-4v  %s\n", pol, verdict)
 		}
 	}
+	if pipeline {
+		any = true
+		if err := printPipeline(); err != nil {
+			return err
+		}
+	}
 	if !any {
 		flag.Usage()
 	}
 	return nil
+}
+
+// printPipeline runs the TTBR-gate domain-switch probe on each cost profile
+// and reports what the cached execution pipeline did: TLB and decoded-block
+// hit rates, block builds, staleness-driven re-decodes, and the module's
+// invalidation trace summary.
+func printPipeline() error {
+	fmt.Println("execution-pipeline counters (TTBR-gate probe, 8 domains, 2000 switches):")
+	for _, prof := range arm64.Profiles() {
+		plat := workload.Platform{Prof: prof}
+		rep, err := workload.RunPipelineInspection(plat, 8, 2000)
+		if err != nil {
+			return err
+		}
+		s := rep.Stats
+		fmt.Printf("  %s:\n", plat)
+		fmt.Printf("    avg switch cycles    %.0f\n", rep.Result.AvgCycles)
+		fmt.Printf("    TLB                  %d hits / %d misses (%.1f%% hit)\n",
+			s.TLBHits, s.TLBMisses, pct(s.TLBHits, s.TLBMisses))
+		fmt.Printf("    decode cache         %d hits / %d misses (%.1f%% hit), %d live blocks\n",
+			s.CodeHits, s.CodeMisses, pct(s.CodeHits, s.CodeMisses), rep.CachedBlocks)
+		fmt.Printf("    blocks built         %d (%d stale re-decodes, %d page invalidations)\n",
+			s.CodeBlocks, s.CodeStale, s.CodeInvalidations)
+		if rep.TraceSummary != "" {
+			fmt.Printf("    trace                %s\n", rep.TraceSummary)
+		}
+	}
+	return nil
+}
+
+func pct(hit, miss uint64) float64 {
+	if hit+miss == 0 {
+		return 0
+	}
+	return 100 * float64(hit) / float64(hit+miss)
 }

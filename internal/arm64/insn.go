@@ -75,6 +75,11 @@ const (
 	OpMSRImm // MSR <pstatefield>, #imm (op0=0b00, CRn=0b0100)
 	OpSYS    // SYS (op0=0b01): cache maintenance, AT, TLBI space
 	OpSYSL   // SYSL
+
+	// NumOps bounds the Op space; Op doubles as the dense index into the
+	// interpreter's per-form handler table, so a decoded Insn carries its
+	// dispatch slot and never needs re-classification.
+	NumOps
 )
 
 var opNames = map[Op]string{
@@ -106,6 +111,22 @@ func (o Op) String() string {
 func (o Op) IsBranch() bool {
 	switch o {
 	case OpB, OpBL, OpBCond, OpCBZ, OpCBNZ, OpBR, OpBLR, OpRET:
+		return true
+	}
+	return false
+}
+
+// Terminates reports whether the op ends a straight-line decoded block:
+// control flow may leave the fall-through path (branches, exception
+// generation and return) or architectural state affecting fetch may change
+// (system-register writes, TLBI/AT, undecodable words). The decoded-block
+// cache never extends a block past a terminator.
+func (o Op) Terminates() bool {
+	switch o {
+	case OpB, OpBL, OpBCond, OpCBZ, OpCBNZ, OpBR, OpBLR, OpRET,
+		OpSVC, OpHVC, OpSMC, OpERET,
+		OpMSRReg, OpMRS, OpMSRImm, OpSYS, OpSYSL,
+		OpUnknown:
 		return true
 	}
 	return false

@@ -412,6 +412,12 @@ func TestWXTOCTTOUInjectionBlocked(t *testing.T) {
 	if !p.Killed || !strings.Contains(p.KillMsg, "sanitizer") {
 		t.Errorf("killed=%v msg=%q", p.Killed, p.KillMsg)
 	}
+	// The first call cached decoded blocks for the scratch page; the
+	// injection store must have invalidated them so the second call was
+	// re-fetched (and re-sanitized), never replayed from the decode cache.
+	if r.m.CPU.Stats.CodeInvalidations == 0 {
+		t.Error("TOCTTOU injection did not invalidate cached decodes")
+	}
 }
 
 func TestVirtualizationConfinesUnsanitizedProcess(t *testing.T) {

@@ -82,6 +82,7 @@ func (lz *LightZone) handleLZFault(k *kernel.Kernel, t *kernel.Thread, lp *LZPro
 			// (break-before-make) and restores the per-view write
 			// permissions.
 			lp.unmapEverywhere(base)
+			lp.traceCodeInval(base, "wx flip to writable (protected views)")
 			c.Charge(k.Prof.DSBCost)
 			if err := lp.remapProtected(base, pa, size, kdesc, info, false); err != nil {
 				return err
@@ -154,6 +155,7 @@ func (lz *LightZone) handleExecFault(k *kernel.Kernel, t *kernel.Thread, lp *LZP
 	// Break-before-make: unmap any writable mapping before sanitizing so
 	// no store can race the check (TOCTTOU defence).
 	lp.unmapEverywhere(base)
+	lp.traceCodeInval(base, "break-before-make for sanitize")
 	c.Charge(k.Prof.DSBCost)
 
 	data := make([]byte, size)
@@ -213,6 +215,7 @@ func (lz *LightZone) handleWXWriteFault(k *kernel.Kernel, t *kernel.Thread, lp *
 		return nil
 	}
 	lp.unmapEverywhere(base) // break
+	lp.traceCodeInval(base, "wx flip to writable")
 	c.Charge(k.Prof.DSBCost)
 	lz.Trace.Record(c.Cycles, trace.KindWXFlip, t.Proc.PID, "page %v executable -> writable", base)
 	attrs := translateAttrs(kdesc) | mem.AttrPXN // make: writable, not executable

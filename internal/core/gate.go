@@ -198,6 +198,11 @@ func (lp *LZProc) MapGatePgt(pgt, gate int) error {
 	if err := lp.writeTTBRTab(pgt, d.TTBR()); err != nil {
 		return err
 	}
+	// The gate code bytes are unchanged but the tables they consult are
+	// not; drop any cached decode of the slot so the remap is never served
+	// from pre-remap pipeline state (host cache only, no TLB effect).
+	lp.kern.CPU.InvalidateCode(mem.VA(gateVA(gate)))
+	lp.traceCodeInval(mem.VA(gateVA(gate)), "lz_map_gate_pgt remap")
 	lp.kern.CPU.Charge(2 * lp.kern.Prof.MemAccessCost)
 	return nil
 }

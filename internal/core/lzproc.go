@@ -8,6 +8,7 @@ import (
 	"lightzone/internal/hyp"
 	"lightzone/internal/kernel"
 	"lightzone/internal/mem"
+	"lightzone/internal/trace"
 )
 
 // lz_prot permission bits (Table 2: readable, writable, executable, user).
@@ -249,6 +250,13 @@ func (lp *LZProc) unmapEverywhere(va mem.VA) {
 	lp.kern.CPU.TLB.InvalidateVA(lp.vm.VMID, va)
 }
 
+// traceCodeInval records a decoded-code invalidation for a page whose
+// mapping or contents changed; the epoch bump itself rides on the TLB
+// invalidation (or InvalidateCode) performed by the caller.
+func (lp *LZProc) traceCodeInval(va mem.VA, why string) {
+	lp.lz.Trace.Record(lp.kern.CPU.Cycles, trace.KindCodeInval, lp.proc.PID, "page %v: %s", va, why)
+}
+
 // kernelFrame resolves the real frame backing va in the kernel-managed
 // table, faulting it in on demand.
 func (lp *LZProc) kernelFrame(va mem.VA) (mem.PA, uint64, uint64, error) {
@@ -312,6 +320,7 @@ func (lp *LZProc) Prot(addr mem.VA, length uint64, pgt int, perm int) error {
 		case perm&PermUser != 0:
 			// PAN domain: user+global bits in every table (§6.1).
 			lp.unmapEverywhere(base)
+			lp.traceCodeInval(base, "lz_prot PAN-domain remap")
 			info = &protInfo{pgts: map[int]int{}, perm: perm, user: true}
 			for id := range lp.pgts {
 				info.pgts[id] = perm
@@ -332,10 +341,12 @@ func (lp *LZProc) Prot(addr mem.VA, length uint64, pgt int, perm int) error {
 				return err
 			}
 			lp.kern.CPU.TLB.InvalidateVA(lp.vm.VMID, base)
+			lp.traceCodeInval(base, "lz_prot overlay attach")
 		default:
 			// First protection of the page: withdraw it from every
 			// table, then attach it to the target one.
 			lp.unmapEverywhere(base)
+			lp.traceCodeInval(base, "lz_prot first protection")
 			info = &protInfo{pgts: map[int]int{pgt: perm}, perm: perm}
 			attrs |= mem.AttrNG // protected pages are ASID-private
 			if err := lp.mapIntoPGT(lp.pgts[pgt], base, pa, size, attrs); err != nil {

@@ -1,0 +1,234 @@
+package cpu
+
+import (
+	"lightzone/internal/arm64"
+	"lightzone/internal/mem"
+)
+
+// maxCachedBlocks bounds the decoded-block cache; on overflow the whole
+// cache is reset (cheap, and refill is just re-decoding).
+const maxCachedBlocks = 8192
+
+// dblock is a decoded straight-line block: the Decode results for
+// consecutive instruction words within one page, ending at the first
+// terminator (branch, exception, system op) or the page boundary.
+type dblock struct {
+	insns []arm64.Insn
+	page  uint64 // VA >> PageShift
+	snap  uint64 // code-epoch snapshot when the build started
+}
+
+// blockKey addresses a block by execution context and start address:
+// (VMID, ASID, page, offset), mirroring the TLB's tagging so blocks from
+// different address spaces never alias. mmuOff separates flat (stage-1 off)
+// fetches from translated ones that happen to share an ASID value.
+type blockKey struct {
+	vmid   uint16
+	asid   uint16
+	mmuOff bool
+	page   uint64
+	off    uint16
+}
+
+// blockCursor replays an entered block instruction by instruction. It is
+// dropped on any control-flow discontinuity (PC != expect), at block end,
+// on exception delivery, and when a store hits the block's page.
+type blockCursor struct {
+	blk    *dblock
+	idx    int
+	expect uint64
+}
+
+// BlockCache is the decoded-basic-block cache of the execution pipeline.
+// Blocks are built lazily as instructions execute for the first time and
+// validated against per-page code-generation epochs (mem.CodeEpochs) on
+// every block entry, so any W^X flip, break-before-make, lz_prot change,
+// stage-2 remap or emulated store invalidates affected blocks before the
+// next fetch. The cache only elides host-side work (the word read and
+// re-decode); the architectural fetch translation still runs per
+// instruction, keeping emulated cycles and TLB behaviour bit-identical.
+type BlockCache struct {
+	enabled bool
+	blocks  map[blockKey]*dblock
+	// codePages counts completed blocks per page so the store hook can
+	// skip epoch bumps for pages that hold no cached code.
+	codePages map[uint64]int
+	epochs    *mem.CodeEpochs
+	stats     *mem.Stats
+
+	// In-progress block builder. The build is abandoned (never inserted)
+	// if the page's epoch moves between build start and finalize.
+	building bool
+	bkey     blockKey
+	bpage    uint64
+	bsnap    uint64
+	bexpect  uint64
+	binsns   []arm64.Insn
+}
+
+func newBlockCache(epochs *mem.CodeEpochs, stats *mem.Stats) *BlockCache {
+	return &BlockCache{
+		enabled:   true,
+		blocks:    make(map[blockKey]*dblock),
+		codePages: make(map[uint64]int),
+		epochs:    epochs,
+		stats:     stats,
+	}
+}
+
+// SetEnabled turns the cache on or off (off: every instruction is fetched
+// and decoded from memory, the seed pipeline). Used by the cycle-identity
+// tests and benchmarks; disabling drops all cached state.
+func (c *VCPU) SetDecodeCache(enabled bool) {
+	d := c.Decoded
+	d.enabled = enabled
+	d.reset()
+	c.cur = blockCursor{}
+}
+
+// DecodeCacheEnabled reports whether the decoded-block cache is active.
+func (c *VCPU) DecodeCacheEnabled() bool { return c.Decoded.enabled }
+
+// DecodeCacheLen returns the number of cached blocks.
+func (c *VCPU) DecodeCacheLen() int { return len(c.Decoded.blocks) }
+
+func (d *BlockCache) reset() {
+	clear(d.blocks)
+	clear(d.codePages)
+	d.building = false
+}
+
+// keyFor derives the cache key for a fetch at pc under c's current
+// translation context, mirroring Translate's TTBR/ASID/VMID selection.
+func (d *BlockCache) keyFor(c *VCPU, pc uint64) blockKey {
+	k := blockKey{
+		vmid: c.CurrentVMID(),
+		page: pc >> mem.PageShift,
+		off:  uint16(pc & mem.PageMask),
+	}
+	if c.sys[arm64.SCTLREL1]&SCTLRM == 0 {
+		k.mmuOff = true
+		return k
+	}
+	ttbr := c.sys[arm64.TTBR0EL1]
+	if mem.IsTTBR1(mem.VA(pc)) {
+		ttbr = c.sys[arm64.TTBR1EL1]
+	}
+	k.asid = TTBRASID(ttbr)
+	return k
+}
+
+// enter returns the valid cached block starting at pc, or nil. A block
+// whose page epoch moved since the build is discarded (stale).
+func (d *BlockCache) enter(c *VCPU, pc uint64) *dblock {
+	if !d.enabled {
+		return nil
+	}
+	key := d.keyFor(c, pc)
+	b := d.blocks[key]
+	if b == nil {
+		return nil
+	}
+	if d.epochs.Snapshot(b.page) != b.snap {
+		delete(d.blocks, key)
+		d.dropPageRef(b.page)
+		d.stats.CodeStale++
+		return nil
+	}
+	return b
+}
+
+// noteDecoded feeds one freshly decoded instruction to the block builder.
+// Consecutive calls with sequential PCs on one page grow the pending block;
+// a terminator or page boundary completes it.
+func (d *BlockCache) noteDecoded(c *VCPU, pc uint64, in arm64.Insn) {
+	if !d.enabled {
+		return
+	}
+	pg := pc >> mem.PageShift
+	if !d.building || pc != d.bexpect || pg != d.bpage {
+		d.building = true
+		d.bkey = d.keyFor(c, pc)
+		d.bpage = pg
+		d.bsnap = d.epochs.Snapshot(pg)
+		d.binsns = d.binsns[:0]
+	}
+	d.binsns = append(d.binsns, in)
+	d.bexpect = pc + arm64.InsnBytes
+	if in.Op.Terminates() || (pc+arm64.InsnBytes)>>mem.PageShift != pg {
+		d.finalize()
+	}
+}
+
+// finalize inserts the pending block unless its page's epoch moved during
+// the build (a store or permission flip raced the block; the partial
+// decodes may mix pre- and post-write words, so the block is discarded).
+func (d *BlockCache) finalize() {
+	d.building = false
+	if len(d.binsns) == 0 || d.epochs.Snapshot(d.bpage) != d.bsnap {
+		return
+	}
+	if len(d.blocks) >= maxCachedBlocks {
+		d.reset()
+	}
+	if _, exists := d.blocks[d.bkey]; !exists {
+		d.codePages[d.bpage]++
+	}
+	d.blocks[d.bkey] = &dblock{
+		insns: append([]arm64.Insn(nil), d.binsns...),
+		page:  d.bpage,
+		snap:  d.bsnap,
+	}
+	d.stats.CodeBlocks++
+}
+
+func (d *BlockCache) dropPageRef(pg uint64) {
+	if n := d.codePages[pg]; n > 1 {
+		d.codePages[pg] = n - 1
+	} else {
+		delete(d.codePages, pg)
+	}
+}
+
+// hasCode reports whether the page holds completed or in-flight blocks.
+func (d *BlockCache) hasCode(pg uint64) bool {
+	if d.building && pg == d.bpage {
+		return true
+	}
+	_, ok := d.codePages[pg]
+	return ok
+}
+
+// InvalidateCode drops any cached decodes covering va's page without
+// touching TLB state or emulated cycles — the hook for host-side (module)
+// writers that patch memory behind the emulated store path, such as gate
+// behaviour remaps.
+func (c *VCPU) InvalidateCode(va mem.VA) {
+	c.Decoded.epochs.BumpVA(va)
+	if c.cur.blk != nil && c.cur.blk.page == uint64(va)>>mem.PageShift {
+		c.cur = blockCursor{}
+	}
+}
+
+// noteCodeWrite is the self-modifying-code hook: MemWrite calls it after
+// every successful emulated store. If the store landed on a page with
+// cached (or in-build) code, the page's epoch is bumped so its blocks are
+// re-decoded on next entry, and the active cursor is killed if it was
+// replaying from that page — the next fetch sees the new bytes.
+func (c *VCPU) noteCodeWrite(va mem.VA, size int) {
+	d := c.Decoded
+	if !d.enabled {
+		return
+	}
+	pg := uint64(va) >> mem.PageShift
+	endPg := (uint64(va) + uint64(size) - 1) >> mem.PageShift
+	for p := pg; p <= endPg; p++ {
+		if !d.hasCode(p) {
+			continue
+		}
+		d.epochs.BumpVA(mem.VA(p << mem.PageShift))
+		if c.cur.blk != nil && c.cur.blk.page == p {
+			c.cur = blockCursor{}
+		}
+	}
+}

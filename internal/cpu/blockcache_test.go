@@ -1,0 +1,199 @@
+package cpu
+
+import (
+	"testing"
+
+	"lightzone/internal/arm64"
+)
+
+// sumProgram emits the arithmetic loop used by the cache tests: sum 1..n
+// into x0, then HVC to stop.
+func sumProgram(n uint64) *arm64.Asm {
+	a := arm64.NewAsm()
+	a.MovImm(0, 0)
+	a.MovImm(1, n)
+	a.Label("loop")
+	a.Emit(arm64.ADDReg(0, 0, 1))
+	a.Emit(arm64.SUBSImm(1, 1, 1))
+	a.BCond(arm64.CondNE, "loop")
+	a.Emit(arm64.HVC(0))
+	return a
+}
+
+// rerun restarts the loaded program from its entry (the HVC exit leaves
+// the vCPU at EL2).
+func (e *env) rerun(t testing.TB, max int64) {
+	t.Helper()
+	e.c.SetEL(arm64.EL1)
+	e.c.PC = uint64(codeVA)
+	e.run(t, max)
+}
+
+// TestDecodeCachePopulatesAndHits checks that a hot loop is served from
+// cached blocks after the first iteration and that the result is unchanged.
+func TestDecodeCachePopulatesAndHits(t *testing.T) {
+	e := newEnv(t)
+	e.load(t, sumProgram(50))
+	e.run(t, 1000)
+	if e.c.R(0) != 50*51/2 {
+		t.Errorf("sum = %d, want %d", e.c.R(0), 50*51/2)
+	}
+	if e.c.DecodeCacheLen() == 0 {
+		t.Error("no blocks cached after a hot loop")
+	}
+	if e.c.Stats.CodeHits == 0 {
+		t.Error("no decode-cache hits after a hot loop")
+	}
+	if e.c.Stats.CodeMisses == 0 {
+		t.Error("first-touch decodes should count as misses")
+	}
+}
+
+// TestDecodeCacheCycleIdentity runs the same program with the cache on and
+// off and requires bit-identical emulated cycles and instruction counts —
+// the cache may only remove host work, never emulated work.
+func TestDecodeCacheCycleIdentity(t *testing.T) {
+	run := func(enabled bool) (int64, int64, uint64) {
+		e := newEnv(t)
+		e.c.SetDecodeCache(enabled)
+		e.load(t, sumProgram(100))
+		e.run(t, 10000)
+		return e.c.Cycles, e.c.Insns, e.c.R(0)
+	}
+	onCycles, onInsns, onSum := run(true)
+	offCycles, offInsns, offSum := run(false)
+	if onCycles != offCycles {
+		t.Errorf("cycles differ: cache on %d, off %d", onCycles, offCycles)
+	}
+	if onInsns != offInsns {
+		t.Errorf("insns differ: cache on %d, off %d", onInsns, offInsns)
+	}
+	if onSum != offSum {
+		t.Errorf("results differ: cache on %d, off %d", onSum, offSum)
+	}
+}
+
+// TestSelfModifyingCodeReDecode overwrites an already-executed (and cached)
+// instruction through an emulated store and checks the next execution sees
+// the new bytes — the JIT-rewrite flow must never run stale decoded code.
+func TestSelfModifyingCodeReDecode(t *testing.T) {
+	e := newEnv(t)
+	a := arm64.NewAsm()
+	a.B("main")
+	a.Label("patch")
+	a.Emit(arm64.MOVZ(0, 1, 0)) // x0 = 1; rewritten to x0 = 2 below
+	a.Emit(arm64.RET(30))
+	a.Label("main")
+	a.BL("patch") // first run: caches the patch block, x0 = 1
+	a.Emit(arm64.ADDReg(9, 0, 31))
+	a.ADR(1, "patch")
+	a.MovImm(2, uint64(arm64.MOVZ(0, 2, 0)))
+	a.Emit(arm64.STRImm(2, 1, 0, 2)) // overwrite the MOVZ word
+	a.BL("patch")                    // second run must produce x0 = 2
+	a.Emit(arm64.HVC(0))
+	e.load(t, a)
+	e.run(t, 1000)
+	if e.c.R(9) != 1 {
+		t.Errorf("first execution: x0 = %d, want 1", e.c.R(9))
+	}
+	if e.c.R(0) != 2 {
+		t.Errorf("after rewrite: x0 = %d, want 2 (stale decoded code executed)", e.c.R(0))
+	}
+	if e.c.Stats.CodeInvalidations == 0 {
+		t.Error("store to a code page did not bump the page epoch")
+	}
+}
+
+// TestInvalidateCodeDropsBlocks checks the host-side invalidation hook:
+// cached blocks for a page must be discarded (counted stale) after
+// InvalidateCode, then rebuilt.
+func TestInvalidateCodeDropsBlocks(t *testing.T) {
+	e := newEnv(t)
+	e.load(t, sumProgram(10))
+	e.run(t, 1000)
+	if e.c.DecodeCacheLen() == 0 {
+		t.Fatal("no blocks cached")
+	}
+	e.c.InvalidateCode(codeVA)
+	staleBefore := e.c.Stats.CodeStale
+	e.rerun(t, 1000)
+	if e.c.Stats.CodeStale == staleBefore {
+		t.Error("epoch bump did not force a stale re-decode")
+	}
+	if e.c.R(0) != 55 {
+		t.Errorf("re-run sum = %d, want 55", e.c.R(0))
+	}
+}
+
+// TestTLBInvalidationBumpsCodeEpochs checks that every TLB invalidation
+// entry point (the chokepoints of break-before-make, W^X and unmap flows)
+// advances the code epochs, so decoded blocks can never outlive a mapping
+// change.
+func TestTLBInvalidationBumpsCodeEpochs(t *testing.T) {
+	e := newEnv(t)
+	snap := func() uint64 {
+		return e.c.Stats.CodeInvalidations
+	}
+	base := snap()
+	e.c.TLB.InvalidateVA(0, codeVA)
+	if snap() == base {
+		t.Error("InvalidateVA did not bump code epochs")
+	}
+	e.load(t, sumProgram(5))
+	e.run(t, 1000)
+	if e.c.DecodeCacheLen() == 0 {
+		t.Fatal("no blocks cached")
+	}
+	for name, inval := range map[string]func(){
+		"InvalidateAll":  func() { e.c.TLB.InvalidateAll() },
+		"InvalidateVMID": func() { e.c.TLB.InvalidateVMID(0) },
+		"InvalidateASID": func() { e.c.TLB.InvalidateASID(0, 1) },
+	} {
+		stale := e.c.Stats.CodeStale
+		inval()
+		e.rerun(t, 1000)
+		if e.c.Stats.CodeStale == stale {
+			t.Errorf("%s: cached blocks survived the invalidation", name)
+		}
+	}
+}
+
+// TestDecodeCacheDisabled checks that SetDecodeCache(false) reverts to the
+// pure fetch/decode pipeline (no blocks, no hits).
+func TestDecodeCacheDisabled(t *testing.T) {
+	e := newEnv(t)
+	e.c.SetDecodeCache(false)
+	e.load(t, sumProgram(10))
+	e.run(t, 1000)
+	if e.c.R(0) != 55 {
+		t.Errorf("sum = %d, want 55", e.c.R(0))
+	}
+	if e.c.DecodeCacheLen() != 0 || e.c.Stats.CodeHits != 0 {
+		t.Errorf("disabled cache recorded state: %d blocks, %d hits",
+			e.c.DecodeCacheLen(), e.c.Stats.CodeHits)
+	}
+}
+
+// BenchmarkStepHot measures the host-side cost of the hot Step path with
+// the decoded-block cache on and off.
+func BenchmarkStepHot(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		enabled bool
+	}{{"cache-on", true}, {"cache-off", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			e := newEnv(b)
+			e.load(b, sumProgram(100))
+			e.c.SetDecodeCache(mode.enabled)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.c.SetEL(arm64.EL1)
+				e.c.PC = uint64(codeVA)
+				if _, err := e.c.Run(10_000); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(e.c.Insns)/float64(b.N), "insns/op")
+		})
+	}
+}

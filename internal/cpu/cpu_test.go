@@ -23,7 +23,7 @@ type env struct {
 // newEnv builds a vCPU at EL1 with a stage-1 address space containing:
 // executable kernel code at codeVA, kernel RW data at dataVA, a user
 // (AP[1]=1) RW page at userVA, and a stack.
-func newEnv(t *testing.T) *env {
+func newEnv(t testing.TB) *env {
 	t.Helper()
 	pm := mem.NewPhysMem(64 << 20)
 	s1, err := mem.NewStage1(pm, 1)
@@ -54,7 +54,7 @@ func newEnv(t *testing.T) *env {
 	return &env{c: c, pm: pm, s1: s1}
 }
 
-func (e *env) load(t *testing.T, a *arm64.Asm) {
+func (e *env) load(t testing.TB, a *arm64.Asm) {
 	t.Helper()
 	b, err := a.Bytes()
 	if err != nil {
@@ -69,7 +69,7 @@ func (e *env) load(t *testing.T, a *arm64.Asm) {
 	}
 }
 
-func (e *env) run(t *testing.T, max int64) Exit {
+func (e *env) run(t testing.TB, max int64) Exit {
 	t.Helper()
 	exit, err := e.c.Run(max)
 	if err != nil {

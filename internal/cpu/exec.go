@@ -29,6 +29,9 @@ func (c *VCPU) Run(maxInsns int64) (Exit, error) {
 // deliver routes and takes a synchronous exception; it returns a non-nil
 // Exit when the exception leaves the emulated world.
 func (c *VCPU) deliver(s Syndrome, preferReturn uint64) *Exit {
+	// An exception hands control to a handler that may change mappings or
+	// rewrite code before returning; never resume a block across it.
+	c.cur.blk = nil
 	target := c.routeSyncException(s)
 	c.TakeException(target, s, preferReturn)
 	if target == arm64.EL2 || !c.EmulatedEL1 {
@@ -37,14 +40,26 @@ func (c *VCPU) deliver(s Syndrome, preferReturn uint64) *Exit {
 	return nil
 }
 
-// Step executes one instruction. It returns a non-nil Exit when control
-// leaves the emulated world.
+// Step executes one instruction through the cached pipeline:
+//
+//  1. resolve the decoded instruction — replay from the current block
+//     cursor, enter a cached block at PC, or fetch + decode from memory
+//     (feeding the block builder);
+//  2. dispatch through the per-form handler table.
+//
+// The cached paths still perform the architectural instruction fetch
+// translation (TLB lookup or charged walk, stage-1/stage-2 permission
+// checks), so cycle accounting, TLB contents and fault behaviour are
+// bit-identical with the cache on or off; only the host-side word read and
+// re-decode are elided. It returns a non-nil Exit when control leaves the
+// emulated world.
 func (c *VCPU) Step() (*Exit, error) {
 	if c.EL() == arm64.EL2 {
 		return nil, fmt.Errorf("interpreter invoked at EL2 (pc=%#x)", c.PC)
 	}
 	if c.PendingIRQ && c.PState&arm64.PStateI == 0 {
 		c.PendingIRQ = false
+		c.cur.blk = nil
 		s := Syndrome{Class: ECIRQ, PC: c.PC}
 		target := c.routeIRQ()
 		c.TakeException(target, s, c.PC)
@@ -54,218 +69,59 @@ func (c *VCPU) Step() (*Exit, error) {
 		return nil, nil
 	}
 
-	word, ab := c.FetchInsn(mem.VA(c.PC))
-	if ab != nil {
-		ab.Syndrome.Class = classifyAbort(mem.AccessExec, c.EL(), ab.Syndrome.Stage)
-		return c.deliver(ab.Syndrome, c.PC), nil
+	var in arm64.Insn
+	cur := &c.cur
+	if cur.blk != nil && c.PC == cur.expect {
+		// Replay from the active block cursor.
+		if _, ab := c.Translate(mem.VA(c.PC), mem.AccessExec, false); ab != nil {
+			cur.blk = nil
+			ab.Syndrome.Class = classifyAbort(mem.AccessExec, c.EL(), ab.Syndrome.Stage)
+			return c.deliver(ab.Syndrome, c.PC), nil
+		}
+		in = cur.blk.insns[cur.idx]
+		cur.idx++
+		cur.expect += arm64.InsnBytes
+		if cur.idx == len(cur.blk.insns) {
+			cur.blk = nil
+		}
+		c.Stats.CodeHits++
+	} else {
+		cur.blk = nil
+		if b := c.Decoded.enter(c, c.PC); b != nil {
+			if _, ab := c.Translate(mem.VA(c.PC), mem.AccessExec, false); ab != nil {
+				ab.Syndrome.Class = classifyAbort(mem.AccessExec, c.EL(), ab.Syndrome.Stage)
+				return c.deliver(ab.Syndrome, c.PC), nil
+			}
+			in = b.insns[0]
+			if len(b.insns) > 1 {
+				*cur = blockCursor{blk: b, idx: 1, expect: c.PC + arm64.InsnBytes}
+			}
+			c.Stats.CodeHits++
+		} else {
+			word, ab := c.FetchInsn(mem.VA(c.PC))
+			if ab != nil {
+				ab.Syndrome.Class = classifyAbort(mem.AccessExec, c.EL(), ab.Syndrome.Stage)
+				return c.deliver(ab.Syndrome, c.PC), nil
+			}
+			in = arm64.Decode(word)
+			c.Stats.CodeMisses++
+			c.Decoded.noteDecoded(c, c.PC, in)
+		}
 	}
 
-	in := arm64.Decode(word)
 	c.Insns++
 	c.Charge(c.Prof.InsnCost)
-	next := c.PC + arm64.InsnBytes
-
-	switch in.Op {
-	case arm64.OpNOP:
-	case arm64.OpISB:
-		c.Charge(c.Prof.ISBCost)
-	case arm64.OpDSB, arm64.OpDMB:
-		c.Charge(c.Prof.DSBCost)
-
-	case arm64.OpMOVZ:
-		c.SetR(in.Rd, uint64(in.Imm)<<in.ShiftAmt)
-	case arm64.OpMOVK:
-		maskv := uint64(0xFFFF) << in.ShiftAmt
-		c.SetR(in.Rd, c.R(in.Rd)&^maskv|uint64(in.Imm)<<in.ShiftAmt)
-	case arm64.OpMOVN:
-		c.SetR(in.Rd, ^(uint64(in.Imm) << in.ShiftAmt))
-	case arm64.OpADR:
-		c.SetR(in.Rd, c.PC+uint64(in.Imm))
-
-	case arm64.OpAddImm:
-		c.aluAddSub(in, c.R(in.Rn), uint64(in.Imm), false)
-	case arm64.OpSubImm:
-		c.aluAddSub(in, c.R(in.Rn), uint64(in.Imm), true)
-	case arm64.OpAddReg:
-		c.aluAddSub(in, c.R(in.Rn), c.R(in.Rm)<<in.ShiftAmt, false)
-	case arm64.OpSubReg:
-		c.aluAddSub(in, c.R(in.Rn), c.R(in.Rm)<<in.ShiftAmt, true)
-	case arm64.OpAndReg:
-		v := c.R(in.Rn) & (c.R(in.Rm) << in.ShiftAmt)
-		c.SetR(in.Rd, v)
-		if in.SetFlags {
-			c.setNZ(v)
-		}
-	case arm64.OpOrrReg:
-		c.SetR(in.Rd, c.R(in.Rn)|c.R(in.Rm)<<in.ShiftAmt)
-	case arm64.OpEorReg:
-		c.SetR(in.Rd, c.R(in.Rn)^c.R(in.Rm)<<in.ShiftAmt)
-	case arm64.OpLSLV:
-		c.SetR(in.Rd, c.R(in.Rn)<<(c.R(in.Rm)&63))
-	case arm64.OpLSRV:
-		c.SetR(in.Rd, c.R(in.Rn)>>(c.R(in.Rm)&63))
-	case arm64.OpMAdd:
-		c.SetR(in.Rd, c.R(in.Ra)+c.R(in.Rn)*c.R(in.Rm))
-	case arm64.OpUDiv:
-		if d := c.R(in.Rm); d == 0 {
-			c.SetR(in.Rd, 0)
-		} else {
-			c.SetR(in.Rd, c.R(in.Rn)/d)
-		}
-
-	case arm64.OpB:
-		c.Charge(c.Prof.BranchCost)
-		next = c.PC + uint64(in.Imm)
-	case arm64.OpBL:
-		c.Charge(c.Prof.BranchCost)
-		c.SetR(30, next)
-		next = c.PC + uint64(in.Imm)
-	case arm64.OpBCond:
-		if c.condHolds(in.Cond) {
-			c.Charge(c.Prof.BranchCost)
-			next = c.PC + uint64(in.Imm)
-		}
-	case arm64.OpCBZ:
-		if c.R(in.Rt) == 0 {
-			c.Charge(c.Prof.BranchCost)
-			next = c.PC + uint64(in.Imm)
-		}
-	case arm64.OpCBNZ:
-		if c.R(in.Rt) != 0 {
-			c.Charge(c.Prof.BranchCost)
-			next = c.PC + uint64(in.Imm)
-		}
-	case arm64.OpBR:
-		c.Charge(c.Prof.BranchCost)
-		next = c.R(in.Rn)
-	case arm64.OpBLR:
-		c.Charge(c.Prof.BranchCost)
-		c.SetR(30, next)
-		next = c.R(in.Rn)
-	case arm64.OpRET:
-		c.Charge(c.Prof.BranchCost)
-		next = c.R(in.Rn)
-
-	case arm64.OpUBFM:
-		// LSR when imms == 63; LSL when imms == immr-1 (mod 64);
-		// general bitfield extract otherwise.
-		immr := uint64(in.ShiftAmt)
-		imms := uint64(in.Imm)
-		v := c.R(in.Rn)
-		if imms == 63 {
-			c.SetR(in.Rd, v>>immr)
-		} else if imms+1 == immr%64 || (immr == 0 && imms == 63) {
-			c.SetR(in.Rd, v<<((64-immr)%64))
-		} else if imms < immr {
-			c.SetR(in.Rd, v<<(64-immr)%64) // LSL form
-		} else {
-			width := imms - immr + 1
-			c.SetR(in.Rd, v>>immr&(1<<width-1))
-		}
-
-	case arm64.OpCSel:
-		if c.condHolds(in.Cond) {
-			c.SetR(in.Rd, c.R(in.Rn))
-		} else {
-			c.SetR(in.Rd, c.R(in.Rm))
-		}
-	case arm64.OpCSInc:
-		if c.condHolds(in.Cond) {
-			c.SetR(in.Rd, c.R(in.Rn))
-		} else {
-			c.SetR(in.Rd, c.R(in.Rm)+1)
-		}
-
-	case arm64.OpLdp:
-		addr := mem.VA(c.baseReg(in.Rn) + uint64(in.Imm))
-		v1, ab := c.MemRead(addr, 8, false)
-		if ab != nil {
-			ab.Syndrome.Class = classifyAbort(mem.AccessRead, c.EL(), ab.Syndrome.Stage)
-			return c.deliver(ab.Syndrome, c.PC), nil
-		}
-		v2, ab := c.MemRead(addr+8, 8, false)
-		if ab != nil {
-			ab.Syndrome.Class = classifyAbort(mem.AccessRead, c.EL(), ab.Syndrome.Stage)
-			return c.deliver(ab.Syndrome, c.PC), nil
-		}
-		c.SetR(in.Rt, v1)
-		c.SetR(in.Rt2, v2)
-	case arm64.OpStp:
-		addr := mem.VA(c.baseReg(in.Rn) + uint64(in.Imm))
-		if ab := c.MemWrite(addr, 8, c.R(in.Rt), false); ab != nil {
-			ab.Syndrome.Class = classifyAbort(mem.AccessWrite, c.EL(), ab.Syndrome.Stage)
-			return c.deliver(ab.Syndrome, c.PC), nil
-		}
-		if ab := c.MemWrite(addr+8, 8, c.R(in.Rt2), false); ab != nil {
-			ab.Syndrome.Class = classifyAbort(mem.AccessWrite, c.EL(), ab.Syndrome.Stage)
-			return c.deliver(ab.Syndrome, c.PC), nil
-		}
-	case arm64.OpLdrReg:
-		addr := mem.VA(c.baseReg(in.Rn) + c.R(in.Rm))
-		v, ab := c.MemRead(addr, 1<<in.Size, false)
-		if ab != nil {
-			ab.Syndrome.Class = classifyAbort(mem.AccessRead, c.EL(), ab.Syndrome.Stage)
-			return c.deliver(ab.Syndrome, c.PC), nil
-		}
-		c.SetR(in.Rt, v)
-	case arm64.OpStrReg:
-		addr := mem.VA(c.baseReg(in.Rn) + c.R(in.Rm))
-		if ab := c.MemWrite(addr, 1<<in.Size, c.R(in.Rt), false); ab != nil {
-			ab.Syndrome.Class = classifyAbort(mem.AccessWrite, c.EL(), ab.Syndrome.Stage)
-			return c.deliver(ab.Syndrome, c.PC), nil
-		}
-
-	case arm64.OpLdrImm, arm64.OpLdur, arm64.OpLdtr:
-		addr := mem.VA(c.baseReg(in.Rn) + uint64(in.Imm))
-		v, ab := c.MemRead(addr, 1<<in.Size, in.Op == arm64.OpLdtr)
-		if ab != nil {
-			ab.Syndrome.Class = classifyAbort(mem.AccessRead, c.EL(), ab.Syndrome.Stage)
-			return c.deliver(ab.Syndrome, c.PC), nil
-		}
-		c.SetR(in.Rt, v)
-	case arm64.OpStrImm, arm64.OpStur, arm64.OpSttr:
-		addr := mem.VA(c.baseReg(in.Rn) + uint64(in.Imm))
-		if ab := c.MemWrite(addr, 1<<in.Size, c.R(in.Rt), in.Op == arm64.OpSttr); ab != nil {
-			ab.Syndrome.Class = classifyAbort(mem.AccessWrite, c.EL(), ab.Syndrome.Stage)
-			return c.deliver(ab.Syndrome, c.PC), nil
-		}
-
-	case arm64.OpSVC:
-		return c.deliver(Syndrome{Class: ECSVC, Imm: uint16(in.Imm), PC: c.PC}, next), nil
-	case arm64.OpHVC:
-		if c.EL() == arm64.EL0 {
-			return c.deliver(Syndrome{Class: ECUnknown, PC: c.PC}, c.PC), nil
-		}
-		return c.deliver(Syndrome{Class: ECHVC, Imm: uint16(in.Imm), PC: c.PC}, next), nil
-	case arm64.OpSMC:
-		return c.deliver(Syndrome{Class: ECSMC, Imm: uint16(in.Imm), PC: c.PC}, c.PC), nil
-	case arm64.OpERET:
-		if c.EL() != arm64.EL1 {
-			return c.deliver(Syndrome{Class: ECUnknown, PC: c.PC}, c.PC), nil
-		}
-		if err := c.ERET(); err != nil {
-			return nil, err
-		}
-		return nil, nil
-
-	case arm64.OpMSRImm:
-		if exit := c.execMSRImm(in); exit != nil {
-			return exit, nil
-		}
-	case arm64.OpMSRReg, arm64.OpMRS:
-		if exit := c.execMSRReg(in, next); exit != nil {
-			return exit, nil
-		}
-	case arm64.OpSYS, arm64.OpSYSL:
-		if exit := c.execSYS(in, next); exit != nil {
-			return exit, nil
-		}
-
-	default:
-		return c.deliver(Syndrome{Class: ECUnknown, PC: c.PC}, c.PC), nil
+	c.nextPC = c.PC + arm64.InsnBytes
+	exit := handlers[in.Op](c, in)
+	if c.stepErr != nil {
+		err := c.stepErr
+		c.stepErr = nil
+		return nil, err
 	}
-
-	c.PC = next
+	if exit != nil {
+		return exit, nil
+	}
+	c.PC = c.nextPC
 	return nil, nil
 }
 
@@ -385,7 +241,7 @@ func (c *VCPU) condHolds(cond uint8) bool {
 // LightZone's cheap domain switch, plus SPSel.
 func (c *VCPU) execMSRImm(in arm64.Insn) *Exit {
 	if c.EL() == arm64.EL0 {
-		return c.deliver(Syndrome{Class: ECUnknown, PC: c.PC}, c.PC)
+		return c.deliverIn(Syndrome{Class: ECUnknown, PC: c.PC}, c.PC)
 	}
 	switch {
 	case in.Sys.Op1 == arm64.PStateFieldPANOp1 && in.Sys.Op2 == arm64.PStateFieldPANOp2:
@@ -398,7 +254,7 @@ func (c *VCPU) execMSRImm(in arm64.Insn) *Exit {
 			c.PState &^= arm64.PStateSPSel
 		}
 	default:
-		return c.deliver(Syndrome{Class: ECUnknown, PC: c.PC}, c.PC)
+		return c.deliverIn(Syndrome{Class: ECUnknown, PC: c.PC}, c.PC)
 	}
 	return nil
 }
@@ -406,14 +262,14 @@ func (c *VCPU) execMSRImm(in arm64.Insn) *Exit {
 // execMSRReg handles MSR/MRS of named system registers, applying the
 // hypervisor trap configuration (HCR_EL2.TVM/TRVM) that LightZone uses to
 // lock stage-1 translation for PAN-mode processes (§5.1.2).
-func (c *VCPU) execMSRReg(in arm64.Insn, next uint64) *Exit {
+func (c *VCPU) execMSRReg(in arm64.Insn) *Exit {
 	r, known := arm64.LookupSysReg(in.Sys)
 	isRead := in.Op == arm64.OpMRS
 	if !known {
-		return c.deliver(Syndrome{Class: ECUnknown, PC: c.PC}, c.PC)
+		return c.deliverIn(Syndrome{Class: ECUnknown, PC: c.PC}, c.PC)
 	}
 	if r.MinEL() > c.EL() {
-		return c.deliver(Syndrome{Class: ECUnknown, PC: c.PC}, c.PC)
+		return c.deliverIn(Syndrome{Class: ECUnknown, PC: c.PC}, c.PC)
 	}
 	if c.EL() == arm64.EL1 && arm64.IsStage1Reg(r) {
 		hcr := c.sys[arm64.HCREL2]
@@ -422,7 +278,7 @@ func (c *VCPU) execMSRReg(in arm64.Insn, next uint64) *Exit {
 				Class: ECMSRTrap, SysEnc: in.Sys, IsRead: isRead,
 				Rt: in.Rt, PC: c.PC,
 			}
-			return c.deliver(s, next)
+			return c.deliverIn(s, c.nextPC)
 		}
 	}
 	if isRead {
@@ -431,7 +287,7 @@ func (c *VCPU) execMSRReg(in arm64.Insn, next uint64) *Exit {
 		return nil
 	}
 	if r.ReadOnly() {
-		return c.deliver(Syndrome{Class: ECUnknown, PC: c.PC}, c.PC)
+		return c.deliverIn(Syndrome{Class: ECUnknown, PC: c.PC}, c.PC)
 	}
 	c.Charge(c.Prof.SysRegWriteCost(r))
 	if r == arm64.TTBR0EL1 && c.OnTTBR0Write != nil {
@@ -444,16 +300,16 @@ func (c *VCPU) execMSRReg(in arm64.Insn, next uint64) *Exit {
 // execSYS handles the SYS space (TLBI at CRn=8, AT at CRn=7), trapped to
 // EL2 under HCR_EL2.TTLB/TACR as LightZone configures for kernel-mode
 // processes ("TLB maintenance and system register access", §5.1.1).
-func (c *VCPU) execSYS(in arm64.Insn, next uint64) *Exit {
+func (c *VCPU) execSYS(in arm64.Insn) *Exit {
 	if c.EL() == arm64.EL0 {
-		return c.deliver(Syndrome{Class: ECUnknown, PC: c.PC}, c.PC)
+		return c.deliverIn(Syndrome{Class: ECUnknown, PC: c.PC}, c.PC)
 	}
 	hcr := c.sys[arm64.HCREL2]
 	trapped := (in.Sys.CRn == 8 && hcr&HCRTTLB != 0) ||
 		(in.Sys.CRn == 7 && hcr&HCRTACR != 0)
 	if trapped {
 		s := Syndrome{Class: ECMSRTrap, SysEnc: in.Sys, Rt: in.Rt, PC: c.PC}
-		return c.deliver(s, next)
+		return c.deliverIn(s, c.nextPC)
 	}
 	switch in.Sys.CRn {
 	case 8: // TLBI: invalidate this VM's entries
@@ -467,7 +323,7 @@ func (c *VCPU) execSYS(in arm64.Insn, next uint64) *Exit {
 			c.sys[arm64.PAREL1] = uint64(pa) &^ uint64(mem.PageMask)
 		}
 	default:
-		return c.deliver(Syndrome{Class: ECUnknown, PC: c.PC}, c.PC)
+		return c.deliverIn(Syndrome{Class: ECUnknown, PC: c.PC}, c.PC)
 	}
 	return nil
 }

@@ -204,6 +204,7 @@ func (c *VCPU) MemWrite(va mem.VA, size int, v uint64, unpriv bool) *Abort {
 	if err := c.Mem.Write(pa, buf[:size]); err != nil {
 		return c.abort(va, 0, mem.AccessWrite, mem.FaultAddressSize, 1)
 	}
+	c.noteCodeWrite(va, size)
 	return nil
 }
 

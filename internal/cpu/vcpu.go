@@ -13,6 +13,21 @@ type VCPU struct {
 	Mem  *mem.PhysMem
 	TLB  *mem.TLB
 
+	// Stats aggregates TLB and decoded-block cache counters for the whole
+	// fetch pipeline (shared with TLB and Decoded).
+	Stats *mem.Stats
+
+	// Decoded is the decoded-basic-block cache; cur is the active replay
+	// cursor within a cached block.
+	Decoded *BlockCache
+	cur     blockCursor
+
+	// Handler dispatch state for the instruction in flight: the committed
+	// next PC (fall-through, branch target, or exception vector) and a Go
+	// error escaping a handler.
+	nextPC  uint64
+	stepErr error
+
 	// Architectural state.
 	X      [32]uint64 // general-purpose; index 31 reads as zero
 	PC     uint64
@@ -43,13 +58,23 @@ type VCPU struct {
 	OnTTBR0Write func(old, new uint64)
 }
 
-// New creates a vCPU at EL1 with interrupts masked and MMU off.
+// New creates a vCPU at EL1 with interrupts masked and MMU off. The TLB,
+// the code-generation epochs and the decoded-block cache share one Stats
+// instance, and the TLB's invalidation entry points bump the epochs so the
+// block cache observes every break-before-make and permission change.
 func New(prof *arm64.Profile, pm *mem.PhysMem) *VCPU {
+	stats := &mem.Stats{}
+	epochs := mem.NewCodeEpochs(stats)
+	tlb := mem.NewTLB(prof.TLBCapacity)
+	tlb.Stats = stats
+	tlb.Code = epochs
 	return &VCPU{
-		Prof:   prof,
-		Mem:    pm,
-		TLB:    mem.NewTLB(prof.TLBCapacity),
-		PState: arm64.PStateForEL(arm64.EL1) | arm64.PStateI | arm64.PStateF,
+		Prof:    prof,
+		Mem:     pm,
+		TLB:     tlb,
+		Stats:   stats,
+		Decoded: newBlockCache(epochs, stats),
+		PState:  arm64.PStateForEL(arm64.EL1) | arm64.PStateI | arm64.PStateF,
 	}
 }
 

@@ -12,8 +12,16 @@ var ErrOutOfFrames = errors.New("physical memory exhausted")
 // PhysMem is sparse simulated physical memory with a frame allocator.
 // Frames are materialized on first touch, so multi-gigabyte address spaces
 // cost only what is actually used.
+// frameChunkShift groups frames into chunks of 512 (one 2MB span) so the
+// frame table is a two-level array instead of a hash map: instruction
+// fetches and page-table walks resolve frames with two indexed loads and no
+// hashing, while sparse chunks keep memory proportional to what is touched.
+const frameChunkShift = 9
+
+type frameChunk [1 << frameChunkShift]*[PageSize]byte
+
 type PhysMem struct {
-	frames    map[uint64]*[PageSize]byte
+	chunks    []*frameChunk
 	numFrames uint64
 	next      uint64
 	freeList  []uint64
@@ -23,9 +31,10 @@ type PhysMem struct {
 // NewPhysMem creates physical memory of size bytes (rounded down to whole
 // frames).
 func NewPhysMem(size uint64) *PhysMem {
+	n := size >> PageShift
 	return &PhysMem{
-		frames:    make(map[uint64]*[PageSize]byte),
-		numFrames: size >> PageShift,
+		chunks:    make([]*frameChunk, (n+(1<<frameChunkShift)-1)>>frameChunkShift),
+		numFrames: n,
 	}
 }
 
@@ -43,8 +52,10 @@ func (m *PhysMem) AllocFrame() (PA, error) {
 		idx = m.freeList[len(m.freeList)-1]
 		m.freeList = m.freeList[:len(m.freeList)-1]
 		// Reused frames must be zeroed for page-table safety.
-		if f, ok := m.frames[idx]; ok {
-			*f = [PageSize]byte{}
+		if ch := m.chunks[idx>>frameChunkShift]; ch != nil {
+			if f := ch[idx&(1<<frameChunkShift-1)]; f != nil {
+				*f = [PageSize]byte{}
+			}
 		}
 	case m.next < m.numFrames:
 		idx = m.next
@@ -89,10 +100,15 @@ func (m *PhysMem) frame(pa PA) (*[PageSize]byte, error) {
 	if idx >= m.numFrames {
 		return nil, fmt.Errorf("physical address %v beyond memory size %#x", pa, m.Size())
 	}
-	f, ok := m.frames[idx]
-	if !ok {
+	ch := m.chunks[idx>>frameChunkShift]
+	if ch == nil {
+		ch = new(frameChunk)
+		m.chunks[idx>>frameChunkShift] = ch
+	}
+	f := ch[idx&(1<<frameChunkShift-1)]
+	if f == nil {
 		f = new([PageSize]byte)
-		m.frames[idx] = f
+		ch[idx&(1<<frameChunkShift-1)] = f
 	}
 	return f, nil
 }
@@ -129,6 +145,13 @@ func (m *PhysMem) Write(pa PA, buf []byte) error {
 
 // ReadU64 reads a little-endian 64-bit word (page-table descriptors).
 func (m *PhysMem) ReadU64(pa PA) (uint64, error) {
+	if off := uint64(pa) & PageMask; off+8 <= PageSize {
+		f, err := m.frame(pa)
+		if err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(f[off : off+8]), nil
+	}
 	var b [8]byte
 	if err := m.Read(pa, b[:]); err != nil {
 		return 0, err
@@ -145,6 +168,13 @@ func (m *PhysMem) WriteU64(pa PA, v uint64) error {
 
 // ReadU32 reads a little-endian 32-bit word (instruction fetch).
 func (m *PhysMem) ReadU32(pa PA) (uint32, error) {
+	if off := uint64(pa) & PageMask; off+4 <= PageSize {
+		f, err := m.frame(pa)
+		if err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(f[off : off+4]), nil
+	}
 	var b [4]byte
 	if err := m.Read(pa, b[:]); err != nil {
 		return 0, err

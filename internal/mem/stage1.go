@@ -1,6 +1,9 @@
 package mem
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // WalkResult is the outcome of a page-table walk.
 type WalkResult struct {
@@ -28,6 +31,15 @@ type Stage1 struct {
 	root        PA
 	asid        uint16
 	tableFrames int
+
+	// lastLeafVA/lastLeafTable cache the level-3 table of the most
+	// recently mapped 2MB region: bulk duplication (lz_alloc) maps
+	// ascending VAs, so consecutive Map calls skip the three-level
+	// descent. Leaf tables are never reclaimed until Free, so the cache
+	// only needs invalidation there and in MapBlock (which may overwrite
+	// a level-2 table slot with a block).
+	lastLeafVA    uint64
+	lastLeafTable PA
 
 	// OnAllocTable, when set, is invoked with the physical address of
 	// every newly allocated table frame. The LightZone module uses it to
@@ -60,16 +72,18 @@ func (t *Stage1) TableBytes() uint64 { return uint64(t.tableFrames) * PageSize }
 func (t *Stage1) descAddr(table PA, idx uint64) PA { return table + PA(idx*8) }
 
 // nextTable returns the table pointed to by the descriptor at (table, idx),
-// allocating it when absent and alloc is true.
+// allocating it when absent and alloc is true. Table frames are page-aligned,
+// so the descriptor is read through the frame directly.
 func (t *Stage1) nextTable(table PA, idx uint64, alloc bool) (PA, error) {
-	addr := t.descAddr(table, idx)
-	desc, err := t.pm.ReadU64(addr)
+	f, err := t.pm.frame(table)
 	if err != nil {
 		return 0, err
 	}
+	off := idx * 8
+	desc := binary.LittleEndian.Uint64(f[off : off+8])
 	if desc&DescValid != 0 {
 		if desc&DescTable == 0 {
-			return 0, fmt.Errorf("descriptor at %v is a block, not a table", addr)
+			return 0, fmt.Errorf("descriptor at %v is a block, not a table", t.descAddr(table, idx))
 		}
 		return PA(desc & OAMask), nil
 	}
@@ -81,9 +95,7 @@ func (t *Stage1) nextTable(table PA, idx uint64, alloc bool) (PA, error) {
 		return 0, err
 	}
 	t.tableFrames++
-	if err := t.pm.WriteU64(addr, uint64(next)|DescValid|DescTable); err != nil {
-		return 0, err
-	}
+	binary.LittleEndian.PutUint64(f[off:off+8], uint64(next)|DescValid|DescTable)
 	if t.OnAllocTable != nil {
 		t.OnAllocTable(next)
 	}
@@ -96,13 +108,18 @@ func (t *Stage1) Map(va VA, pa PA, attrs uint64) error {
 	if !ValidVA(va) {
 		return fmt.Errorf("non-canonical %v", va)
 	}
-	table := t.root
-	for level := 0; level < 3; level++ {
-		next, err := t.nextTable(table, s1Index(va, level), true)
-		if err != nil {
-			return fmt.Errorf("map %v level %d: %w", va, level, err)
+	table := t.lastLeafTable
+	if table == 0 || uint64(va)>>HugePageShift != t.lastLeafVA {
+		table = t.root
+		for level := 0; level < 3; level++ {
+			next, err := t.nextTable(table, s1Index(va, level), true)
+			if err != nil {
+				return fmt.Errorf("map %v level %d: %w", va, level, err)
+			}
+			table = next
 		}
-		table = next
+		t.lastLeafVA = uint64(va) >> HugePageShift
+		t.lastLeafTable = table
 	}
 	desc := uint64(pa)&OAMask | attrs | DescValid | DescTable | AttrAF
 	return t.pm.WriteU64(t.descAddr(table, s1Index(va, 3)), desc)
@@ -113,6 +130,7 @@ func (t *Stage1) MapBlock(va VA, pa PA, attrs uint64) error {
 	if uint64(va)&HugePageMask != 0 || uint64(pa)&HugePageMask != 0 {
 		return fmt.Errorf("unaligned 2MB mapping %v -> %v", va, pa)
 	}
+	t.lastLeafTable = 0
 	table := t.root
 	for level := 0; level < 2; level++ {
 		next, err := t.nextTable(table, s1Index(va, level), true)
@@ -135,10 +153,12 @@ func (t *Stage1) Walk(va VA) (WalkResult, error) {
 	for level := 0; level <= 3; level++ {
 		res.Levels++
 		res.Level = level
-		desc, err := t.pm.ReadU64(t.descAddr(table, s1Index(va, level)))
+		f, err := t.pm.frame(table)
 		if err != nil {
 			return res, err
 		}
+		off := s1Index(va, level) * 8
+		desc := binary.LittleEndian.Uint64(f[off : off+8])
 		if desc&DescValid == 0 {
 			return res, nil
 		}
@@ -206,17 +226,18 @@ func (t *Stage1) UpdateLeaf(va VA, fn func(uint64) uint64) (bool, error) {
 func (t *Stage1) leafAddr(va VA) (PA, error) {
 	table := t.root
 	for level := 0; level < 3; level++ {
-		addr := t.descAddr(table, s1Index(va, level))
-		desc, err := t.pm.ReadU64(addr)
+		f, err := t.pm.frame(table)
 		if err != nil {
 			return 0, err
 		}
+		idx := s1Index(va, level)
+		desc := binary.LittleEndian.Uint64(f[idx*8 : idx*8+8])
 		if desc&DescValid == 0 {
 			return 0, nil
 		}
 		if desc&DescTable == 0 {
 			if level == 2 {
-				return addr, nil // 2MB block slot
+				return t.descAddr(table, idx), nil // 2MB block slot
 			}
 			return 0, nil
 		}
@@ -234,12 +255,13 @@ func (t *Stage1) Visit(fn func(va VA, desc uint64, size uint64) bool) error {
 }
 
 func (t *Stage1) visit(table PA, level int, base uint64, fn func(VA, uint64, uint64) bool) error {
+	f, err := t.pm.frame(table)
+	if err != nil {
+		return err
+	}
 	span := uint64(1) << (PageShift + 9*(3-level))
 	for idx := uint64(0); idx < 512; idx++ {
-		desc, err := t.pm.ReadU64(t.descAddr(table, idx))
-		if err != nil {
-			return err
-		}
+		desc := binary.LittleEndian.Uint64(f[idx*8 : idx*8+8])
 		if desc&DescValid == 0 {
 			continue
 		}
@@ -270,6 +292,7 @@ func (t *Stage1) Free() {
 	t.free(t.root, 0)
 	t.root = 0
 	t.tableFrames = 0
+	t.lastLeafTable = 0
 }
 
 func (t *Stage1) free(table PA, level int) {

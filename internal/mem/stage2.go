@@ -1,6 +1,9 @@
 package mem
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // Stage2 is a 3-level stage-2 translation table, one per virtual machine,
 // translating intermediate physical addresses to physical addresses. In
@@ -35,14 +38,15 @@ func (t *Stage2) TableBytes() uint64 { return uint64(t.tableFrames) * PageSize }
 func (t *Stage2) descAddr(table PA, idx uint64) PA { return table + PA(idx*8) }
 
 func (t *Stage2) nextTable(table PA, idx uint64, alloc bool) (PA, error) {
-	addr := t.descAddr(table, idx)
-	desc, err := t.pm.ReadU64(addr)
+	f, err := t.pm.frame(table)
 	if err != nil {
 		return 0, err
 	}
+	off := idx * 8
+	desc := binary.LittleEndian.Uint64(f[off : off+8])
 	if desc&DescValid != 0 {
 		if desc&DescTable == 0 {
-			return 0, fmt.Errorf("stage-2 descriptor at %v is a block", addr)
+			return 0, fmt.Errorf("stage-2 descriptor at %v is a block", t.descAddr(table, idx))
 		}
 		return PA(desc & OAMask), nil
 	}
@@ -54,9 +58,7 @@ func (t *Stage2) nextTable(table PA, idx uint64, alloc bool) (PA, error) {
 		return 0, err
 	}
 	t.tableFrames++
-	if err := t.pm.WriteU64(addr, uint64(next)|DescValid|DescTable); err != nil {
-		return 0, err
-	}
+	binary.LittleEndian.PutUint64(f[off:off+8], uint64(next)|DescValid|DescTable)
 	return next, nil
 }
 
@@ -100,10 +102,12 @@ func (t *Stage2) Walk(ipa IPA) (WalkResult, error) {
 	for level := 1; level <= 3; level++ {
 		res.Levels++
 		res.Level = level
-		desc, err := t.pm.ReadU64(t.descAddr(table, s2Index(ipa, level)))
+		f, err := t.pm.frame(table)
 		if err != nil {
 			return res, err
 		}
+		off := s2Index(ipa, level) * 8
+		desc := binary.LittleEndian.Uint64(f[off : off+8])
 		if desc&DescValid == 0 {
 			return res, nil
 		}
@@ -166,17 +170,18 @@ func (t *Stage2) UpdateLeaf(ipa IPA, fn func(uint64) uint64) (bool, error) {
 func (t *Stage2) leafAddr(ipa IPA) (PA, error) {
 	table := t.root
 	for level := 1; level < 3; level++ {
-		addr := t.descAddr(table, s2Index(ipa, level))
-		desc, err := t.pm.ReadU64(addr)
+		f, err := t.pm.frame(table)
 		if err != nil {
 			return 0, err
 		}
+		idx := s2Index(ipa, level)
+		desc := binary.LittleEndian.Uint64(f[idx*8 : idx*8+8])
 		if desc&DescValid == 0 {
 			return 0, nil
 		}
 		if desc&DescTable == 0 {
 			if level == 2 {
-				return addr, nil
+				return t.descAddr(table, idx), nil
 			}
 			return 0, nil
 		}

@@ -1,0 +1,84 @@
+package mem
+
+// Stats aggregates translation- and decode-cache counters for one vCPU.
+// The TLB and the cpu-layer decoded-block cache share a single instance so
+// tools (lzinspect, trace summaries, the public Stats API) can report the
+// whole fetch pipeline from one place. All counters are host-side
+// observability only; they never feed back into emulated cycle accounting.
+type Stats struct {
+	// TLB translation cache.
+	TLBHits   uint64
+	TLBMisses uint64
+
+	// Decoded-basic-block cache (internal/cpu): instructions replayed from
+	// predecoded blocks vs. fetched and decoded from memory.
+	CodeHits   uint64
+	CodeMisses uint64
+	// CodeBlocks counts completed straight-line blocks inserted into the
+	// cache; CodeStale counts cached blocks rejected by an epoch check.
+	CodeBlocks uint64
+	CodeStale  uint64
+	// CodeInvalidations counts code-generation epoch bumps (page-granular
+	// and wholesale combined).
+	CodeInvalidations uint64
+}
+
+// Reset zeroes every counter.
+func (s *Stats) Reset() { *s = Stats{} }
+
+// CodeEpochs tracks per-page code-generation epochs. Any event that can
+// change the bytes reachable at a virtual page — an emulated store, a PTE
+// write during break-before-make, an lz_prot permission flip, a stage-2
+// remap — bumps the page's epoch. The decoded-block cache snapshots the
+// epoch when it builds a block and refuses to replay a block whose page has
+// since moved on, so stale (pre-rewrite, unsanitized) words can never
+// execute from the cache.
+//
+// Epochs are keyed by virtual page alone, not (VMID, ASID): a bump
+// over-invalidates across address spaces that share the page number, which
+// costs only a re-decode and keeps the bump path callable from layers (page
+// tables, stage-2) that do not know the executing context.
+type CodeEpochs struct {
+	global  uint64            // wholesale invalidations (TLBI ALLE1-style)
+	pages   map[uint64]uint64 // 4KB page index -> epoch
+	regions map[uint64]uint64 // 2MB region index -> epoch
+
+	stats *Stats
+}
+
+// NewCodeEpochs creates an epoch tracker reporting into stats (may be nil).
+func NewCodeEpochs(stats *Stats) *CodeEpochs {
+	return &CodeEpochs{
+		pages:   make(map[uint64]uint64),
+		regions: make(map[uint64]uint64),
+		stats:   stats,
+	}
+}
+
+// Snapshot returns the current validity token for the 4KB page index
+// (VA >> PageShift). Every bump that can affect the page strictly increases
+// the token, so a block is valid iff its recorded snapshot still matches.
+func (e *CodeEpochs) Snapshot(page uint64) uint64 {
+	return e.global + e.pages[page] + e.regions[page>>(HugePageShift-PageShift)]
+}
+
+// BumpVA invalidates code cached on va's 4KB page and on the 2MB region
+// containing it (a single invalidation may cover a huge mapping whose
+// interior pages hold cached blocks).
+func (e *CodeEpochs) BumpVA(va VA) {
+	page := uint64(va) >> PageShift
+	e.pages[page]++
+	e.regions[page>>(HugePageShift-PageShift)]++
+	if e.stats != nil {
+		e.stats.CodeInvalidations++
+	}
+}
+
+// BumpAll invalidates every cached block (wholesale TLB invalidations,
+// ASID/VMID recycling).
+func (e *CodeEpochs) BumpAll() {
+	e.global++
+	if e.stats != nil {
+		e.stats.CodeInvalidations++
+	}
+}

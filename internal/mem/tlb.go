@@ -9,10 +9,22 @@ type TLBEntry struct {
 	HasS2      bool
 }
 
-type tlbKey struct {
+// TLB entries are keyed by a single uint64: a canonical 36-bit page index
+// (valid VAs have their upper 16 bits equal, so bits 12..47 identify the
+// page) in the low bits, and an interned translation-context id — one per
+// distinct (VMID, ASID) pair or per-VMID global context — in the high bits.
+// Integer keys let every probe use the runtime's fast-path uint64 map,
+// which is substantially cheaper on the host than hashing a multi-field
+// struct on the instruction-fetch path.
+const (
+	tlbPageBits = 36
+	tlbPageMask = 1<<tlbPageBits - 1
+)
+
+// ctxKey identifies a translation context before interning.
+type ctxKey struct {
 	vmid   uint16
 	asid   uint16
-	page   uint64 // VA >> BlockShift normalized to 4KB pages
 	global bool
 }
 
@@ -21,12 +33,34 @@ type tlbKey struct {
 // the property LightZone exploits so that TTBR-based domain switches leave
 // the TLB warm for unprotected memory (§8.2).
 type TLB struct {
-	entries  map[tlbKey]TLBEntry
-	order    []tlbKey
+	entries  map[uint64]TLBEntry
+	order    []uint64
 	capacity int
+
+	// Context interning: (vmid, asid, global) -> pre-shifted context id.
+	ctxIDs  map[ctxKey]uint64
+	ctxList []ctxKey // index = context id, for invalidation predicates
+	// One-entry context cache: domain switches change the ASID at most
+	// once per gate transit, so consecutive lookups share the interned ids.
+	lastVmid   uint16
+	lastAsid   uint16
+	lastValid  bool
+	lastTagged uint64
+	lastGlobal uint64
 
 	Hits   uint64
 	Misses uint64
+
+	// Stats, when set, mirrors hit/miss counts into the shared per-vCPU
+	// pipeline stats.
+	Stats *Stats
+
+	// Code, when set, receives a code-generation epoch bump alongside every
+	// invalidation. TLB invalidation is the chokepoint all break-before-make,
+	// W^X and unmap flows already pass through, so piggybacking here makes
+	// the decoded-block cache observe exactly the same events real hardware
+	// would synchronize on.
+	Code *CodeEpochs
 }
 
 // NewTLB creates a TLB with the given entry capacity.
@@ -35,48 +69,83 @@ func NewTLB(capacity int) *TLB {
 		capacity = 512
 	}
 	return &TLB{
-		entries:  make(map[tlbKey]TLBEntry, capacity),
-		order:    make([]tlbKey, 0, capacity),
+		entries:  make(map[uint64]TLBEntry, capacity),
+		order:    make([]uint64, 0, capacity),
 		capacity: capacity,
+		ctxIDs:   make(map[ctxKey]uint64),
 	}
 }
 
-func pageOf(va VA) uint64 { return uint64(va) >> PageShift }
+func pageOf(va VA) uint64 { return uint64(va) >> PageShift & tlbPageMask }
+
+// ctxFor interns a translation context and returns its pre-shifted id.
+func (t *TLB) ctxFor(k ctxKey) uint64 {
+	id, ok := t.ctxIDs[k]
+	if !ok {
+		id = uint64(len(t.ctxList)) << tlbPageBits
+		t.ctxIDs[k] = id
+		t.ctxList = append(t.ctxList, k)
+	}
+	return id
+}
+
+// contexts refreshes the cached interned ids for (vmid, asid).
+func (t *TLB) contexts(vmid, asid uint16) (tagged, global uint64) {
+	if !t.lastValid || vmid != t.lastVmid || asid != t.lastAsid {
+		t.lastTagged = t.ctxFor(ctxKey{vmid: vmid, asid: asid})
+		t.lastGlobal = t.ctxFor(ctxKey{vmid: vmid, global: true})
+		t.lastVmid, t.lastAsid, t.lastValid = vmid, asid, true
+	}
+	return t.lastTagged, t.lastGlobal
+}
 
 // Lookup finds a cached translation for va under (vmid, asid).
 func (t *TLB) Lookup(vmid, asid uint16, va VA) (TLBEntry, bool) {
+	tagged, global := t.contexts(vmid, asid)
 	// 2MB block entries are stored under their 2MB-aligned page key; probe
-	// the 4KB key first, then the block key.
-	keys := [4]tlbKey{
-		{vmid: vmid, asid: asid, page: pageOf(va)},
-		{vmid: vmid, global: true, page: pageOf(va)},
-		{vmid: vmid, asid: asid, page: pageOf(VA(uint64(va) &^ uint64(HugePageMask)))},
-		{vmid: vmid, global: true, page: pageOf(VA(uint64(va) &^ uint64(HugePageMask)))},
+	// the 4KB keys first (the common hit), then the block keys.
+	pg := pageOf(va)
+	e, ok := t.entries[tagged|pg]
+	if !ok {
+		e, ok = t.entries[global|pg]
 	}
-	for i, k := range keys {
-		if e, ok := t.entries[k]; ok {
-			if i >= 2 && e.BlockShift != HugePageShift {
-				continue
+	if !ok {
+		bpg := pageOf(VA(uint64(va) &^ uint64(HugePageMask)))
+		if e, ok = t.entries[tagged|bpg]; ok && e.BlockShift != HugePageShift {
+			ok = false
+		}
+		if !ok {
+			if e, ok = t.entries[global|bpg]; ok && e.BlockShift != HugePageShift {
+				ok = false
 			}
-			t.Hits++
-			return e, true
 		}
 	}
+	if ok {
+		t.Hits++
+		if t.Stats != nil {
+			t.Stats.TLBHits++
+		}
+		return e, true
+	}
 	t.Misses++
+	if t.Stats != nil {
+		t.Stats.TLBMisses++
+	}
 	return TLBEntry{}, false
 }
 
 // Insert caches a translation. Stage-1 global mappings (nG clear) are
 // inserted ASID-agnostic.
 func (t *TLB) Insert(vmid, asid uint16, va VA, e TLBEntry) {
-	key := tlbKey{vmid: vmid, asid: asid}
+	tagged, global := t.contexts(vmid, asid)
+	key := tagged
 	if e.S1Desc&AttrNG == 0 {
-		key = tlbKey{vmid: vmid, global: true}
+		key = global
 	}
 	if e.BlockShift == HugePageShift {
-		key.page = pageOf(VA(uint64(va) &^ uint64(HugePageMask)))
+		key |= pageOf(VA(uint64(va) &^ uint64(HugePageMask)))
 	} else {
-		key.page = pageOf(va)
+		key |= pageOf(va)
 	}
 	if _, exists := t.entries[key]; !exists {
 		for len(t.entries) >= t.capacity {
@@ -91,32 +160,50 @@ func (t *TLB) Insert(vmid, asid uint16, va VA, e TLBEntry) {
 
 // InvalidateAll drops every entry (TLBI VMALLE1-style, full cost).
 func (t *TLB) InvalidateAll() {
-	t.entries = make(map[tlbKey]TLBEntry, t.capacity)
+	t.entries = make(map[uint64]TLBEntry, t.capacity)
 	t.order = t.order[:0]
+	if t.Code != nil {
+		t.Code.BumpAll()
+	}
 }
 
 // InvalidateVMID drops all entries of a virtual machine.
 func (t *TLB) InvalidateVMID(vmid uint16) {
-	t.invalidate(func(k tlbKey) bool { return k.vmid == vmid })
+	t.invalidate(func(k uint64) bool {
+		return t.ctxList[k>>tlbPageBits].vmid == vmid
+	})
+	if t.Code != nil {
+		t.Code.BumpAll()
+	}
 }
 
 // InvalidateASID drops non-global entries of (vmid, asid).
 func (t *TLB) InvalidateASID(vmid, asid uint16) {
-	t.invalidate(func(k tlbKey) bool {
-		return k.vmid == vmid && !k.global && k.asid == asid
+	t.invalidate(func(k uint64) bool {
+		c := t.ctxList[k>>tlbPageBits]
+		return c.vmid == vmid && !c.global && c.asid == asid
 	})
+	if t.Code != nil {
+		t.Code.BumpAll()
+	}
 }
 
 // InvalidateVA drops all entries mapping the page of va in vmid.
 func (t *TLB) InvalidateVA(vmid uint16, va VA) {
 	page := pageOf(va)
 	blockPage := pageOf(VA(uint64(va) &^ uint64(HugePageMask)))
-	t.invalidate(func(k tlbKey) bool {
-		return k.vmid == vmid && (k.page == page || k.page == blockPage)
+	t.invalidate(func(k uint64) bool {
+		if pg := k & tlbPageMask; pg != page && pg != blockPage {
+			return false
+		}
+		return t.ctxList[k>>tlbPageBits].vmid == vmid
 	})
+	if t.Code != nil {
+		t.Code.BumpVA(va)
+	}
 }
 
-func (t *TLB) invalidate(match func(tlbKey) bool) {
+func (t *TLB) invalidate(match func(uint64) bool) {
 	kept := t.order[:0]
 	for _, k := range t.order {
 		if match(k) {

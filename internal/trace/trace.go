@@ -22,6 +22,7 @@ const (
 	KindDomainSwitch
 	KindViolation
 	KindEnter
+	KindCodeInval
 )
 
 func (k Kind) String() string {
@@ -42,6 +43,8 @@ func (k Kind) String() string {
 		return "VIOLATION"
 	case KindEnter:
 		return "lz-enter"
+	case KindCodeInval:
+		return "code-inval"
 	default:
 		return "event"
 	}
@@ -139,7 +142,7 @@ func (r *Recorder) Summary() string {
 		return ""
 	}
 	var b strings.Builder
-	for k := KindTrap; k <= KindEnter; k++ {
+	for k := KindTrap; k <= KindCodeInval; k++ {
 		if n := r.Counts[k]; n > 0 {
 			fmt.Fprintf(&b, "%s=%d ", k, n)
 		}

@@ -1,0 +1,42 @@
+package workload
+
+import (
+	"lightzone/internal/mem"
+)
+
+// PipelineReport aggregates the execution-pipeline counters — TLB and
+// decoded-block cache hits/misses, block and invalidation counts — after a
+// representative domain-switching run, together with the module's trace
+// summary. lzinspect renders it.
+type PipelineReport struct {
+	Result       DomainSwitchResult
+	Stats        mem.Stats
+	CachedBlocks int
+	CacheEnabled bool
+	TraceSummary string
+}
+
+// RunPipelineInspection executes the Table 5 TTBR-gate microbenchmark on a
+// fresh environment with tracing enabled and returns the pipeline counters
+// the run accumulated.
+func RunPipelineInspection(plat Platform, domains, iters int) (PipelineReport, error) {
+	env, err := NewEnv(plat)
+	if err != nil {
+		return PipelineReport{}, err
+	}
+	rec := env.EnableTrace(4096)
+	res, env, err := runDomainSwitch(DomainSwitchConfig{
+		Platform: plat, Variant: VariantLZTTBR, Domains: domains, Iters: iters, Seed: 42,
+	}, env)
+	if err != nil {
+		return PipelineReport{}, err
+	}
+	c := env.M.CPU
+	return PipelineReport{
+		Result:       res,
+		Stats:        *c.Stats,
+		CachedBlocks: c.DecodeCacheLen(),
+		CacheEnabled: c.DecodeCacheEnabled(),
+		TraceSummary: rec.Summary(),
+	}, nil
+}

@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"testing"
+
+	"lightzone/internal/arm64"
+)
+
+// TestTable5CycleIdentityCacheOnOff runs Table 5 configurations with the
+// decoded-block cache on and off and requires the measured emulated cycles
+// to be bit-identical: the cache elides host-side fetch work only.
+func TestTable5CycleIdentityCacheOnOff(t *testing.T) {
+	cases := []struct {
+		variant Variant
+		domains int
+	}{
+		{VariantLZPAN, 1},
+		{VariantLZTTBR, 2},
+		{VariantLZTTBR, 8},
+		{VariantWatchpoint, 2},
+	}
+	for _, plat := range []Platform{
+		{Prof: arm64.ProfileCarmel()},
+		{Prof: arm64.ProfileCarmel(), Guest: true},
+	} {
+		for _, tc := range cases {
+			cfg := DomainSwitchConfig{
+				Platform: plat, Variant: tc.variant, Domains: tc.domains,
+				Iters: 300, Seed: 42,
+			}
+			on, err := RunDomainSwitch(cfg)
+			if err != nil {
+				t.Fatalf("%v %v/%d cache on: %v", plat, tc.variant, tc.domains, err)
+			}
+			cfg.DisableDecodeCache = true
+			off, err := RunDomainSwitch(cfg)
+			if err != nil {
+				t.Fatalf("%v %v/%d cache off: %v", plat, tc.variant, tc.domains, err)
+			}
+			if on.TotalCycles != off.TotalCycles {
+				t.Errorf("%v %v/%d: cycles differ with cache on (%d) vs off (%d)",
+					plat, tc.variant, tc.domains, on.TotalCycles, off.TotalCycles)
+			}
+		}
+	}
+}
+
+// TestPipelineInspectionCounters checks the lzinspect probe: a hot
+// domain-switch run must be overwhelmingly served from the decode cache and
+// record the invalidations the module performed.
+func TestPipelineInspectionCounters(t *testing.T) {
+	rep, err := RunPipelineInspection(Platform{Prof: arm64.ProfileCarmel()}, 4, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.CacheEnabled {
+		t.Error("decode cache unexpectedly disabled")
+	}
+	s := rep.Stats
+	if s.CodeHits == 0 || s.CodeMisses == 0 || rep.CachedBlocks == 0 {
+		t.Errorf("implausible decode-cache counters: %+v, %d blocks", s, rep.CachedBlocks)
+	}
+	if s.CodeHits < 10*s.CodeMisses {
+		t.Errorf("hot run should hit the decode cache >90%%: %d hits / %d misses",
+			s.CodeHits, s.CodeMisses)
+	}
+	if s.TLBHits == 0 {
+		t.Error("no TLB hits recorded in shared stats")
+	}
+	if s.CodeInvalidations == 0 {
+		t.Error("sanitizer/lz_prot flows recorded no code invalidations")
+	}
+	if rep.TraceSummary == "" {
+		t.Error("empty trace summary")
+	}
+}
+
+// BenchmarkGateSwitchHost measures the host wall-clock of the full TTBR
+// call-gate microbenchmark with the decoded-block cache on and off.
+func BenchmarkGateSwitchHost(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		off  bool
+	}{{"cache-on", false}, {"cache-off", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := RunDomainSwitch(DomainSwitchConfig{
+					Platform: Platform{Prof: arm64.ProfileCarmel()},
+					Variant:  VariantLZTTBR, Domains: 8, Iters: 500, Seed: 42,
+					DisableDecodeCache: mode.off,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -34,30 +34,49 @@ type DomainSwitchConfig struct {
 	Domains  int
 	Iters    int
 	Seed     int64
+	// DisableDecodeCache runs the benchmark with the decoded-block cache
+	// off (the seed fetch/decode pipeline) — for the cycle-identity tests
+	// and host-speed benchmarks; emulated cycles must not change.
+	DisableDecodeCache bool
 }
 
 // DomainSwitchResult is one Table 5 cell.
 type DomainSwitchResult struct {
-	Config    DomainSwitchConfig
-	AvgCycles float64
+	Config      DomainSwitchConfig
+	AvgCycles   float64
+	TotalCycles int64 // exact measured cycles (for cycle-identity checks)
 }
 
 // RunDomainSwitch executes the microbenchmark and returns the average
 // cycles per switch-and-access.
 func RunDomainSwitch(cfg DomainSwitchConfig) (DomainSwitchResult, error) {
+	res, _, err := runDomainSwitch(cfg, nil)
+	return res, err
+}
+
+// runDomainSwitch is RunDomainSwitch with the environment exposed; env may
+// be pre-booted (pipeline inspection attaches a trace recorder first) or
+// nil to boot a fresh one.
+func runDomainSwitch(cfg DomainSwitchConfig, env *Env) (DomainSwitchResult, *Env, error) {
 	res := DomainSwitchResult{Config: cfg}
 	if cfg.Domains <= 0 || cfg.Iters <= 0 {
-		return res, fmt.Errorf("bad config %+v", cfg)
+		return res, nil, fmt.Errorf("bad config %+v", cfg)
 	}
 	if cfg.Variant == VariantWatchpoint && cfg.Domains > baseline.MaxWatchpointDomains {
-		return res, baseline.ErrTooManyDomains
+		return res, nil, baseline.ErrTooManyDomains
 	}
 	if cfg.Variant == VariantNone {
-		return res, fmt.Errorf("the unprotected variant has no domain switches")
+		return res, nil, fmt.Errorf("the unprotected variant has no domain switches")
 	}
-	env, err := NewEnv(cfg.Platform)
-	if err != nil {
-		return res, err
+	if env == nil {
+		var err error
+		env, err = NewEnv(cfg.Platform)
+		if err != nil {
+			return res, nil, err
+		}
+	}
+	if cfg.DisableDecodeCache {
+		env.M.CPU.SetDecodeCache(false)
 	}
 
 	// Pre-computed random domain sequence, one byte per iteration.
@@ -81,7 +100,7 @@ func RunDomainSwitch(cfg DomainSwitchConfig) (DomainSwitchResult, error) {
 	case VariantLwC:
 		buildLwCSwitchProgram(a, cfg)
 	default:
-		return res, fmt.Errorf("variant %q has no domain-switch mechanism", cfg.Variant)
+		return res, nil, fmt.Errorf("variant %q has no domain-switch mechanism", cfg.Variant)
 	}
 
 	p, err := env.NewProcess("table5", a, seq, entries, kernel.VMA{
@@ -91,16 +110,17 @@ func RunDomainSwitch(cfg DomainSwitchConfig) (DomainSwitchResult, error) {
 		Name:  "domains",
 	})
 	if err != nil {
-		return res, err
+		return res, nil, err
 	}
 	if err := env.Run(p, int64(cfg.Iters)*4+100_000); err != nil {
-		return res, err
+		return res, nil, err
 	}
 	if p.Killed {
-		return res, fmt.Errorf("benchmark killed: %s", p.KillMsg)
+		return res, nil, fmt.Errorf("benchmark killed: %s", p.KillMsg)
 	}
-	res.AvgCycles = float64(env.Measured()) / float64(cfg.Iters)
-	return res, nil
+	res.TotalCycles = env.Measured()
+	res.AvgCycles = float64(res.TotalCycles) / float64(cfg.Iters)
+	return res, env, nil
 }
 
 // emitSwitchLoop emits the shared measurement loop skeleton. perIter emits
