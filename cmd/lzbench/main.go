@@ -14,6 +14,11 @@
 //	lzbench -pentest            # §7.2 attack battery
 //	lzbench -all                # everything
 //	lzbench -all -json          # machine-readable: one JSON object per line
+//	lzbench -all -parallel 8    # shard measurement cells over 8 workers
+//
+// Every measurement cell boots a private machine, so -parallel N changes
+// only wall-clock time: the emitted rows (emulated cycle counts included)
+// are byte-identical for every N.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"text/tabwriter"
 
@@ -39,15 +45,21 @@ func main() {
 		iters    = flag.Int("iters", 10000, "domain-switch iterations (table 5)")
 		csvDir   = flag.String("csv", "", "also write figure series as CSV files into this directory")
 		jsonMode = flag.Bool("json", false, "emit one JSON object per table row / figure point instead of tables")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for the measurement sweeps (1 = fully sequential)")
 	)
 	flag.Parse()
 	csvOut = *csvDir
 	jsonOut = *jsonMode
+	fleet = workload.NewFleet(*parallel)
 	if err := run(*table, *figure, *mem, *pentest, *ablation, *all, *iters); err != nil {
 		fmt.Fprintln(os.Stderr, "lzbench:", err)
 		os.Exit(1)
 	}
 }
+
+// fleet shards every sweep's measurement cells across workers; results are
+// collected by cell index, so output ordering never depends on the width.
+var fleet *workload.Fleet
 
 func run(table, figure int, mem, pentest, ablation, all bool, iters int) error {
 	any := false
@@ -104,13 +116,13 @@ func emitJSON(obj map[string]any) error {
 }
 
 func printTable4() error {
+	perProf, err := fleet.Table4Sweep()
+	if err != nil {
+		return err
+	}
 	if jsonOut {
-		for _, prof := range arm64.Profiles() {
-			rows, err := workload.RunTable4(prof)
-			if err != nil {
-				return err
-			}
-			for _, r := range rows {
+		for i, prof := range arm64.Profiles() {
+			for _, r := range perProf[i] {
 				if err := emitJSON(map[string]any{
 					"kind": "table4", "profile": prof.Name, "row": r.Name,
 					"cycles_lo": r.Lo, "cycles_hi": r.Hi,
@@ -124,14 +136,9 @@ func printTable4() error {
 	fmt.Println("Table 4: cycles spent on empty trap-and-return roundtrips")
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "\tCarmel\tCortex A55")
-	type rows = []workload.Table4Row
-	byProf := map[string]rows{}
-	for _, prof := range arm64.Profiles() {
-		r, err := workload.RunTable4(prof)
-		if err != nil {
-			return err
-		}
-		byProf[prof.Name] = r
+	byProf := map[string][]workload.Table4Row{}
+	for i, prof := range arm64.Profiles() {
+		byProf[prof.Name] = perProf[i]
 	}
 	carmel, cortex := byProf["Carmel"], byProf["CortexA55"]
 	for i := range carmel {
@@ -150,52 +157,37 @@ func band(r workload.Table4Row) string {
 }
 
 func printTable5(iters int) error {
-	domains := []int{1, 2, 3, 32, 64, 128}
+	cells, err := fleet.Table5Sweep(iters)
+	if err != nil {
+		return err
+	}
 	if jsonOut {
-		plats := []struct {
-			plat workload.Platform
-			name string
-		}{
-			{workload.Platform{Prof: arm64.ProfileCarmel(), Guest: false}, "Carmel Host"},
-			{workload.Platform{Prof: arm64.ProfileCarmel(), Guest: true}, "Carmel Guest"},
-			{workload.Platform{Prof: arm64.ProfileCortexA55(), Guest: false}, "Cortex"},
-		}
-		for _, row := range plats {
-			for i, d := range domains {
-				if d <= 16 && i < 3 {
-					res, err := workload.RunDomainSwitch(workload.DomainSwitchConfig{
-						Platform: row.plat, Variant: workload.VariantWatchpoint, Domains: d, Iters: iters, Seed: 42,
-					})
-					if err != nil {
-						return err
-					}
-					if err := emitJSON(map[string]any{
-						"kind": "table5", "platform": row.name, "variant": string(workload.VariantWatchpoint),
-						"domains": d, "iters": iters, "avg_cycles": res.AvgCycles,
-					}); err != nil {
-						return err
-					}
-				}
-				variant := workload.VariantLZTTBR
-				if i == 0 {
-					variant = workload.VariantLZPAN
-				}
-				res, err := workload.RunDomainSwitch(workload.DomainSwitchConfig{
-					Platform: row.plat, Variant: variant, Domains: d, Iters: iters, Seed: 42,
-				})
-				if err != nil {
-					return err
-				}
-				if err := emitJSON(map[string]any{
-					"kind": "table5", "platform": row.name, "variant": string(variant),
-					"domains": d, "iters": iters, "avg_cycles": res.AvgCycles,
-				}); err != nil {
-					return err
-				}
+		// Cells come back in the sweep's enumeration order, which is the
+		// historical sequential emission order.
+		for _, c := range cells {
+			if err := emitJSON(map[string]any{
+				"kind": "table5", "platform": c.PlatformName, "variant": string(c.Variant),
+				"domains": c.Domains, "iters": iters, "avg_cycles": c.Result.AvgCycles,
+			}); err != nil {
+				return err
 			}
 		}
 		return nil
 	}
+	// Index the collected cells for the two-line-per-platform rendering.
+	wpCycles := map[string]map[int]float64{}
+	lzCycles := map[string]map[int]float64{}
+	for _, c := range cells {
+		m := lzCycles
+		if c.Variant == workload.VariantWatchpoint {
+			m = wpCycles
+		}
+		if m[c.PlatformName] == nil {
+			m[c.PlatformName] = map[int]float64{}
+		}
+		m[c.PlatformName][c.Domains] = c.Result.AvgCycles
+	}
+	domains := workload.Table5Domains
 	fmt.Printf("Table 5: average cycles of switches (with secure call gate) between protected domains (%d iterations)\n", iters)
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprint(w, "\t\t1 (PAN)")
@@ -203,61 +195,25 @@ func printTable5(iters int) error {
 		fmt.Fprintf(w, "\t%d", d)
 	}
 	fmt.Fprintln(w)
-	rows := []struct {
-		plat workload.Platform
-		name string
-	}{
-		{workload.Platform{Prof: arm64.ProfileCarmel(), Guest: false}, "Carmel Host"},
-		{workload.Platform{Prof: arm64.ProfileCarmel(), Guest: true}, "Carmel Guest"},
-		{workload.Platform{Prof: arm64.ProfileCortexA55(), Guest: false}, "Cortex"},
-	}
-	for _, row := range rows {
-		fmt.Fprintf(w, "%s\tWatchpoint", row.name)
+	for _, row := range workload.Table5Platforms() {
+		fmt.Fprintf(w, "%s\tWatchpoint", row.Name)
 		for i, d := range domains {
-			v := VariantFor(i)
-			if v == workload.VariantLZPAN {
-				v = workload.VariantWatchpoint // column 1: single domain
-			}
 			if d > 16 || i >= 3 {
 				fmt.Fprint(w, "\t-")
 				continue
 			}
-			res, err := workload.RunDomainSwitch(workload.DomainSwitchConfig{
-				Platform: row.plat, Variant: workload.VariantWatchpoint, Domains: d, Iters: iters, Seed: 42,
-			})
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(w, "\t%.0f", res.AvgCycles)
+			fmt.Fprintf(w, "\t%.0f", wpCycles[row.Name][d])
 		}
 		fmt.Fprintln(w)
 		fmt.Fprintf(w, "\tLightZone")
-		for i, d := range domains {
-			variant := workload.VariantLZTTBR
-			if i == 0 {
-				variant = workload.VariantLZPAN
-			}
-			res, err := workload.RunDomainSwitch(workload.DomainSwitchConfig{
-				Platform: row.plat, Variant: variant, Domains: d, Iters: iters, Seed: 42,
-			})
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(w, "\t%.0f", res.AvgCycles)
+		for _, d := range domains {
+			fmt.Fprintf(w, "\t%.0f", lzCycles[row.Name][d])
 		}
 		fmt.Fprintln(w)
 	}
 	w.Flush()
 	fmt.Println()
 	return nil
-}
-
-// VariantFor keeps the Table 5 column semantics readable.
-func VariantFor(col int) workload.Variant {
-	if col == 0 {
-		return workload.VariantLZPAN
-	}
-	return workload.VariantLZTTBR
 }
 
 func printFigure(f int, withMem bool) error {
@@ -269,25 +225,18 @@ func printFigure(f int, withMem bool) error {
 	if !jsonOut {
 		fmt.Println(names[f])
 	}
-	for _, plat := range workload.AllPlatforms() {
-		pr, err := workload.MeasurePrimitives(plat)
-		if err != nil {
-			return err
-		}
+	cells, err := fleet.FigureSweep(f)
+	if err != nil {
+		return err
+	}
+	for _, cell := range cells {
+		plat := cell.Platform
 		if !jsonOut {
 			fmt.Printf("  %s:\n", plat)
 		}
 		switch f {
 		case 3, 4:
-			var series []workload.FigureSeries
-			if f == 3 {
-				series, err = workload.NginxFigure(pr)
-			} else {
-				series, err = workload.MySQLFigure(pr)
-			}
-			if err != nil {
-				return err
-			}
+			series := cell.Series
 			if err := writeFigureCSV(f, plat, series); err != nil {
 				return err
 			}
@@ -320,10 +269,7 @@ func printFigure(f int, withMem bool) error {
 			}
 			w.Flush()
 		case 5:
-			series, err := workload.NVMFigure(pr)
-			if err != nil {
-				return err
-			}
+			series := cell.NVM
 			if err := writeNVMCSV(plat, series); err != nil {
 				return err
 			}
@@ -393,7 +339,7 @@ func printPentest() error {
 		fmt.Println("Penetration tests (7.2): 128 protected domains")
 	}
 	for _, plat := range workload.AllPlatforms() {
-		results, err := workload.RunPentest(plat)
+		results, err := fleet.PentestSweep(plat)
 		if err != nil {
 			return err
 		}
@@ -429,7 +375,7 @@ func printPentest() error {
 func printAblations() error {
 	if jsonOut {
 		for _, prof := range arm64.Profiles() {
-			results, err := workload.RunAblations(prof)
+			results, err := fleet.AblationSweep(prof)
 			if err != nil {
 				return err
 			}
@@ -449,7 +395,7 @@ func printAblations() error {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "  profile\toptimization\tmetric\toptimized\tablated\tslowdown")
 	for _, prof := range arm64.Profiles() {
-		results, err := workload.RunAblations(prof)
+		results, err := fleet.AblationSweep(prof)
 		if err != nil {
 			return err
 		}

@@ -20,6 +20,7 @@ import (
 
 	"lightzone/internal/arm64"
 	"lightzone/internal/core"
+	"lightzone/internal/trace"
 	"lightzone/internal/workload"
 )
 
@@ -80,17 +81,20 @@ func run(gate int, stub bool, word string, pipeline bool) error {
 }
 
 // printPipeline runs the TTBR-gate domain-switch probe on each cost profile
-// and reports what the cached execution pipeline did: TLB and decoded-block
-// hit rates, block builds, staleness-driven re-decodes, and the module's
-// invalidation trace summary.
+// (sharded across a default-width fleet; every probe owns a private machine
+// and trace recorder) and reports what the cached execution pipeline did:
+// TLB and decoded-block hit rates, block builds, staleness-driven
+// re-decodes, and the module's invalidation trace summary, plus the merged
+// all-profile timeline totals.
 func printPipeline() error {
 	fmt.Println("execution-pipeline counters (TTBR-gate probe, 8 domains, 2000 switches):")
-	for _, prof := range arm64.Profiles() {
+	reports, err := workload.NewFleet(0).PipelineSweep(8, 2000)
+	if err != nil {
+		return err
+	}
+	for i, prof := range arm64.Profiles() {
 		plat := workload.Platform{Prof: prof}
-		rep, err := workload.RunPipelineInspection(plat, 8, 2000)
-		if err != nil {
-			return err
-		}
+		rep := reports[i]
 		s := rep.Stats
 		fmt.Printf("  %s:\n", plat)
 		fmt.Printf("    avg switch cycles    %.0f\n", rep.Result.AvgCycles)
@@ -103,6 +107,13 @@ func printPipeline() error {
 		if rep.TraceSummary != "" {
 			fmt.Printf("    trace                %s\n", rep.TraceSummary)
 		}
+	}
+	recs := make([]*trace.Recorder, len(reports))
+	for i, rep := range reports {
+		recs[i] = rep.Trace
+	}
+	if merged := trace.Merge(recs...); merged.Len() > 0 {
+		fmt.Printf("  all profiles:          %s\n", merged.Summary())
 	}
 	return nil
 }

@@ -15,10 +15,14 @@ type Handler func(*VCPU, arm64.Insn) *Exit
 
 // handlers is the per-form dispatch table, indexed by arm64.Op. Decode
 // produces the index once; cached blocks replay it with no re-dispatch on
-// mnemonics or instruction classes.
-var handlers [arm64.NumOps]Handler
+// mnemonics or instruction classes. The table is assigned exactly once, at
+// package initialization, and never written afterwards — that immutability
+// is what lets any number of Machines dispatch through it concurrently
+// without synchronization (see DESIGN.md §concurrency).
+var handlers = buildHandlers()
 
-func init() {
+func buildHandlers() [arm64.NumOps]Handler {
+	var handlers [arm64.NumOps]Handler
 	for op := range handlers {
 		handlers[op] = execUnknown
 	}
@@ -283,6 +287,7 @@ func init() {
 	handlers[arm64.OpMRS] = (*VCPU).execMSRReg
 	handlers[arm64.OpSYS] = (*VCPU).execSYS
 	handlers[arm64.OpSYSL] = (*VCPU).execSYS
+	return handlers
 }
 
 // execUnknown delivers the undefined-instruction exception (also the

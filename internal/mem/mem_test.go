@@ -486,6 +486,96 @@ func TestTLBBlockEntry(t *testing.T) {
 	}
 }
 
+// Regression: full and VMID invalidations must release interned
+// translation-context ids. Before the fix, ctxIDs/ctxList grew by one entry
+// per (VMID, ASID) pair ever observed, without bound across process churn.
+func TestTLBContextInternRecycling(t *testing.T) {
+	tlb := NewTLB(64)
+	for round := 0; round < 200; round++ {
+		vmid := uint16(round % 7)
+		asid := uint16(round)
+		tlb.Insert(vmid, asid, 0x1000, TLBEntry{S1Desc: AttrNG, BlockShift: PageShift})
+		if round%2 == 0 {
+			tlb.InvalidateAll()
+		} else {
+			tlb.InvalidateVMID(vmid)
+		}
+	}
+	// Every round ends with the round's contexts released; only the churn
+	// inside one round (tagged + global for one pair) may remain interned.
+	if n := tlb.ContextCount(); n > 2 {
+		t.Errorf("interned contexts grew to %d after churn, want <= 2", n)
+	}
+
+	// Survivors of a VMID invalidation must stay valid after renumbering.
+	tlb.InvalidateAll()
+	tlb.Insert(1, 10, 0x1000, TLBEntry{PABase: 0xA000, S1Desc: AttrNG, BlockShift: PageShift})
+	tlb.Insert(2, 20, 0x2000, TLBEntry{PABase: 0xB000, S1Desc: AttrNG, BlockShift: PageShift})
+	tlb.Insert(3, 30, 0x3000, TLBEntry{PABase: 0xC000, S1Desc: AttrNG, BlockShift: PageShift})
+	tlb.InvalidateVMID(2)
+	if e, ok := tlb.Lookup(1, 10, 0x1000); !ok || e.PABase != 0xA000 {
+		t.Errorf("vmid 1 entry lost by context compaction: %+v, %v", e, ok)
+	}
+	if e, ok := tlb.Lookup(3, 30, 0x3000); !ok || e.PABase != 0xC000 {
+		t.Errorf("vmid 3 entry lost by context compaction: %+v, %v", e, ok)
+	}
+	if _, ok := tlb.Lookup(2, 20, 0x2000); ok {
+		t.Error("vmid 2 entry survived InvalidateVMID")
+	}
+}
+
+// Regression: ResetStats must also clear the mirrored pipeline Stats, or
+// lzinspect and trace summaries disagree with the TLB's own counters.
+func TestTLBResetStatsClearsMirroredStats(t *testing.T) {
+	tlb := NewTLB(16)
+	stats := &Stats{}
+	tlb.Stats = stats
+	tlb.Insert(1, 1, 0x1000, TLBEntry{S1Desc: AttrNG, BlockShift: PageShift})
+	tlb.Lookup(1, 1, 0x1000) // hit
+	tlb.Lookup(1, 1, 0x9000) // miss
+	if stats.TLBHits != 1 || stats.TLBMisses != 1 {
+		t.Fatalf("mirrored stats before reset: %+v", stats)
+	}
+	tlb.ResetStats()
+	if tlb.Hits != 0 || tlb.Misses != 0 {
+		t.Errorf("own counters not reset: hits=%d misses=%d", tlb.Hits, tlb.Misses)
+	}
+	if stats.TLBHits != 0 || stats.TLBMisses != 0 {
+		t.Errorf("mirrored stats not reset: %+v", stats)
+	}
+	tlb.Lookup(1, 1, 0x1000)
+	if tlb.Hits != stats.TLBHits {
+		t.Errorf("counters diverged after reset: tlb=%d stats=%d", tlb.Hits, stats.TLBHits)
+	}
+}
+
+// Regression: InvalidateVA aimed at the middle of a 2MB region must not
+// evict an unrelated 4KB entry that sits at the region base (same page
+// index as the region-aligned key, different BlockShift).
+func TestTLBInvalidateVABlockDiscrimination(t *testing.T) {
+	tlb := NewTLB(16)
+	base := VA(4 * HugePageSize)
+	tlb.Insert(1, 1, base, TLBEntry{PABase: 0x1000, S1Desc: AttrNG, BlockShift: PageShift})
+	tlb.InvalidateVA(1, base+5*PageSize) // elsewhere in the same 2MB region
+	if _, ok := tlb.Lookup(1, 1, base); !ok {
+		t.Error("unrelated 4KB entry at the region base was evicted")
+	}
+
+	// A 2MB block entry covering the region must still be dropped by an
+	// invalidation anywhere inside it.
+	tlb.Insert(1, 1, base+0x4000, TLBEntry{PABase: 0x200000, S1Desc: AttrNG, BlockShift: HugePageShift})
+	tlb.InvalidateVA(1, base+7*PageSize)
+	if _, ok := tlb.Lookup(1, 1, base+0x4000); ok {
+		t.Error("2MB block entry survived a mid-region invalidation")
+	}
+	// And the direct-page invalidation still works for 4KB entries.
+	tlb.Insert(1, 1, base+PageSize, TLBEntry{S1Desc: AttrNG, BlockShift: PageShift})
+	tlb.InvalidateVA(1, base+PageSize+0x10)
+	if _, ok := tlb.Lookup(1, 1, base+PageSize); ok {
+		t.Error("4KB entry survived invalidation of its own page")
+	}
+}
+
 func TestTLBEviction(t *testing.T) {
 	tlb := NewTLB(4)
 	for i := 0; i < 8; i++ {

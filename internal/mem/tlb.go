@@ -158,22 +158,60 @@ func (t *TLB) Insert(vmid, asid uint16, va VA, e TLBEntry) {
 	t.entries[key] = e
 }
 
-// InvalidateAll drops every entry (TLBI VMALLE1-style, full cost).
+// InvalidateAll drops every entry (TLBI VMALLE1-style, full cost). The
+// context intern tables are reset with the entries: nothing references the
+// old ids anymore, and without the reset every (VMID, ASID) pair ever seen
+// would stay interned forever across process churn.
 func (t *TLB) InvalidateAll() {
 	t.entries = make(map[uint64]TLBEntry, t.capacity)
 	t.order = t.order[:0]
+	clear(t.ctxIDs)
+	t.ctxList = t.ctxList[:0]
+	t.lastValid = false
 	if t.Code != nil {
 		t.Code.BumpAll()
 	}
 }
 
-// InvalidateVMID drops all entries of a virtual machine.
+// InvalidateVMID drops all entries of a virtual machine and releases the
+// VM's interned contexts (its ASIDs are free for reuse, so keeping them
+// interned would leak an id per recycled pair).
 func (t *TLB) InvalidateVMID(vmid uint16) {
 	t.invalidate(func(k uint64) bool {
 		return t.ctxList[k>>tlbPageBits].vmid == vmid
 	})
+	t.compactContexts(func(c ctxKey) bool { return c.vmid == vmid })
 	if t.Code != nil {
 		t.Code.BumpAll()
+	}
+}
+
+// compactContexts removes interned contexts matched by drop and renumbers
+// the survivors, rewriting the context bits of every cached entry key.
+// Callers must already have invalidated all entries of dropped contexts.
+func (t *TLB) compactContexts(drop func(ctxKey) bool) {
+	remap := make([]uint64, len(t.ctxList))
+	kept := t.ctxList[:0]
+	for i, c := range t.ctxList {
+		if drop(c) {
+			delete(t.ctxIDs, c)
+			continue
+		}
+		remap[i] = uint64(len(kept)) << tlbPageBits
+		t.ctxIDs[c] = remap[i]
+		kept = append(kept, c)
+	}
+	t.ctxList = kept
+	t.lastValid = false
+	for i, k := range t.order {
+		nk := remap[k>>tlbPageBits] | k&tlbPageMask
+		if nk == k {
+			continue
+		}
+		e := t.entries[k]
+		delete(t.entries, k)
+		t.entries[nk] = e
+		t.order[i] = nk
 	}
 }
 
@@ -188,15 +226,23 @@ func (t *TLB) InvalidateASID(vmid, asid uint16) {
 	}
 }
 
-// InvalidateVA drops all entries mapping the page of va in vmid.
+// InvalidateVA drops all entries mapping the page of va in vmid: 4KB
+// entries keyed by va's own page, and 2MB block entries keyed by the
+// region-aligned page. The BlockShift check keeps an unrelated 4KB entry
+// that happens to sit at the region base alive when va points elsewhere in
+// the region.
 func (t *TLB) InvalidateVA(vmid uint16, va VA) {
 	page := pageOf(va)
 	blockPage := pageOf(VA(uint64(va) &^ uint64(HugePageMask)))
 	t.invalidate(func(k uint64) bool {
-		if pg := k & tlbPageMask; pg != page && pg != blockPage {
+		if t.ctxList[k>>tlbPageBits].vmid != vmid {
 			return false
 		}
-		return t.ctxList[k>>tlbPageBits].vmid == vmid
+		pg := k & tlbPageMask
+		if t.entries[k].BlockShift == HugePageShift {
+			return pg == blockPage
+		}
+		return pg == page
 	})
 	if t.Code != nil {
 		t.Code.BumpVA(va)
@@ -218,5 +264,17 @@ func (t *TLB) invalidate(match func(uint64) bool) {
 // Len returns the number of cached entries.
 func (t *TLB) Len() int { return len(t.entries) }
 
-// ResetStats clears hit/miss counters.
-func (t *TLB) ResetStats() { t.Hits, t.Misses = 0, 0 }
+// ContextCount returns the number of interned translation contexts — a
+// diagnostic for the intern tables' growth (they must stay bounded by the
+// live (VMID, ASID) population, not by historical churn).
+func (t *TLB) ContextCount() int { return len(t.ctxList) }
+
+// ResetStats clears hit/miss counters, including the mirrored pipeline
+// Stats, so the TLB's own counters and lzinspect/trace summaries never
+// disagree after a reset.
+func (t *TLB) ResetStats() {
+	t.Hits, t.Misses = 0, 0
+	if t.Stats != nil {
+		t.Stats.TLBHits, t.Stats.TLBMisses = 0, 0
+	}
+}

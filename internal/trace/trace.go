@@ -136,6 +136,37 @@ func (r *Recorder) Dump() string {
 	return b.String()
 }
 
+// Merge combines per-machine recorders into one timeline. Events are
+// concatenated in argument order — cycle counters of distinct machines are
+// unrelated, so ordering by (source index, arrival order) is the only
+// deterministic merge; a fleet passing its per-cell recorders in cell-index
+// order therefore gets identical output regardless of worker scheduling.
+// Counts are summed (they survive ring eviction in the sources). Nil
+// recorders are skipped, so optional sinks merge without special-casing.
+func Merge(recs ...*Recorder) *Recorder {
+	total := 0
+	for _, r := range recs {
+		total += r.Len()
+	}
+	out := NewRecorder(max(total, 1))
+	for _, r := range recs {
+		if r == nil {
+			continue
+		}
+		for k, n := range r.Counts {
+			out.Counts[k] += n
+		}
+		for _, e := range r.Events() {
+			out.events[out.next] = e
+			out.next++
+		}
+	}
+	if out.next == len(out.events) {
+		out.next, out.full = 0, true
+	}
+	return out
+}
+
 // Summary renders per-kind counts.
 func (r *Recorder) Summary() string {
 	if r == nil {

@@ -62,6 +62,45 @@ func TestDumpAndSummary(t *testing.T) {
 	}
 }
 
+func TestMergeDeterministicConcatenation(t *testing.T) {
+	a := NewRecorder(4)
+	a.Record(500, KindTrap, 1, "a0")
+	a.Record(900, KindSyscall, 1, "a1")
+	b := NewRecorder(4)
+	b.Record(10, KindTrap, 2, "b0") // lower cycle, but machine b comes second
+	m := Merge(a, nil, b)
+	evs := m.Events()
+	if len(evs) != 3 || m.Len() != 3 {
+		t.Fatalf("merged len = %d/%d", len(evs), m.Len())
+	}
+	// Argument order wins: a's events precede b's regardless of cycles.
+	if evs[0].Note != "a0" || evs[1].Note != "a1" || evs[2].Note != "b0" {
+		t.Errorf("merge order: %+v", evs)
+	}
+	if m.Counts[KindTrap] != 2 || m.Counts[KindSyscall] != 1 {
+		t.Errorf("merged counts = %v", m.Counts)
+	}
+	// The merged recorder must remain a valid ring (exactly full here).
+	m.Record(1000, KindEnter, 3, "post-merge")
+	if m.Counts[KindEnter] != 1 {
+		t.Errorf("post-merge record lost: %v", m.Counts)
+	}
+}
+
+func TestMergeCountsSurviveSourceEviction(t *testing.T) {
+	r := NewRecorder(2)
+	for i := 0; i < 7; i++ {
+		r.Record(int64(i), KindWXFlip, 1, "w%d", i)
+	}
+	m := Merge(r)
+	if m.Counts[KindWXFlip] != 7 {
+		t.Errorf("evicted counts dropped in merge: %v", m.Counts)
+	}
+	if m.Len() != 2 {
+		t.Errorf("merged retained %d events", m.Len())
+	}
+}
+
 func TestKindStringsTotal(t *testing.T) {
 	for k := KindTrap; k <= KindEnter+1; k++ {
 		if k.String() == "" {

@@ -31,73 +31,12 @@ func (r AblationResult) Factor() float64 {
 	return r.Ablated / r.Optimized
 }
 
-// RunAblations measures every ablation on one cost profile.
+// RunAblations measures every ablation on one cost profile. The eight
+// underlying measurements are independent (each boots a private machine),
+// so they are sharded across a default-width fleet; see
+// Fleet.AblationSweep for the row assembly.
 func RunAblations(prof *arm64.Profile) ([]AblationResult, error) {
-	out := make([]AblationResult, 0, 5)
-
-	// §5.2.1: retain HCR_EL2/VTTBR_EL2 across host LightZone traps.
-	base, err := measureLZSyscallOpts(prof, hyp.Opts{}, core.Opts{})
-	if err != nil {
-		return nil, fmt.Errorf("retain base: %w", err)
-	}
-	ablated, err := measureLZSyscallOpts(prof, hyp.Opts{DisableRetainRegs: true}, core.Opts{})
-	if err != nil {
-		return nil, fmt.Errorf("retain ablated: %w", err)
-	}
-	out = append(out, AblationResult{
-		Name: "retain-hcr-vttbr (5.2.1)", Metric: "lz-host-syscall cycles",
-		Optimized: base, Ablated: ablated,
-	})
-
-	// §5.2.2: shared pt_regs page between Lowvisor and guest kernel.
-	gBase, err := measureLZGuestSyscallOpts(prof, hyp.Opts{})
-	if err != nil {
-		return nil, fmt.Errorf("shared-ptregs base: %w", err)
-	}
-	gAblated, err := measureLZGuestSyscallOpts(prof, hyp.Opts{DisableSharedPtRegs: true})
-	if err != nil {
-		return nil, fmt.Errorf("shared-ptregs ablated: %w", err)
-	}
-	out = append(out, AblationResult{
-		Name: "shared-pt-regs (5.2.2)", Metric: "lz-guest-syscall cycles",
-		Optimized: gBase, Ablated: gAblated,
-	})
-
-	// §5.2.2: partial EL1 register switch in the Lowvisor.
-	pAblated, err := measureLZGuestSyscallOpts(prof, hyp.Opts{DisablePartialSwitch: true})
-	if err != nil {
-		return nil, fmt.Errorf("partial-switch ablated: %w", err)
-	}
-	out = append(out, AblationResult{
-		Name: "partial-el1-switch (5.2.2)", Metric: "lz-guest-syscall cycles",
-		Optimized: gBase, Ablated: pAblated,
-	})
-
-	// §5.2: eager stage-2 mapping during stage-1 faults.
-	fBase, err := measureFaultStorm(prof, core.Opts{})
-	if err != nil {
-		return nil, fmt.Errorf("eager-s2 base: %w", err)
-	}
-	fAblated, err := measureFaultStorm(prof, core.Opts{DisableEagerS2: true})
-	if err != nil {
-		return nil, fmt.Errorf("eager-s2 ablated: %w", err)
-	}
-	out = append(out, AblationResult{
-		Name: "eager-stage2-mapping (5.2)", Metric: "cold-page touch cycles",
-		Optimized: fBase, Ablated: fAblated,
-	})
-
-	// §5.1.2: the fake-physical randomization layer's cost (its ablation
-	// is *cheaper* but leaks real physical addresses through PTEs).
-	iBase, err := measureLZSyscallOpts(prof, hyp.Opts{}, core.Opts{IdentityPhys: true})
-	if err != nil {
-		return nil, fmt.Errorf("identity-phys: %w", err)
-	}
-	out = append(out, AblationResult{
-		Name: "fake-physical-layer (5.1.2)", Metric: "lz-host-syscall cycles",
-		Optimized: iBase, Ablated: base, // identity is the "intuitive" baseline
-	})
-	return out, nil
+	return NewFleet(0).AblationSweep(prof)
 }
 
 // measureLZSyscallOpts measures a warm LightZone host syscall under the

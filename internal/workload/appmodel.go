@@ -27,6 +27,14 @@ type Primitives struct {
 	S2MissCost float64 // one stage-2 TLB refill
 }
 
+// Per-domain-count primitives are measured with a fixed iteration count
+// and seed so the lazy cache fills (GatePass et al.) and the fleet prewarm
+// path (PrewarmGates) produce bit-identical values.
+const (
+	primitivesIters = 800
+	primitivesSeed  = 11
+)
+
 // MeasurePrimitives boots environments for the platform and measures every
 // primitive with the Table 4/5 machinery.
 func MeasurePrimitives(plat Platform) (*Primitives, error) {
@@ -45,12 +53,25 @@ func MeasurePrimitives(plat Platform) (*Primitives, error) {
 	if pr.SyscallLZ, err = measureSyscall(plat, true); err != nil {
 		return nil, fmt.Errorf("lz syscall: %w", err)
 	}
-	pan, err := RunDomainSwitch(DomainSwitchConfig{Platform: plat, Variant: VariantLZPAN, Domains: 1, Iters: 800, Seed: 11})
+	pan, err := RunDomainSwitch(DomainSwitchConfig{Platform: plat, Variant: VariantLZPAN, Domains: 1, Iters: primitivesIters, Seed: primitivesSeed})
 	if err != nil {
 		return nil, fmt.Errorf("pan pair: %w", err)
 	}
 	pr.PANPair = pan.AvgCycles
 	return pr, nil
+}
+
+// measurePrimitive runs the domain-switch microbenchmark that backs every
+// per-domain-count primitive, with the shared iteration count and seed.
+func (pr *Primitives) measurePrimitive(v Variant, domains int) (float64, error) {
+	res, err := RunDomainSwitch(DomainSwitchConfig{
+		Platform: pr.Plat, Variant: v,
+		Domains: domains, Iters: primitivesIters, Seed: primitivesSeed,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.AvgCycles, nil
 }
 
 // GatePass returns the measured cost of one secure-call-gate domain switch
@@ -62,15 +83,12 @@ func (pr *Primitives) GatePass(domains int) (float64, error) {
 	if v, ok := pr.gateCache[domains]; ok {
 		return v, nil
 	}
-	res, err := RunDomainSwitch(DomainSwitchConfig{
-		Platform: pr.Plat, Variant: VariantLZTTBR,
-		Domains: domains, Iters: 800, Seed: 11,
-	})
+	v, err := pr.measurePrimitive(VariantLZTTBR, domains)
 	if err != nil {
 		return 0, err
 	}
-	pr.gateCache[domains] = res.AvgCycles
-	return res.AvgCycles, nil
+	pr.gateCache[domains] = v
+	return v, nil
 }
 
 // WPSwitch returns the measured cost of one watchpoint domain switch
@@ -87,15 +105,12 @@ func (pr *Primitives) WPSwitch(domains int) (float64, error) {
 	if v, ok := pr.wpCache[domains]; ok {
 		return v, nil
 	}
-	res, err := RunDomainSwitch(DomainSwitchConfig{
-		Platform: pr.Plat, Variant: VariantWatchpoint,
-		Domains: domains, Iters: 800, Seed: 11,
-	})
+	v, err := pr.measurePrimitive(VariantWatchpoint, domains)
 	if err != nil {
 		return 0, err
 	}
-	pr.wpCache[domains] = res.AvgCycles
-	return res.AvgCycles, nil
+	pr.wpCache[domains] = v
+	return v, nil
 }
 
 // LwCSwitch returns the measured cost of one simulated-lwC switch.
@@ -106,15 +121,58 @@ func (pr *Primitives) LwCSwitch(domains int) (float64, error) {
 	if v, ok := pr.lwcCache[domains]; ok {
 		return v, nil
 	}
-	res, err := RunDomainSwitch(DomainSwitchConfig{
-		Platform: pr.Plat, Variant: VariantLwC,
-		Domains: domains, Iters: 800, Seed: 11,
-	})
+	v, err := pr.measurePrimitive(VariantLwC, domains)
 	if err != nil {
 		return 0, err
 	}
-	pr.lwcCache[domains] = res.AvgCycles
-	return res.AvgCycles, nil
+	pr.lwcCache[domains] = v
+	return v, nil
+}
+
+// PrewarmGates measures the per-domain-count switch primitives (gate,
+// watchpoint and lwC) for every given live-domain count through the fleet
+// and fills the lazy caches. The caches are plain maps with no locking —
+// their single-goroutine fill here, before any reader, is what lets one
+// Primitives value serve a whole figure evaluation; the measured values
+// are bit-identical to the lazy path because both share measurePrimitive.
+func (pr *Primitives) PrewarmGates(f *Fleet, domains []int) error {
+	type warmCell struct {
+		cache   map[int]float64
+		variant Variant
+		domains int
+	}
+	var cells []warmCell
+	add := func(cache map[int]float64, v Variant, d int) {
+		if d < 1 {
+			d = 1
+		}
+		if _, ok := cache[d]; ok {
+			return
+		}
+		for _, c := range cells {
+			if c.variant == v && c.domains == d {
+				return
+			}
+		}
+		cells = append(cells, warmCell{cache, v, d})
+	}
+	for _, d := range domains {
+		add(pr.gateCache, VariantLZTTBR, d)
+		// The baselines clamp their domain counts (see WPSwitch/LwCSwitch);
+		// warm the clamped key the lazy path would consult.
+		add(pr.wpCache, VariantWatchpoint, minInt(d, 16))
+		add(pr.lwcCache, VariantLwC, minInt(d, 64))
+	}
+	vals, err := fleetMap(f, len(cells), func(i int) (float64, error) {
+		return pr.measurePrimitive(cells[i].variant, cells[i].domains)
+	})
+	if err != nil {
+		return err
+	}
+	for i, c := range cells {
+		c.cache[c.domains] = vals[i]
+	}
+	return nil
 }
 
 // AppParams is a request-level workload model: how much bulk work a

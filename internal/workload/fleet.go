@@ -1,0 +1,335 @@
+package workload
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"lightzone/internal/arm64"
+	"lightzone/internal/core"
+	"lightzone/internal/hyp"
+)
+
+// Fleet shards independent measurement cells across worker goroutines.
+// Every cell boots its own Env — machine, vCPU, TLB, decoded-block cache,
+// kernel — so cells share no mutable state; the only package-level state
+// they touch (the instruction handler table, system-register encodings,
+// cost-profile constructors) is immutable after init. Results are written
+// into caller-indexed slots and sweeps enumerate their cells in the same
+// order the sequential code did, so a fleet of any width produces
+// bit-identical output: the per-cell RNGs are seeded from the cell's own
+// config, never from shared or scheduling-dependent state.
+type Fleet struct {
+	// Workers is the maximum number of cells in flight. 1 runs cells
+	// sequentially in index order (the pre-fleet behavior, byte for byte).
+	Workers int
+}
+
+// NewFleet returns a fleet with the given width; workers <= 0 selects
+// runtime.NumCPU().
+func NewFleet(workers int) *Fleet {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Fleet{Workers: workers}
+}
+
+// width is the effective worker count (a zero-value Fleet is sequential).
+func (f *Fleet) width() int {
+	if f == nil || f.Workers <= 0 {
+		return 1
+	}
+	return f.Workers
+}
+
+// Run executes cells 0..n-1, each exactly once. Sequentially (width 1) the
+// first error stops the sweep immediately; in parallel every cell runs and
+// the error of the lowest-indexed failing cell is returned, so the
+// reported failure is the same one the sequential sweep would have hit,
+// independent of scheduling.
+func (f *Fleet) Run(n int, cell func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := f.width()
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := cell(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = cell(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fleetMap runs one cell per index and collects the results by index.
+func fleetMap[T any](f *Fleet, n int, cell func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := f.Run(n, func(i int) error {
+		v, err := cell(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	return out, err
+}
+
+// Table5Seed is the fixed RNG seed of every Table 5 cell (each cell builds
+// its own rand.Source from it, so cells are independent and reproducible).
+const Table5Seed = 42
+
+// Table5Domains is the domain-count column set of Table 5.
+var Table5Domains = []int{1, 2, 3, 32, 64, 128}
+
+// Table5PlatformRow is one printed platform row of Table 5.
+type Table5PlatformRow struct {
+	Name string
+	Plat Platform
+}
+
+// Table5Platforms returns the three platform rows in presentation order.
+func Table5Platforms() []Table5PlatformRow {
+	return []Table5PlatformRow{
+		{"Carmel Host", Platform{Prof: arm64.ProfileCarmel()}},
+		{"Carmel Guest", Platform{Prof: arm64.ProfileCarmel(), Guest: true}},
+		{"Cortex", Platform{Prof: arm64.ProfileCortexA55()}},
+	}
+}
+
+// Table5Cell is one measurement of the Table 5 matrix.
+type Table5Cell struct {
+	PlatformName string
+	Platform     Platform
+	Variant      Variant
+	Domains      int
+	Iters        int
+	Result       DomainSwitchResult
+}
+
+// Table5Cells enumerates the full matrix in presentation order: per
+// platform row, per domain count, the Watchpoint baseline cell (where the
+// baseline can express the count) followed by the LightZone cell (PAN for
+// the single-domain column, TTBR beyond).
+func Table5Cells(iters int) []Table5Cell {
+	var cells []Table5Cell
+	for _, row := range Table5Platforms() {
+		for i, d := range Table5Domains {
+			if d <= 16 && i < 3 {
+				cells = append(cells, Table5Cell{
+					PlatformName: row.Name, Platform: row.Plat,
+					Variant: VariantWatchpoint, Domains: d, Iters: iters,
+				})
+			}
+			v := VariantLZTTBR
+			if i == 0 {
+				v = VariantLZPAN
+			}
+			cells = append(cells, Table5Cell{
+				PlatformName: row.Name, Platform: row.Plat,
+				Variant: v, Domains: d, Iters: iters,
+			})
+		}
+	}
+	return cells
+}
+
+// Table5Sweep measures the full Table 5 matrix across the fleet.
+func (f *Fleet) Table5Sweep(iters int) ([]Table5Cell, error) {
+	cells := Table5Cells(iters)
+	err := f.Run(len(cells), func(i int) error {
+		c := &cells[i]
+		res, err := RunDomainSwitch(DomainSwitchConfig{
+			Platform: c.Platform, Variant: c.Variant,
+			Domains: c.Domains, Iters: c.Iters, Seed: Table5Seed,
+		})
+		if err != nil {
+			return err
+		}
+		c.Result = res
+		return nil
+	})
+	return cells, err
+}
+
+// Table4Sweep runs the Table 4 trap-roundtrip measurements, one cell per
+// cost profile, returned in arm64.Profiles() order.
+func (f *Fleet) Table4Sweep() ([][]Table4Row, error) {
+	profs := arm64.Profiles()
+	return fleetMap(f, len(profs), func(i int) ([]Table4Row, error) {
+		return RunTable4(profs[i])
+	})
+}
+
+// FigureCell is one platform's measurements of a figure sweep: the
+// primitives measured on that platform's private machines, plus the series
+// of the requested figure (Series for figures 3 and 4, NVM for figure 5).
+type FigureCell struct {
+	Platform Platform
+	Prims    *Primitives
+	Series   []FigureSeries
+	NVM      []NVMSeries
+}
+
+// figureDomainCounts lists the live-domain counts a figure evaluates, so
+// the per-domain primitive caches can be warmed through the fleet.
+func figureDomainCounts(figure int) []int {
+	switch figure {
+	case 3:
+		return []int{nginxParams.Domains}
+	case 4:
+		out := make([]int, len(MySQLThreads))
+		for i, t := range MySQLThreads {
+			out[i] = t + 1 // one stack domain per thread + base
+		}
+		return out
+	case 5:
+		return NVMDomainCounts
+	}
+	return nil
+}
+
+// FigureSweep evaluates figure 3, 4 or 5 on every platform, one fleet cell
+// per platform (in AllPlatforms order). Within a cell, the per-domain
+// switch primitives are themselves warmed through the fleet before the
+// series is composed.
+func (f *Fleet) FigureSweep(figure int) ([]FigureCell, error) {
+	plats := AllPlatforms()
+	return fleetMap(f, len(plats), func(i int) (FigureCell, error) {
+		cell := FigureCell{Platform: plats[i]}
+		pr, err := MeasurePrimitives(plats[i])
+		if err != nil {
+			return cell, err
+		}
+		if err := pr.PrewarmGates(f, figureDomainCounts(figure)); err != nil {
+			return cell, err
+		}
+		cell.Prims = pr
+		switch figure {
+		case 3:
+			cell.Series, err = NginxFigure(pr)
+		case 4:
+			cell.Series, err = MySQLFigure(pr)
+		case 5:
+			cell.NVM, err = NVMFigure(pr)
+		default:
+			err = fmt.Errorf("no figure %d", figure)
+		}
+		return cell, err
+	})
+}
+
+// AblationSweep measures every §5.2/§5.1.2 ablation on one cost profile,
+// one fleet cell per independent measurement, and assembles the result
+// rows in the fixed presentation order.
+func (f *Fleet) AblationSweep(prof *arm64.Profile) ([]AblationResult, error) {
+	meas := []struct {
+		label string
+		run   func() (float64, error)
+	}{
+		{"retain base", func() (float64, error) { return measureLZSyscallOpts(prof, hyp.Opts{}, core.Opts{}) }},
+		{"retain ablated", func() (float64, error) {
+			return measureLZSyscallOpts(prof, hyp.Opts{DisableRetainRegs: true}, core.Opts{})
+		}},
+		{"shared-ptregs base", func() (float64, error) { return measureLZGuestSyscallOpts(prof, hyp.Opts{}) }},
+		{"shared-ptregs ablated", func() (float64, error) {
+			return measureLZGuestSyscallOpts(prof, hyp.Opts{DisableSharedPtRegs: true})
+		}},
+		{"partial-switch ablated", func() (float64, error) {
+			return measureLZGuestSyscallOpts(prof, hyp.Opts{DisablePartialSwitch: true})
+		}},
+		{"eager-s2 base", func() (float64, error) { return measureFaultStorm(prof, core.Opts{}) }},
+		{"eager-s2 ablated", func() (float64, error) { return measureFaultStorm(prof, core.Opts{DisableEagerS2: true}) }},
+		{"identity-phys", func() (float64, error) {
+			return measureLZSyscallOpts(prof, hyp.Opts{}, core.Opts{IdentityPhys: true})
+		}},
+	}
+	v, err := fleetMap(f, len(meas), func(i int) (float64, error) {
+		x, err := meas[i].run()
+		if err != nil {
+			return 0, fmt.Errorf("%s: %w", meas[i].label, err)
+		}
+		return x, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return []AblationResult{
+		{Name: "retain-hcr-vttbr (5.2.1)", Metric: "lz-host-syscall cycles", Optimized: v[0], Ablated: v[1]},
+		{Name: "shared-pt-regs (5.2.2)", Metric: "lz-guest-syscall cycles", Optimized: v[2], Ablated: v[3]},
+		{Name: "partial-el1-switch (5.2.2)", Metric: "lz-guest-syscall cycles", Optimized: v[2], Ablated: v[4]},
+		{Name: "eager-stage2-mapping (5.2)", Metric: "cold-page touch cycles", Optimized: v[5], Ablated: v[6]},
+		// §5.1.2: identity is the "intuitive" baseline — its ablation is
+		// cheaper but leaks real physical addresses through PTEs.
+		{Name: "fake-physical-layer (5.1.2)", Metric: "lz-host-syscall cycles", Optimized: v[7], Ablated: v[0]},
+	}, nil
+}
+
+// PentestSweep runs the §7.2 attack battery, one fleet cell per attack;
+// every attack boots its own machine, so the battery shards cleanly.
+func (f *Fleet) PentestSweep(plat Platform) ([]PentestResult, error) {
+	out := make([]PentestResult, len(pentestAttacks))
+	err := f.Run(len(pentestAttacks), func(i int) error {
+		atk := pentestAttacks[i]
+		p, err := atk.run(plat)
+		if err != nil {
+			return fmt.Errorf("%s: %w", atk.name, err)
+		}
+		res := PentestResult{Attack: atk.name, Blocked: p.Killed, Detail: p.KillMsg}
+		if atk.expect == "" {
+			if p.Killed {
+				return fmt.Errorf("%s: legitimate run killed: %s", atk.name, p.KillMsg)
+			}
+			res.Detail = "completed normally"
+		} else if !p.Killed || !strings.Contains(p.KillMsg, atk.expect) {
+			return fmt.Errorf("%s: attack not blocked as expected (killed=%v, msg=%q)", atk.name, p.Killed, p.KillMsg)
+		}
+		out[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PipelineSweep runs the pipeline-inspection probe on every cost profile
+// (host placement), one fleet cell per profile. Each report carries its
+// machine's private trace recorder; callers wanting one timeline merge
+// them in report order with trace.Merge, which is deterministic because
+// the recorders come back indexed by profile, not by completion order.
+func (f *Fleet) PipelineSweep(domains, iters int) ([]PipelineReport, error) {
+	profs := arm64.Profiles()
+	return fleetMap(f, len(profs), func(i int) (PipelineReport, error) {
+		return RunPipelineInspection(Platform{Prof: profs[i]}, domains, iters)
+	})
+}

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"lightzone/internal/mem"
+	"lightzone/internal/trace"
 )
 
 // PipelineReport aggregates the execution-pipeline counters — TLB and
@@ -14,6 +15,9 @@ type PipelineReport struct {
 	CachedBlocks int
 	CacheEnabled bool
 	TraceSummary string
+	// Trace is the run's private event recorder. Fleet.PipelineSweep
+	// returns one per machine; trace.Merge combines them deterministically.
+	Trace *trace.Recorder
 }
 
 // RunPipelineInspection executes the Table 5 TTBR-gate microbenchmark on a
@@ -38,5 +42,6 @@ func RunPipelineInspection(plat Platform, domains, iters int) (PipelineReport, e
 		CachedBlocks: c.DecodeCacheLen(),
 		CacheEnabled: c.DecodeCacheEnabled(),
 		TraceSummary: rec.Summary(),
+		Trace:        rec,
 	}, nil
 }

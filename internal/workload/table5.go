@@ -59,20 +59,46 @@ func RunDomainSwitch(cfg DomainSwitchConfig) (DomainSwitchResult, error) {
 // nil to boot a fresh one.
 func runDomainSwitch(cfg DomainSwitchConfig, env *Env) (DomainSwitchResult, *Env, error) {
 	res := DomainSwitchResult{Config: cfg}
+	env, p, err := prepareDomainSwitch(cfg, env)
+	if err != nil {
+		return res, nil, err
+	}
+	if err := env.Run(p, domainSwitchBudget(cfg)); err != nil {
+		return res, nil, err
+	}
+	if p.Killed {
+		return res, nil, fmt.Errorf("benchmark killed: %s", p.KillMsg)
+	}
+	res.TotalCycles = env.Measured()
+	res.AvgCycles = float64(res.TotalCycles) / float64(cfg.Iters)
+	return res, env, nil
+}
+
+// domainSwitchBudget is the trap budget of one benchmark run.
+func domainSwitchBudget(cfg DomainSwitchConfig) int64 {
+	return int64(cfg.Iters)*4 + 100_000
+}
+
+// prepareDomainSwitch boots the environment (unless one is supplied) and
+// assembles the benchmark process without running it. Callers other than
+// runDomainSwitch drive the process in trap-budget slices (Env.Run returns
+// kernel.ErrTrapBudget until the program exits) — the cross-machine
+// isolation tests interleave two machines this way.
+func prepareDomainSwitch(cfg DomainSwitchConfig, env *Env) (*Env, *kernel.Process, error) {
 	if cfg.Domains <= 0 || cfg.Iters <= 0 {
-		return res, nil, fmt.Errorf("bad config %+v", cfg)
+		return nil, nil, fmt.Errorf("bad config %+v", cfg)
 	}
 	if cfg.Variant == VariantWatchpoint && cfg.Domains > baseline.MaxWatchpointDomains {
-		return res, nil, baseline.ErrTooManyDomains
+		return nil, nil, baseline.ErrTooManyDomains
 	}
 	if cfg.Variant == VariantNone {
-		return res, nil, fmt.Errorf("the unprotected variant has no domain switches")
+		return nil, nil, fmt.Errorf("the unprotected variant has no domain switches")
 	}
 	if env == nil {
 		var err error
 		env, err = NewEnv(cfg.Platform)
 		if err != nil {
-			return res, nil, err
+			return nil, nil, err
 		}
 	}
 	if cfg.DisableDecodeCache {
@@ -100,7 +126,7 @@ func runDomainSwitch(cfg DomainSwitchConfig, env *Env) (DomainSwitchResult, *Env
 	case VariantLwC:
 		buildLwCSwitchProgram(a, cfg)
 	default:
-		return res, nil, fmt.Errorf("variant %q has no domain-switch mechanism", cfg.Variant)
+		return nil, nil, fmt.Errorf("variant %q has no domain-switch mechanism", cfg.Variant)
 	}
 
 	p, err := env.NewProcess("table5", a, seq, entries, kernel.VMA{
@@ -110,17 +136,9 @@ func runDomainSwitch(cfg DomainSwitchConfig, env *Env) (DomainSwitchResult, *Env
 		Name:  "domains",
 	})
 	if err != nil {
-		return res, nil, err
+		return nil, nil, err
 	}
-	if err := env.Run(p, int64(cfg.Iters)*4+100_000); err != nil {
-		return res, nil, err
-	}
-	if p.Killed {
-		return res, nil, fmt.Errorf("benchmark killed: %s", p.KillMsg)
-	}
-	res.TotalCycles = env.Measured()
-	res.AvgCycles = float64(res.TotalCycles) / float64(cfg.Iters)
-	return res, env, nil
+	return env, p, nil
 }
 
 // emitSwitchLoop emits the shared measurement loop skeleton. perIter emits
