@@ -524,6 +524,52 @@ func TestTLBContextInternRecycling(t *testing.T) {
 	}
 }
 
+// Regression: compactContexts must not clobber a surviving entry when a
+// kept context's renumbered id equals another kept context's old id and
+// both cache the same page. The in-place remap used to overwrite the
+// not-yet-moved entry (cross-VM translation aliasing) and leave t.order
+// holding a stale key. Both insertion orders are exercised because the
+// corruption depended on which entry the order scan moved first.
+func TestTLBCompactContextsSamePageSurvivors(t *testing.T) {
+	for _, vmid3First := range []bool{true, false} {
+		tlb := NewTLB(16)
+		// Pin the intern order (missing lookups still intern contexts):
+		// vmid 1 gets the lowest ids, so dropping it shifts the survivors'
+		// ids down onto each other's old values.
+		tlb.Lookup(1, 10, 0x1000)
+		tlb.Lookup(2, 20, 0x1000)
+		tlb.Lookup(3, 30, 0x1000)
+		tlb.Insert(1, 10, 0x1000, TLBEntry{PABase: 0xA000, S1Desc: AttrNG, BlockShift: PageShift})
+		if vmid3First {
+			tlb.Insert(3, 30, 0x5000, TLBEntry{PABase: 0xC000, S1Desc: AttrNG, BlockShift: PageShift})
+			tlb.Insert(2, 20, 0x5000, TLBEntry{PABase: 0xB000, S1Desc: AttrNG, BlockShift: PageShift})
+		} else {
+			tlb.Insert(2, 20, 0x5000, TLBEntry{PABase: 0xB000, S1Desc: AttrNG, BlockShift: PageShift})
+			tlb.Insert(3, 30, 0x5000, TLBEntry{PABase: 0xC000, S1Desc: AttrNG, BlockShift: PageShift})
+		}
+
+		tlb.InvalidateVMID(1)
+		if e, ok := tlb.Lookup(2, 20, 0x5000); !ok || e.PABase != 0xB000 {
+			t.Errorf("vmid3First=%v: vmid 2 entry corrupted by compaction: %+v, %v", vmid3First, e, ok)
+		}
+		if e, ok := tlb.Lookup(3, 30, 0x5000); !ok || e.PABase != 0xC000 {
+			t.Errorf("vmid3First=%v: vmid 3 entry corrupted by compaction: %+v, %v", vmid3First, e, ok)
+		}
+		if tlb.Len() != 2 {
+			t.Errorf("vmid3First=%v: want 2 surviving entries, got %d", vmid3First, tlb.Len())
+		}
+		if len(tlb.order) != len(tlb.entries) {
+			t.Errorf("vmid3First=%v: order/entries diverged: %d keys for %d entries",
+				vmid3First, len(tlb.order), len(tlb.entries))
+		}
+		for _, k := range tlb.order {
+			if _, ok := tlb.entries[k]; !ok {
+				t.Errorf("vmid3First=%v: stale key %#x left in order", vmid3First, k)
+			}
+		}
+	}
+}
+
 // Regression: ResetStats must also clear the mirrored pipeline Stats, or
 // lzinspect and trace summaries disagree with the TLB's own counters.
 func TestTLBResetStatsClearsMirroredStats(t *testing.T) {

@@ -203,15 +203,22 @@ func (t *TLB) compactContexts(drop func(ctxKey) bool) {
 	}
 	t.ctxList = kept
 	t.lastValid = false
+	// Two-phase rewrite: a kept context's new id can equal another kept
+	// context's old id, so moving entries in place while scanning can clobber
+	// a live entry that shares the page bits. Pull every moving entry out of
+	// the map first, then reinsert under the remapped keys.
+	moved := make(map[uint64]TLBEntry)
 	for i, k := range t.order {
 		nk := remap[k>>tlbPageBits] | k&tlbPageMask
 		if nk == k {
 			continue
 		}
-		e := t.entries[k]
+		moved[nk] = t.entries[k]
 		delete(t.entries, k)
-		t.entries[nk] = e
 		t.order[i] = nk
+	}
+	for nk, e := range moved {
+		t.entries[nk] = e
 	}
 }
 

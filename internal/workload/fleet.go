@@ -25,6 +25,15 @@ type Fleet struct {
 	// Workers is the maximum number of cells in flight. 1 runs cells
 	// sequentially in index order (the pre-fleet behavior, byte for byte).
 	Workers int
+
+	// slots is the shared extra-worker pool (capacity Workers-1; the
+	// calling goroutine is always the remaining worker). Nested Run calls
+	// — a sweep cell warming caches through the same fleet — draw from
+	// this one pool, so total concurrency stays bounded by Workers instead
+	// of multiplying per nesting level. Acquisition is non-blocking: a Run
+	// that finds the pool drained just executes its cells on the calling
+	// goroutine, which also makes nesting deadlock-free.
+	slots chan struct{}
 }
 
 // NewFleet returns a fleet with the given width; workers <= 0 selects
@@ -33,7 +42,14 @@ func NewFleet(workers int) *Fleet {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	return &Fleet{Workers: workers}
+	f := &Fleet{Workers: workers}
+	if workers > 1 {
+		f.slots = make(chan struct{}, workers-1)
+		for i := 0; i < workers-1; i++ {
+			f.slots <- struct{}{}
+		}
+	}
+	return f
 }
 
 // width is the effective worker count (a zero-value Fleet is sequential).
@@ -67,20 +83,38 @@ func (f *Fleet) Run(n int, cell func(i int) error) error {
 	}
 	errs := make([]error, n)
 	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			errs[i] = cell(i)
+		}
+	}
+	// The calling goroutine is always one worker; up to w-1 extras are
+	// spawned, each backed by a slot from the shared pool when one exists
+	// (a zero-value or literal Fleet has no pool and spawns unpooled).
 	var wg sync.WaitGroup
-	for k := 0; k < w; k++ {
+spawn:
+	for k := 0; k < w-1; k++ {
+		if f.slots != nil {
+			select {
+			case <-f.slots:
+			default:
+				break spawn // pool drained by enclosing Run calls
+			}
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				errs[i] = cell(i)
+			if f.slots != nil {
+				defer func() { f.slots <- struct{}{} }()
 			}
+			work()
 		}()
 	}
+	work()
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {

@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"lightzone/internal/arm64"
 	"lightzone/internal/kernel"
@@ -47,6 +48,39 @@ func TestFleetRunParallelCoversAllCellsAndReportsLowestError(t *testing.T) {
 		if c := counts[i].Load(); c != 1 {
 			t.Errorf("cell %d ran %d times", i, c)
 		}
+	}
+}
+
+// TestFleetNestedRunSharesWorkerBudget checks that a cell running an inner
+// sweep through the same fleet (the FigureSweep -> PrewarmGates shape)
+// draws extra workers from the shared slot pool: peak concurrency stays
+// bounded by Workers instead of multiplying per nesting level, and nesting
+// cannot deadlock because slot acquisition is non-blocking.
+func TestFleetNestedRunSharesWorkerBudget(t *testing.T) {
+	const workers = 4
+	f := NewFleet(workers)
+	var inFlight, peak atomic.Int64
+	err := f.Run(workers, func(int) error {
+		// The outer cell does no work of its own beyond the inner sweep, so
+		// only the inner cells count as busy workers.
+		return f.Run(workers, func(int) error {
+			n := inFlight.Add(1)
+			defer inFlight.Add(-1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeded the %d-worker budget", p, workers)
 	}
 }
 
