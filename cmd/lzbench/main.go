@@ -15,6 +15,8 @@
 //	lzbench -all                # everything
 //	lzbench -all -json          # machine-readable: one JSON object per line
 //	lzbench -all -parallel 8    # shard measurement cells over 8 workers
+//	lzbench -invariants         # static invariant verifier on the clean machines
+//	lzbench -pentest -invariants # + planted-attack battery, caught statically
 //
 // Every measurement cell boots a private machine, so -parallel N changes
 // only wall-clock time: the emitted rows (emulated cycle counts included)
@@ -45,11 +47,13 @@ func main() {
 		iters    = flag.Int("iters", 10000, "domain-switch iterations (table 5)")
 		csvDir   = flag.String("csv", "", "also write figure series as CSV files into this directory")
 		jsonMode = flag.Bool("json", false, "emit one JSON object per table row / figure point instead of tables")
+		invar    = flag.Bool("invariants", false, "run the static invariant verifier at every mutation chokepoint of the clean machines, plus the planted-attack battery with -pentest; off by default, and the default output is unchanged when off")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for the measurement sweeps (1 = fully sequential)")
 	)
 	flag.Parse()
 	csvOut = *csvDir
 	jsonOut = *jsonMode
+	invariants = *invar
 	fleet = workload.NewFleet(*parallel)
 	if err := run(*table, *figure, *mem, *pentest, *ablation, *all, *iters); err != nil {
 		fmt.Fprintln(os.Stderr, "lzbench:", err)
@@ -92,6 +96,12 @@ func run(table, figure int, mem, pentest, ablation, all bool, iters int) error {
 	if all || ablation {
 		any = true
 		if err := printAblations(); err != nil {
+			return err
+		}
+	}
+	if invariants {
+		any = true
+		if err := printVerify(); err != nil {
 			return err
 		}
 	}
@@ -366,8 +376,83 @@ func printPentest() error {
 			}
 		}
 	}
+	if invariants {
+		if err := printPlanted(); err != nil {
+			return err
+		}
+	}
 	if !jsonOut {
 		fmt.Println()
+	}
+	return nil
+}
+
+// invariants switches the verification lanes on: chokepoint-monitored clean
+// runs after the benchmarks, and the planted-attack battery with -pentest.
+// Off (the default) every emitted byte is identical to a build without the
+// verifier.
+var invariants bool
+
+// printVerify re-runs the clean Table 5 machines with the static invariant
+// verifier attached to every mutation chokepoint.
+func printVerify() error {
+	if !jsonOut {
+		fmt.Println("Static invariant verification (chokepoint-monitored clean machines)")
+	}
+	for _, plat := range workload.AllPlatforms() {
+		results, err := fleet.VerifySweep(plat)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			for _, r := range results {
+				if err := emitJSON(map[string]any{
+					"kind": "verify", "platform": plat.String(), "config": r.Name,
+					"invariant_runs": r.InvariantRuns, "findings": r.Findings,
+				}); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		fmt.Printf("  %s:\n", plat)
+		for _, r := range results {
+			fmt.Printf("    %-10s %3d invariant runs, %d findings\n", r.Name, r.InvariantRuns, r.Findings)
+		}
+	}
+	if !jsonOut {
+		fmt.Println()
+	}
+	return nil
+}
+
+// printPlanted runs the static half of the attack battery: every planted
+// violation must be reported by its designated checker at the planted VA
+// before any dynamic trap would see it.
+func printPlanted() error {
+	if !jsonOut {
+		fmt.Println("  static detection (planted attacks, caught before any dynamic trap):")
+	}
+	for _, plat := range workload.AllPlatforms() {
+		results, err := fleet.PlantedSweep(plat)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			for _, r := range results {
+				if err := emitJSON(map[string]any{
+					"kind": "planted", "platform": plat.String(), "attack": r.Name,
+					"checker": r.Checker, "va": fmt.Sprintf("%#x", r.VA), "caught": r.Caught,
+				}); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		fmt.Printf("    %s:\n", plat)
+		for _, r := range results {
+			fmt.Printf("      %-26s caught by %s at %#x\n", r.Name, r.Checker, r.VA)
+		}
 	}
 	return nil
 }

@@ -9,9 +9,12 @@
 //	lzinspect -stub            # disassemble the trap stub's vectors
 //	lzinspect -word 0xd518200a # classify an instruction under both policies
 //	lzinspect -pipeline        # execution-pipeline counters for a probe run
+//	lzinspect -invariants      # chokepoint-verified probe run + final report
+//	lzinspect -invariants -json # the same as a machine-readable JSON object
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,15 +33,17 @@ func main() {
 		stub     = flag.Bool("stub", false, "disassemble the trap stub vectors")
 		word     = flag.String("word", "", "classify an instruction word (hex) under the Table 3 policies")
 		pipeline = flag.Bool("pipeline", false, "run a domain-switch probe and report TLB + decode-cache counters")
+		invar    = flag.Bool("invariants", false, "run a chokepoint-verified domain-switch probe and report the invariant trace")
+		jsonMode = flag.Bool("json", false, "with -invariants: emit the verification result as one JSON object")
 	)
 	flag.Parse()
-	if err := run(*gate, *stub, *word, *pipeline); err != nil {
+	if err := run(*gate, *stub, *word, *pipeline, *invar, *jsonMode); err != nil {
 		fmt.Fprintln(os.Stderr, "lzinspect:", err)
 		os.Exit(1)
 	}
 }
 
-func run(gate int, stub bool, word string, pipeline bool) error {
+func run(gate int, stub bool, word string, pipeline, invariants, jsonMode bool) error {
 	any := false
 	if gate >= 0 {
 		any = true
@@ -71,6 +76,12 @@ func run(gate int, stub bool, word string, pipeline bool) error {
 	if pipeline {
 		any = true
 		if err := printPipeline(); err != nil {
+			return err
+		}
+	}
+	if invariants {
+		any = true
+		if err := printInvariants(jsonMode); err != nil {
 			return err
 		}
 	}
@@ -114,6 +125,49 @@ func printPipeline() error {
 	}
 	if merged := trace.Merge(recs...); merged.Len() > 0 {
 		fmt.Printf("  all profiles:          %s\n", merged.Summary())
+	}
+	return nil
+}
+
+// invariantsJSON runs the chokepoint-verified probe and marshals its result
+// — the stable schema consumers (and the schema test) rely on: name,
+// machine, invariant_runs, findings, and the final per-checker report.
+func invariantsJSON() ([]byte, error) {
+	res, _, err := workload.VerifyProbe(workload.AllPlatforms()[0])
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(res)
+}
+
+// printInvariants runs a domain-switch probe with the static verifier
+// attached to every mutation chokepoint and reports each verification as a
+// trace event, followed by the final whole-machine report.
+func printInvariants(jsonMode bool) error {
+	if jsonMode {
+		b, err := invariantsJSON()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(b))
+		return nil
+	}
+	res, rec, err := workload.VerifyProbe(workload.AllPlatforms()[0])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("chokepoint invariant verification (TTBR-gate probe, 8 domains, %s):\n", res.Machine)
+	for _, ev := range rec.Events() {
+		if ev.Kind == trace.KindInvariant {
+			fmt.Printf("  %s\n", ev)
+		}
+	}
+	fmt.Printf("final report: %d invariant runs, %d findings\n", res.InvariantRuns, res.Findings)
+	for _, c := range res.Final.Checkers {
+		fmt.Printf("  %-18s %d findings\n", c.Name, c.Findings)
+	}
+	for _, f := range res.Final.Findings {
+		fmt.Printf("  %s\n", f)
 	}
 	return nil
 }

@@ -1,0 +1,139 @@
+// Command lzverify drives LightZone's whole-machine static invariant
+// verifier (internal/verify). In its default mode it constructs the clean
+// Table 5 benchmark machines, re-runs the full checker registry at every
+// security-state mutation chokepoint and once more after the run, and exits
+// non-zero if any invariant ever fails to hold. With -planted it instead
+// builds the planted-attack battery — machines carrying a W-xor-X flip, a
+// tampered GateTab, a smuggled sensitive word, a TTBR0 write hidden behind
+// a never-taken branch, and friends — and exits non-zero unless every
+// attack is caught by its designated checker at the planted VA, statically,
+// with the dynamic enforcement paths never having fired.
+//
+// Usage:
+//
+//	lzverify                    # verify the clean machines (exit 0 = clean)
+//	lzverify -planted           # verify the planted attacks are all caught
+//	lzverify -json              # one JSON object per verification cell
+//	lzverify -platform Carmel   # restrict to platforms matching a substring
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"lightzone/internal/workload"
+)
+
+func main() {
+	var (
+		planted  = flag.Bool("planted", false, "run the planted-attack battery instead of the clean sweep")
+		jsonMode = flag.Bool("json", false, "emit one JSON object per verification cell")
+		platform = flag.String("platform", "", "restrict to platforms whose name contains this substring")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for the verification cells")
+	)
+	flag.Parse()
+	if err := run(*planted, *jsonMode, *platform, *parallel); err != nil {
+		fmt.Fprintln(os.Stderr, "lzverify:", err)
+		os.Exit(1)
+	}
+}
+
+func platforms(filter string) ([]workload.Platform, error) {
+	var out []workload.Platform
+	for _, plat := range workload.AllPlatforms() {
+		if strings.Contains(strings.ToLower(plat.String()), strings.ToLower(filter)) {
+			out = append(out, plat)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no platform matches %q", filter)
+	}
+	return out, nil
+}
+
+func run(planted, jsonMode bool, platform string, parallel int) error {
+	plats, err := platforms(platform)
+	if err != nil {
+		return err
+	}
+	fleet := workload.NewFleet(parallel)
+	for _, plat := range plats {
+		if planted {
+			if err := runPlanted(fleet, plat, jsonMode); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := runClean(fleet, plat, jsonMode); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runClean verifies the clean benchmark machines; VerifySweep returns an
+// error — and lzverify exits non-zero — on any finding at any chokepoint.
+func runClean(fleet *workload.Fleet, plat workload.Platform, jsonMode bool) error {
+	results, err := fleet.VerifySweep(plat)
+	if err != nil {
+		return err
+	}
+	if !jsonMode {
+		fmt.Printf("%s:\n", plat)
+	}
+	for _, r := range results {
+		if jsonMode {
+			if err := emitJSON(map[string]any{
+				"kind": "verify", "platform": plat.String(), "config": r.Name,
+				"machine": r.Machine, "invariant_runs": r.InvariantRuns,
+				"findings": r.Findings, "checkers": r.Final.Checkers,
+			}); err != nil {
+				return err
+			}
+			continue
+		}
+		fmt.Printf("  %-10s %3d invariant runs, %d findings  CLEAN\n", r.Name, r.InvariantRuns, r.Findings)
+	}
+	return nil
+}
+
+// runPlanted verifies the attack battery; PlantedSweep returns an error —
+// and lzverify exits non-zero — when any planted violation goes undetected
+// or an unreachable control word is falsely flagged.
+func runPlanted(fleet *workload.Fleet, plat workload.Platform, jsonMode bool) error {
+	results, err := fleet.PlantedSweep(plat)
+	if err != nil {
+		return err
+	}
+	if !jsonMode {
+		fmt.Printf("%s:\n", plat)
+	}
+	for _, r := range results {
+		if jsonMode {
+			if err := emitJSON(map[string]any{
+				"kind": "planted", "platform": plat.String(), "attack": r.Name,
+				"checker": r.Checker, "va": fmt.Sprintf("%#x", r.VA),
+				"caught": r.Caught, "detail": r.Detail,
+			}); err != nil {
+				return err
+			}
+			continue
+		}
+		fmt.Printf("  %-26s CAUGHT by %s at %#x\n", r.Name, r.Checker, r.VA)
+		fmt.Printf("    %s\n", r.Detail)
+	}
+	return nil
+}
+
+func emitJSON(obj map[string]any) error {
+	b, err := json.Marshal(obj)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Println(string(b))
+	return err
+}

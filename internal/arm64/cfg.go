@@ -1,0 +1,158 @@
+package arm64
+
+import "sort"
+
+// This file implements an exact control-flow-graph builder over A64 code.
+// Fixed-width 4-byte encoding means instruction boundaries are known without
+// heuristics: from a set of entry addresses, the reachable instruction set
+// is computed precisely by following decoded successor edges. Words that are
+// never reached from an entry — literal pools, padding, data smuggled into
+// executable pages — are excluded, which is what lets a static verifier
+// distinguish "a sensitive byte pattern exists in the page" from "a
+// sensitive instruction can actually execute".
+
+// CFGSegment is one contiguous run of executable memory: Words[i] is the
+// instruction word at Base + 4*i. Base must be 4-byte aligned.
+type CFGSegment struct {
+	Base  uint64
+	Words []uint32
+}
+
+// End returns the first address past the segment.
+func (s CFGSegment) End() uint64 { return s.Base + uint64(len(s.Words))*InsnBytes }
+
+// CFG is the reachability result over a set of segments.
+type CFG struct {
+	segs      []CFGSegment
+	entries   []uint64
+	reachable map[uint64]bool
+	leaders   map[uint64]bool
+}
+
+// BuildCFG computes the instruction set reachable from entries by a
+// worklist traversal of decoded successor edges:
+//
+//   - B follows only its target; BL follows the target and the return
+//     fall-through (calls are assumed to return);
+//   - conditional branches (B.cond, CBZ, CBNZ) follow both target and
+//     fall-through;
+//   - indirect control flow (BR, RET) and exception return (ERET) have no
+//     static successors — where they go is the call gate's problem, not the
+//     page's;
+//   - BLR falls through (the callee is assumed to return);
+//   - exception generation (SVC, HVC, SMC) falls through to the
+//     continuation the kernel ERETs to;
+//   - undecodable words have no successors: execution of one traps, so
+//     nothing past it is reached through it.
+//
+// Branch targets outside every segment are dropped (control left the
+// audited region). Entries outside every segment are ignored.
+func BuildCFG(segs []CFGSegment, entries []uint64) *CFG {
+	sorted := append([]CFGSegment(nil), segs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Base < sorted[j].Base })
+	g := &CFG{
+		segs:      sorted,
+		entries:   append([]uint64(nil), entries...),
+		reachable: make(map[uint64]bool),
+		leaders:   make(map[uint64]bool),
+	}
+	var work []uint64
+	push := func(addr uint64) {
+		if _, ok := g.wordAt(addr); ok && !g.reachable[addr] {
+			g.reachable[addr] = true
+			work = append(work, addr)
+		}
+	}
+	for _, e := range entries {
+		if _, ok := g.wordAt(e); ok {
+			g.leaders[e] = true
+		}
+		push(e)
+	}
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		word, _ := g.wordAt(pc)
+		in := Decode(word)
+		for _, succ := range successors(pc, in) {
+			if succ != pc+InsnBytes {
+				// A branch target starts a new basic block.
+				if _, ok := g.wordAt(succ); ok {
+					g.leaders[succ] = true
+				}
+			}
+			push(succ)
+		}
+	}
+	return g
+}
+
+// successors returns the static successor addresses of the instruction at
+// pc. Branch immediates are byte offsets relative to the instruction.
+func successors(pc uint64, in Insn) []uint64 {
+	next := pc + InsnBytes
+	switch in.Op {
+	case OpB:
+		return []uint64{pc + uint64(in.Imm)}
+	case OpBL:
+		return []uint64{pc + uint64(in.Imm), next}
+	case OpBCond, OpCBZ, OpCBNZ:
+		return []uint64{pc + uint64(in.Imm), next}
+	case OpBR, OpRET, OpERET:
+		return nil
+	case OpBLR, OpSVC, OpHVC, OpSMC:
+		return []uint64{next}
+	case OpUnknown:
+		return nil
+	default:
+		return []uint64{next}
+	}
+}
+
+// wordAt returns the instruction word at addr, if addr is 4-byte aligned
+// and inside a segment.
+func (g *CFG) wordAt(addr uint64) (uint32, bool) {
+	if addr%InsnBytes != 0 {
+		return 0, false
+	}
+	i := sort.Search(len(g.segs), func(i int) bool { return g.segs[i].End() > addr })
+	if i == len(g.segs) || addr < g.segs[i].Base {
+		return 0, false
+	}
+	return g.segs[i].Words[(addr-g.segs[i].Base)/InsnBytes], true
+}
+
+// Reachable reports whether the instruction at addr is reachable from an
+// entry.
+func (g *CFG) Reachable(addr uint64) bool { return g.reachable[addr] }
+
+// ReachableCount returns the number of reachable instructions.
+func (g *CFG) ReachableCount() int { return len(g.reachable) }
+
+// Blocks returns the basic-block leader addresses (entries plus reachable
+// branch targets), ascending.
+func (g *CFG) Blocks() []uint64 {
+	out := make([]uint64, 0, len(g.leaders))
+	for a := range g.leaders {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// VisitReachable calls fn for every reachable instruction in ascending
+// address order with its word and decoded form. Returns early when fn
+// returns false.
+func (g *CFG) VisitReachable(fn func(addr uint64, word uint32, in Insn) bool) {
+	addrs := make([]uint64, 0, len(g.reachable))
+	for a := range g.reachable {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		word, _ := g.wordAt(a)
+		if !fn(a, word, Decode(word)) {
+			return
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package arm64
+
+import "testing"
+
+// seg builds a single segment at base from encoded words.
+func seg(base uint64, words ...uint32) CFGSegment {
+	return CFGSegment{Base: base, Words: words}
+}
+
+// TestCFGLiteralPoolUnreachable: an unconditional branch over a data word
+// keeps the word out of the reachable set even though it sits between two
+// reachable instructions — the core property the sanitizer checker leans on.
+func TestCFGLiteralPoolUnreachable(t *testing.T) {
+	const base = 0x1000
+	g := BuildCFG([]CFGSegment{seg(base,
+		B(8),          // 0x1000: b .+8, over the pool word
+		TLBIVMALLE1(), // 0x1004: sensitive word parked as data
+		RET(30),       // 0x1008: branch target
+	)}, []uint64{base})
+	if !g.Reachable(base) || !g.Reachable(base+8) {
+		t.Fatalf("entry or branch target not reachable")
+	}
+	if g.Reachable(base + 4) {
+		t.Fatal("literal-pool word reachable despite the branch over it")
+	}
+	if n := g.ReachableCount(); n != 2 {
+		t.Fatalf("ReachableCount = %d, want 2", n)
+	}
+}
+
+// TestCFGConditionalBothEdges: B.cond and CBZ follow both the target and the
+// fall-through, so everything on either side is reachable.
+func TestCFGConditionalBothEdges(t *testing.T) {
+	const base = 0x2000
+	g := BuildCFG([]CFGSegment{seg(base,
+		CBZ(0, 12),       // 0x2000 -> 0x200c and 0x2004
+		BCond(CondEQ, 8), // 0x2004 -> 0x200c and 0x2008
+		WordNOP,          // 0x2008
+		RET(30),          // 0x200c
+	)}, []uint64{base})
+	for off := uint64(0); off < 16; off += 4 {
+		if !g.Reachable(base + off) {
+			t.Errorf("offset %#x not reachable", off)
+		}
+	}
+	// Leaders: the entry plus the shared branch target; 0x2008 is reached
+	// only by fall-through and so starts no block.
+	blocks := g.Blocks()
+	want := []uint64{base, base + 12}
+	if len(blocks) != len(want) {
+		t.Fatalf("Blocks = %#x, want %#x", blocks, want)
+	}
+	for i, b := range blocks {
+		if b != want[i] {
+			t.Fatalf("Blocks = %#x, want %#x", blocks, want)
+		}
+	}
+}
+
+// TestCFGIndirectAndUndecodableTerminate: BR/RET and undecodable words have
+// no static successors; SVC/HVC fall through; BL follows both edges.
+func TestCFGIndirectAndUndecodableTerminate(t *testing.T) {
+	const base = 0x3000
+	g := BuildCFG([]CFGSegment{seg(base,
+		BL(16),     // 0x3000 -> 0x3010 (call) and 0x3004 (return site)
+		SVC(1),     // 0x3004 -> falls through
+		BR(5),      // 0x3008: no static successors
+		0xffffffff, // 0x300c: would only be reached past BR — must stay dark
+		RET(30),    // 0x3010: callee
+	)}, []uint64{base})
+	for _, off := range []uint64{0, 4, 8, 16} {
+		if !g.Reachable(base + off) {
+			t.Errorf("offset %#x not reachable", off)
+		}
+	}
+	if g.Reachable(base + 12) {
+		t.Error("word past BR reachable; indirect branches must terminate paths")
+	}
+
+	// An undecodable word that IS reachable terminates its path too.
+	g2 := BuildCFG([]CFGSegment{seg(base, 0xffffffff, WordNOP)}, []uint64{base})
+	if !g2.Reachable(base) || g2.Reachable(base+4) {
+		t.Errorf("undecodable entry: reachable(%v, %v), want (true, false)",
+			g2.Reachable(base), g2.Reachable(base+4))
+	}
+}
+
+// TestCFGSegmentBounds: unaligned or out-of-segment entries and branch
+// targets are dropped rather than faulting, across multiple segments handed
+// over out of order.
+func TestCFGSegmentBounds(t *testing.T) {
+	lo := seg(0x1000, B(0x1000), RET(30)) // branch to 0x2000 in the other segment
+	hi := seg(0x2000, RET(30))
+	g := BuildCFG([]CFGSegment{hi, lo}, []uint64{0x1000, 0x1002, 0x5000})
+	if !g.Reachable(0x1000) {
+		t.Error("entry not reachable")
+	}
+	if !g.Reachable(0x2000) {
+		t.Error("cross-segment branch target not reachable")
+	}
+	if g.Reachable(0x1004) {
+		t.Error("word after unconditional b reachable without an edge to it")
+	}
+	if g.Reachable(0x1002) || g.Reachable(0x5000) {
+		t.Error("unaligned / out-of-segment entries must be ignored")
+	}
+	if w, ok := g.wordAt(0x2000); !ok || w != RET(30) {
+		t.Errorf("wordAt(0x2000) = %#x, %v", w, ok)
+	}
+	if _, ok := g.wordAt(0x1ffc); ok {
+		t.Error("wordAt between segments must miss")
+	}
+}
+
+// TestCFGVisitReachableOrder: visiting yields ascending addresses with the
+// decoded form, and stops when fn returns false.
+func TestCFGVisitReachableOrder(t *testing.T) {
+	const base = 0x4000
+	g := BuildCFG([]CFGSegment{seg(base, WordNOP, WordNOP, RET(30))}, []uint64{base})
+	var got []uint64
+	g.VisitReachable(func(addr uint64, word uint32, in Insn) bool {
+		got = append(got, addr)
+		if addr == base+8 && in.Op != OpRET {
+			t.Errorf("decoded %v at %#x, want ret", in.Op, addr)
+		}
+		return true
+	})
+	if len(got) != 3 || got[0] != base || got[1] != base+4 || got[2] != base+8 {
+		t.Fatalf("visit order %#x", got)
+	}
+	var n int
+	g.VisitReachable(func(uint64, uint32, Insn) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d instructions, want 1", n)
+	}
+}

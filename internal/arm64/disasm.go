@@ -91,6 +91,19 @@ func Disassemble(word uint32) string {
 		return fmt.Sprintf("%s %s, %s, %s", op, regName(in.Rd), regName(in.Rn), regName(in.Rm))
 	case OpLSLV, OpLSRV, OpUDiv:
 		return fmt.Sprintf("%s %s, %s, %s", in.Op, regName(in.Rd), regName(in.Rn), regName(in.Rm))
+	case OpUBFM:
+		// Render the standard aliases: immr/imms carry the field positions
+		// (decode puts immr in ShiftAmt and imms in Imm).
+		immr, imms := uint64(in.ShiftAmt), uint64(in.Imm)
+		switch {
+		case imms == 63:
+			return fmt.Sprintf("lsr %s, %s, #%d", regName(in.Rd), regName(in.Rn), immr)
+		case immr == (imms+1)&63:
+			return fmt.Sprintf("lsl %s, %s, #%d", regName(in.Rd), regName(in.Rn), 63-imms)
+		case imms >= immr:
+			return fmt.Sprintf("ubfx %s, %s, #%d, #%d", regName(in.Rd), regName(in.Rn), immr, imms-immr+1)
+		}
+		return fmt.Sprintf("ubfm %s, %s, #%d, #%d", regName(in.Rd), regName(in.Rn), immr, imms)
 	case OpMAdd:
 		if in.Ra == XZR {
 			return fmt.Sprintf("mul %s, %s, %s", regName(in.Rd), regName(in.Rn), regName(in.Rm))

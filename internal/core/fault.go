@@ -89,6 +89,7 @@ func (lz *LightZone) handleLZFault(k *kernel.Kernel, t *kernel.Thread, lp *LZPro
 			}
 			lp.exec[base] = execDirty
 			c.Charge(6 * k.Prof.MemAccessCost)
+			lz.observe("wx-flip", lp)
 			lp.chargeModuleExit(k)
 			return c.ERET()
 		}
@@ -200,6 +201,7 @@ func (lz *LightZone) handleExecFault(k *kernel.Kernel, t *kernel.Thread, lp *LZP
 	}
 	lp.exec[base] = execClean
 	c.Charge(6 * k.Prof.MemAccessCost)
+	lz.observe("sanitize-exec", lp)
 	lp.chargeModuleExit(k)
 	return c.ERET()
 }
@@ -225,6 +227,7 @@ func (lz *LightZone) handleWXWriteFault(k *kernel.Kernel, t *kernel.Thread, lp *
 	}
 	lp.exec[base] = execDirty
 	c.Charge(6 * k.Prof.MemAccessCost)
+	lz.observe("wx-flip", lp)
 	lp.chargeModuleExit(k)
 	return c.ERET()
 }

@@ -204,6 +204,7 @@ func (lp *LZProc) MapGatePgt(pgt, gate int) error {
 	lp.kern.CPU.InvalidateCode(mem.VA(gateVA(gate)))
 	lp.traceCodeInval(mem.VA(gateVA(gate)), "lz_map_gate_pgt remap")
 	lp.kern.CPU.Charge(2 * lp.kern.Prof.MemAccessCost)
+	lp.lz.observe("lz_map_gate_pgt", lp)
 	return nil
 }
 

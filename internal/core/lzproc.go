@@ -357,6 +357,7 @@ func (lp *LZProc) Prot(addr mem.VA, length uint64, pgt int, perm int) error {
 		lp.kern.CPU.Charge(4 * lp.kern.Prof.MemAccessCost) // PTE rewrite cost
 		va = base + mem.VA(size)
 	}
+	lp.lz.observe("lz_prot", lp)
 	return nil
 }
 
@@ -461,6 +462,7 @@ func (lp *LZProc) Alloc() (int, error) {
 		return -1, err
 	}
 	lp.kern.CPU.Charge(lp.kern.Prof.HandlerDispatchCost)
+	lp.lz.observe("lz_alloc", lp)
 	return d.ID, nil
 }
 
@@ -487,5 +489,6 @@ func (lp *LZProc) Free(pgt int) error {
 		return err
 	}
 	d.S1.Free()
+	lp.lz.observe("lz_free", lp)
 	return nil
 }

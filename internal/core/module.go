@@ -50,6 +50,14 @@ type LightZone struct {
 	// NEVE-style shared page instead of trapping (§5.2.2).
 	GuestMode bool
 
+	// Observer, when set, is invoked after every security-state mutation
+	// chokepoint (lz_enter, lz_prot, lz_alloc, lz_free, lz_map_gate_pgt,
+	// sanitizer admission, W-xor-X flips) with the event name and the
+	// affected process. The -invariants mode hangs the static verifier
+	// here. Observers must be observation-only: the hook runs outside the
+	// cycle model and must not mutate machine state.
+	Observer func(event string, lp *LZProc)
+
 	procs          map[int]*LZProc
 	pendingEntries map[int][]GateEntry
 }
@@ -127,6 +135,13 @@ func (lz *LightZone) Syscall(k *kernel.Kernel, t *kernel.Thread, num int, args [
 }
 
 func lzErr() uint64 { return ^uint64(0) } // -1
+
+// observe fires the Observer hook (nil-safe).
+func (lz *LightZone) observe(event string, lp *LZProc) {
+	if lz.Observer != nil {
+		lz.Observer(event, lp)
+	}
+}
 
 // enter implements lz_enter: a one-way ticket into the per-process virtual
 // environment (Table 2). The calling thread's process is wrapped in a new
@@ -263,6 +278,7 @@ func (lz *LightZone) enter(k *kernel.Kernel, t *kernel.Thread, allowScalable boo
 			lz.Trace.Record(c.Cycles, trace.KindDomainSwitch, p.PID, "ttbr0 %#x -> %#x", old, new)
 		}
 	}
+	lz.observe("lz_enter", lp)
 	return 0, nil
 }
 

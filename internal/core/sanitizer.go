@@ -144,19 +144,40 @@ func CheckWord(word uint32, policy SanPolicy) string {
 	return "unclassified system instruction"
 }
 
+// sanitize scans data's instruction words under the policy, collecting up
+// to max violations (max < 0 collects all).
+func sanitize(data []byte, policy SanPolicy, max int) []Violation {
+	var found []Violation
+	words := arm64.BytesToWords(data)
+	for i, w := range words {
+		if reason := CheckWord(w, policy); reason != "" {
+			found = append(found, Violation{Offset: i * arm64.InsnBytes, Word: w, Reason: reason})
+			if max >= 0 && len(found) >= max {
+				break
+			}
+		}
+	}
+	return found
+}
+
 // SanitizePage scans a page's instruction words under the policy. It
 // returns the first violation found, or nil. This is the check LightZone
 // runs on every executable page before making it executable, under W xor X
 // and break-before-make so a sanitized page cannot be modified afterwards
-// (TOCTTOU defence, §6.3).
+// (TOCTTOU defence, §6.3). The runtime only needs a yes/no answer, so it
+// stops at the first hit; auditors wanting the full list use SanitizeAll.
 func SanitizePage(data []byte, policy SanPolicy) *Violation {
-	words := arm64.BytesToWords(data)
-	for i, w := range words {
-		if reason := CheckWord(w, policy); reason != "" {
-			return &Violation{Offset: i * arm64.InsnBytes, Word: w, Reason: reason}
-		}
+	if found := sanitize(data, policy, 1); len(found) > 0 {
+		return &found[0]
 	}
 	return nil
+}
+
+// SanitizeAll scans a region and returns every violation, in address order.
+// The static verifier uses it so a single audit reports complete findings
+// instead of the runtime's first-hit short-circuit.
+func SanitizeAll(data []byte, policy SanPolicy) []Violation {
+	return sanitize(data, policy, -1)
 }
 
 // SanitizeCost returns the modelled cycle cost of scanning n bytes

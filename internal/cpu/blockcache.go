@@ -1,6 +1,8 @@
 package cpu
 
 import (
+	"sort"
+
 	"lightzone/internal/arm64"
 	"lightzone/internal/mem"
 )
@@ -91,6 +93,60 @@ func (c *VCPU) DecodeCacheEnabled() bool { return c.Decoded.enabled }
 
 // DecodeCacheLen returns the number of cached blocks.
 func (c *VCPU) DecodeCacheLen() int { return len(c.Decoded.blocks) }
+
+// CachedBlockInfo describes one decoded block for verifiers: its keying
+// context, the raw instruction words it decoded from, and whether its
+// epoch snapshot still matches the page's current epoch. EpochOK==false
+// blocks are benign — they are discarded on next entry — so coherence
+// audits only cross-check the bytes of blocks the pipeline would replay.
+type CachedBlockInfo struct {
+	VMID    uint16
+	ASID    uint16
+	MMUOff  bool
+	Page    uint64 // VA >> PageShift
+	Off     uint16 // byte offset of the first instruction within the page
+	EpochOK bool
+	Raw     []uint32
+}
+
+// DecodedBlocks returns a deterministic snapshot of the block cache (sorted
+// by context, page, offset). Observation-only: no stats or epochs move.
+func (c *VCPU) DecodedBlocks() []CachedBlockInfo {
+	d := c.Decoded
+	out := make([]CachedBlockInfo, 0, len(d.blocks))
+	for k, b := range d.blocks {
+		info := CachedBlockInfo{
+			VMID:    k.vmid,
+			ASID:    k.asid,
+			MMUOff:  k.mmuOff,
+			Page:    k.page,
+			Off:     k.off,
+			EpochOK: d.epochs.Snapshot(b.page) == b.snap,
+			Raw:     make([]uint32, len(b.insns)),
+		}
+		for i, in := range b.insns {
+			info.Raw[i] = in.Raw
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.VMID != b.VMID {
+			return a.VMID < b.VMID
+		}
+		if a.ASID != b.ASID {
+			return a.ASID < b.ASID
+		}
+		if a.MMUOff != b.MMUOff {
+			return !a.MMUOff
+		}
+		if a.Page != b.Page {
+			return a.Page < b.Page
+		}
+		return a.Off < b.Off
+	})
+	return out
+}
 
 func (d *BlockCache) reset() {
 	clear(d.blocks)

@@ -266,6 +266,11 @@ func (t *Stage1) visit(table PA, level int, base uint64, fn func(VA, uint64, uin
 			continue
 		}
 		va := base + idx*span
+		// Canonicalize TTBR1-half addresses: root indices >= 256 select the
+		// upper VA half, whose architectural form sign-extends bit 47.
+		if va&(1<<(VABits-1)) != 0 {
+			va |= ^(uint64(1)<<VABits - 1)
+		}
 		switch {
 		case level == 3:
 			if !fn(VA(va), desc, PageSize) {

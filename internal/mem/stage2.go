@@ -190,6 +190,46 @@ func (t *Stage2) leafAddr(ipa IPA) (PA, error) {
 	return t.descAddr(table, s2Index(ipa, 3)), nil
 }
 
+// Visit walks every valid leaf mapping in ascending IPA order, calling
+// fn(ipa, desc, size). Visiting stops when fn returns false. Mirrors
+// Stage1.Visit; verifiers use it to audit the stage-2 protections the
+// Lowvisor installed over guest frames.
+func (t *Stage2) Visit(fn func(ipa IPA, desc uint64, size uint64) bool) error {
+	return t.visit(t.root, 1, 0, fn)
+}
+
+func (t *Stage2) visit(table PA, level int, base uint64, fn func(IPA, uint64, uint64) bool) error {
+	f, err := t.pm.frame(table)
+	if err != nil {
+		return err
+	}
+	span := uint64(1) << (PageShift + 9*(3-level))
+	for idx := uint64(0); idx < 512; idx++ {
+		desc := binary.LittleEndian.Uint64(f[idx*8 : idx*8+8])
+		if desc&DescValid == 0 {
+			continue
+		}
+		ipa := base + idx*span
+		switch {
+		case level == 3:
+			if !fn(IPA(ipa), desc, PageSize) {
+				return nil
+			}
+		case desc&DescTable == 0:
+			if level == 2 {
+				if !fn(IPA(ipa), desc, HugePageSize) {
+					return nil
+				}
+			}
+		default:
+			if err := t.visit(PA(desc&OAMask), level+1, ipa, fn); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // Free releases the table frames.
 func (t *Stage2) Free() {
 	t.free(t.root, 1)

@@ -271,6 +271,25 @@ func (t *TLB) invalidate(match func(uint64) bool) {
 // Len returns the number of cached entries.
 func (t *TLB) Len() int { return len(t.entries) }
 
+// Visit calls fn for every cached entry in insertion (FIFO) order, decoding
+// each packed key back into its translation context and page-aligned VA
+// (canonicalized: high-half pages get their upper bits sign-extended).
+// Purely observational — it never touches the hit/miss counters or the
+// mirrored pipeline Stats, so verifiers can enumerate the TLB without
+// perturbing any measurement. Returns false from fn to stop early.
+func (t *TLB) Visit(fn func(vmid, asid uint16, global bool, va VA, e TLBEntry) bool) {
+	for _, k := range t.order {
+		c := t.ctxList[k>>tlbPageBits]
+		va := VA((k & tlbPageMask) << PageShift)
+		if va&(1<<(VABits-1)) != 0 {
+			va |= ^(VA(1)<<VABits - 1)
+		}
+		if !fn(c.vmid, c.asid, c.global, va, t.entries[k]) {
+			return
+		}
+	}
+}
+
 // ContextCount returns the number of interned translation contexts — a
 // diagnostic for the intern tables' growth (they must stay bounded by the
 // live (VMID, ASID) population, not by historical churn).

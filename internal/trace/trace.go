@@ -23,6 +23,10 @@ const (
 	KindViolation
 	KindEnter
 	KindCodeInval
+	// KindInvariant records a static-verifier run at a mutation chokepoint
+	// (-invariants mode): the event note carries the triggering chokepoint
+	// and the number of findings.
+	KindInvariant
 )
 
 func (k Kind) String() string {
@@ -45,6 +49,8 @@ func (k Kind) String() string {
 		return "lz-enter"
 	case KindCodeInval:
 		return "code-inval"
+	case KindInvariant:
+		return "invariant"
 	default:
 		return "event"
 	}
@@ -173,7 +179,7 @@ func (r *Recorder) Summary() string {
 		return ""
 	}
 	var b strings.Builder
-	for k := KindTrap; k <= KindCodeInval; k++ {
+	for k := KindTrap; k <= KindInvariant; k++ {
 		if n := r.Counts[k]; n > 0 {
 			fmt.Fprintf(&b, "%s=%d ", k, n)
 		}

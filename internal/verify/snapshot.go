@@ -1,0 +1,143 @@
+package verify
+
+import (
+	"fmt"
+
+	"lightzone/internal/core"
+	"lightzone/internal/hyp"
+	"lightzone/internal/mem"
+)
+
+// Mapping is one stage-1 leaf descriptor as the snapshot saw it.
+type Mapping struct {
+	VA   mem.VA
+	Desc uint64 // raw stage-1 leaf; its OA is a fake physical address
+	Size uint64 // mem.PageSize or mem.HugePageSize
+	// Real is the real frame base behind the fake OA (what the bytes
+	// actually live in). HasReal is false when the fake OA resolves to
+	// nothing — itself reported by the W-xor-X audit.
+	Real    mem.PA
+	HasReal bool
+}
+
+// Exec reports whether the mapping is kernel-executable (PXN clear).
+func (m Mapping) Exec() bool { return m.Desc&mem.AttrPXN == 0 }
+
+// Writable reports whether the mapping permits writes (AP read-only clear).
+func (m Mapping) Writable() bool { return m.Desc&mem.AttrAPRO == 0 }
+
+// User reports whether the mapping is user-accessible (PAN-gated domains).
+func (m Mapping) User() bool { return m.Desc&mem.AttrAPUser != 0 }
+
+// DomainSnap is one domain page table: identity plus every leaf mapping in
+// ascending VA order. S1 is retained for the cache-coherence re-walks (all
+// Stage1 read paths are observation-only).
+type DomainSnap struct {
+	ID   int
+	ASID uint16
+	TTBR uint64
+	S1   *mem.Stage1
+	Maps []Mapping
+}
+
+// ProcSnap is the verifier's view of one LightZone process.
+type ProcSnap struct {
+	PID      int
+	Name     string
+	Policy   core.SanPolicy
+	Scalable bool
+	VMID     uint16
+
+	Domains []DomainSnap
+
+	// TTBR1 half: stub, gate code, GateTab, TTBRTab.
+	TTBR1Val uint64
+	TTBR1    []Mapping
+
+	Gates      []core.GateInfo
+	GateTabPA  mem.PA
+	TTBRTabPAs []mem.PA
+	ExecClean  []mem.VA
+
+	// LP gives checkers access to the live process for fake-physical
+	// resolution, the TTBR1 table and stage-2 (read paths only).
+	LP *core.LZProc
+}
+
+// TTBR1Table returns the process's TTBR1 stage-1 table.
+func (p *ProcSnap) TTBR1Table() *mem.Stage1 { return p.LP.TTBR1Table() }
+
+// S2 returns the process's stage-2 table.
+func (p *ProcSnap) S2() *mem.Stage2 { return p.LP.VM().S2 }
+
+// RealOf resolves a fake physical address to the real frame behind it.
+func (p *ProcSnap) RealOf(fk mem.IPA) (mem.PA, bool) { return p.LP.Fake().RealOf(fk) }
+
+// Snapshot is a point-in-time capture of a machine for invariant checking.
+type Snapshot struct {
+	M     *hyp.Machine
+	LZ    *core.LightZone
+	Procs []ProcSnap
+}
+
+// Capture snapshots every LightZone process of (m, lz) for the checkers.
+// The capture itself is observation-only: software table walks through
+// PhysMem reads, no TLB probes, no cycle charges.
+func Capture(m *hyp.Machine, lz *core.LightZone) (*Snapshot, error) {
+	s := &Snapshot{M: m, LZ: lz}
+	for _, lp := range lz.Procs() {
+		ps := ProcSnap{
+			PID:        lp.PID(),
+			Name:       lp.Name(),
+			Policy:     lp.Policy(),
+			Scalable:   lp.AllowScalable(),
+			VMID:       lp.VM().VMID,
+			TTBR1Val:   lp.TTBR1Val(),
+			Gates:      lp.Gates(),
+			GateTabPA:  lp.GateTabPA(),
+			TTBRTabPAs: lp.TTBRTabPages(),
+			ExecClean:  lp.ExecCleanPages(),
+			LP:         lp,
+		}
+		for _, id := range lp.PageTableIDs() {
+			d, ok := lp.PageTable(id)
+			if !ok {
+				continue
+			}
+			ds := DomainSnap{ID: d.ID, ASID: d.S1.ASID(), TTBR: d.TTBR(), S1: d.S1}
+			maps, err := collectMaps(d.S1, lp)
+			if err != nil {
+				return nil, fmt.Errorf("pid %d pgt %d: %w", ps.PID, id, err)
+			}
+			ds.Maps = maps
+			ps.Domains = append(ps.Domains, ds)
+		}
+		t1maps, err := collectMaps(lp.TTBR1Table(), lp)
+		if err != nil {
+			return nil, fmt.Errorf("pid %d ttbr1: %w", ps.PID, err)
+		}
+		ps.TTBR1 = t1maps
+		s.Procs = append(s.Procs, ps)
+	}
+	return s, nil
+}
+
+// collectMaps gathers every leaf of a stage-1 table, resolving each fake
+// output address to its real frame.
+func collectMaps(s1 *mem.Stage1, lp *core.LZProc) ([]Mapping, error) {
+	var maps []Mapping
+	err := s1.Visit(func(va mem.VA, desc uint64, size uint64) bool {
+		m := Mapping{VA: va, Desc: desc, Size: size}
+		fk := mem.IPA(desc & mem.OAMask)
+		if size == mem.HugePageSize {
+			fk &^= mem.IPA(mem.HugePageMask)
+		}
+		m.Real, m.HasReal = lp.Fake().RealOf(fk)
+		maps = append(maps, m)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return maps, nil
+}

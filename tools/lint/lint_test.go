@@ -1,0 +1,89 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func lintSource(t *testing.T, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lintFile(fset, f)
+}
+
+func TestCyclesWriteFlagged(t *testing.T) {
+	probs := lintSource(t, `package core
+func bad(c *VCPU) { c.Cycles += 3 }
+`)
+	if len(probs) != 1 || !strings.Contains(probs[0], "Charge") {
+		t.Fatalf("want one Charge violation, got %v", probs)
+	}
+}
+
+func TestCyclesIncDecFlagged(t *testing.T) {
+	probs := lintSource(t, `package cpu
+func tick(c *VCPU) { c.Cycles++ }
+`)
+	if len(probs) != 1 {
+		t.Fatalf("want one violation, got %v", probs)
+	}
+}
+
+func TestChargeAllowed(t *testing.T) {
+	probs := lintSource(t, `package cpu
+func (c *VCPU) Charge(n int64) { c.Cycles += n }
+func (c *VCPU) ChargeInsns(n int64) { c.Cycles += n * c.Prof.InsnCost }
+`)
+	if len(probs) != 0 {
+		t.Fatalf("Charge/ChargeInsns must be allowed, got %v", probs)
+	}
+}
+
+func TestChargeOutsideCPUFlagged(t *testing.T) {
+	// A function merely named Charge in another package gets no exemption.
+	probs := lintSource(t, `package core
+func Charge(c *VCPU) { c.Cycles += 1 }
+`)
+	if len(probs) != 1 {
+		t.Fatalf("want one violation, got %v", probs)
+	}
+}
+
+func TestHandlersWriteFlagged(t *testing.T) {
+	probs := lintSource(t, `package cpu
+func sneak() { handlers[3] = nil }
+`)
+	if len(probs) != 1 || !strings.Contains(probs[0], "buildHandlers") {
+		t.Fatalf("want one handlers violation, got %v", probs)
+	}
+}
+
+func TestBuildHandlersAllowed(t *testing.T) {
+	probs := lintSource(t, `package cpu
+func buildHandlers() [4]Handler {
+	var handlers [4]Handler
+	handlers[0] = nil
+	handlers = handlers
+	return handlers
+}
+`)
+	if len(probs) != 0 {
+		t.Fatalf("buildHandlers must be allowed, got %v", probs)
+	}
+}
+
+func TestHandlersOutsideCPUIgnored(t *testing.T) {
+	// Other packages may have their own unrelated "handlers" locals.
+	probs := lintSource(t, `package kernel
+func f() { handlers := map[int]int{}; handlers[1] = 2; _ = handlers }
+`)
+	if len(probs) != 0 {
+		t.Fatalf("non-cpu handlers must be ignored, got %v", probs)
+	}
+}

@@ -1,0 +1,114 @@
+// Command lint enforces two repository-specific invariants that ordinary
+// go vet cannot express, using only the standard library's go/ast:
+//
+//  1. handlers-table immutability: the per-form dispatch table in
+//     internal/cpu (package cpu, `handlers`) is written only by its
+//     declaration and buildHandlers. Every other write would mutate live
+//     dispatch behind the decoded-block cache's back.
+//
+//  2. cycle accounting: the vCPU cycle counter (`.Cycles`) is mutated only
+//     by Charge/ChargeInsns in package cpu. Scattered `c.Cycles +=` writes
+//     are how double-charging bugs crept into trap-cost measurements.
+//
+// Usage: go run ./tools/lint [root]   (root defaults to ".")
+//
+// Exits non-zero and prints one line per violation. Test files are skipped:
+// the invariants protect production dispatch and measurement, not fixtures.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	fset := token.NewFileSet()
+	var problems []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+		problems = append(problems, lintFile(fset, f)...)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lint:", err)
+		os.Exit(1)
+	}
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, p)
+	}
+	if len(problems) > 0 {
+		os.Exit(1)
+	}
+}
+
+// chargers are the only functions allowed to mutate a .Cycles field.
+var chargers = map[string]bool{"Charge": true, "ChargeInsns": true}
+
+// lintFile checks one parsed file and returns its violations.
+func lintFile(fset *token.FileSet, f *ast.File) []string {
+	var problems []string
+	inCPU := f.Name.Name == "cpu"
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		report := func(pos token.Pos, msg string) {
+			problems = append(problems, fmt.Sprintf("%s: %s", fset.Position(pos), msg))
+		}
+		checkLHS := func(lhs ast.Expr) {
+			if sel, ok := lhs.(*ast.SelectorExpr); ok && sel.Sel.Name == "Cycles" {
+				if !(inCPU && chargers[fn.Name.Name]) {
+					report(lhs.Pos(), "cycle counter mutated outside Charge/ChargeInsns; charge cycles through the vCPU API")
+				}
+			}
+			if !inCPU || fn.Name.Name == "buildHandlers" {
+				return
+			}
+			target := lhs
+			if idx, ok := lhs.(*ast.IndexExpr); ok {
+				target = idx.X
+			}
+			if id, ok := target.(*ast.Ident); ok && id.Name == "handlers" {
+				report(lhs.Pos(), "dispatch table written outside buildHandlers; the handlers table is immutable after construction")
+			}
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range st.Lhs {
+					checkLHS(lhs)
+				}
+			case *ast.IncDecStmt:
+				checkLHS(st.X)
+			}
+			return true
+		})
+	}
+	return problems
+}
