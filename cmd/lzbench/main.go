@@ -29,10 +29,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"lightzone/internal/arm64"
+	"lightzone/internal/cpu"
 	"lightzone/internal/workload"
 )
 
@@ -49,16 +52,61 @@ func main() {
 		jsonMode = flag.Bool("json", false, "emit one JSON object per table row / figure point instead of tables")
 		invar    = flag.Bool("invariants", false, "run the static invariant verifier at every mutation chokepoint of the clean machines, plus the planted-attack battery with -pentest; off by default, and the default output is unchanged when off")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for the measurement sweeps (1 = fully sequential)")
+		noFast   = flag.Bool("nofastpath", false, "disable the host-side fastpaths (micro-TLBs, block-resident run loop, batched charging); emitted rows must stay byte-identical")
+		noDecode = flag.Bool("nodecode", false, "disable the decoded-block cache (the seed fetch/decode pipeline); emitted rows must stay byte-identical")
+		hostPerf = flag.Bool("hostperf", false, "append one host-throughput row per suite (wall seconds, emulated insns/sec); off by default so the emitted rows never depend on the host")
+		benchOut = flag.String("benchout", "", "write a machine-readable per-suite host-performance summary (JSON) to this file")
+		cpuProf  = flag.String("cpuprofile", "", "write a host CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a host heap profile to this file")
 	)
 	flag.Parse()
 	csvOut = *csvDir
 	jsonOut = *jsonMode
 	invariants = *invar
+	hostPerfOn = *hostPerf
+	benchOutPath = *benchOut
+	if *noFast {
+		cpu.SetHostFastpathDefault(false)
+	}
+	if *noDecode {
+		cpu.SetDecodeCacheDefault(false)
+	}
 	fleet = workload.NewFleet(*parallel)
-	if err := run(*table, *figure, *mem, *pentest, *ablation, *all, *iters); err != nil {
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lzbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "lzbench:", err)
+			os.Exit(1)
+		}
+	}
+	err := run(*table, *figure, *mem, *pentest, *ablation, *all, *iters)
+	if *cpuProf != "" {
+		pprof.StopCPUProfile()
+	}
+	if err == nil && benchOutPath != "" {
+		err = writeBenchOut(benchOutPath)
+	}
+	if err == nil && *memProf != "" {
+		err = writeMemProfile(*memProf)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "lzbench:", err)
 		os.Exit(1)
 	}
+}
+
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
 }
 
 // fleet shards every sweep's measurement cells across workers; results are
@@ -69,39 +117,42 @@ func run(table, figure int, mem, pentest, ablation, all bool, iters int) error {
 	any := false
 	if all || table == 4 {
 		any = true
-		if err := printTable4(); err != nil {
+		if err := measure("table4", printTable4); err != nil {
 			return err
 		}
 	}
 	if all || table == 5 {
 		any = true
-		if err := printTable5(iters); err != nil {
+		if err := measure("table5", func() error { return printTable5(iters) }); err != nil {
 			return err
 		}
 	}
 	for _, f := range []int{3, 4, 5} {
 		if all || figure == f {
 			any = true
-			if err := printFigure(f, mem || all); err != nil {
+			f := f
+			if err := measure(fmt.Sprintf("figure%d", f), func() error {
+				return printFigure(f, mem || all)
+			}); err != nil {
 				return err
 			}
 		}
 	}
 	if all || pentest {
 		any = true
-		if err := printPentest(); err != nil {
+		if err := measure("pentest", printPentest); err != nil {
 			return err
 		}
 	}
 	if all || ablation {
 		any = true
-		if err := printAblations(); err != nil {
+		if err := measure("ablations", printAblations); err != nil {
 			return err
 		}
 	}
 	if invariants {
 		any = true
-		if err := printVerify(); err != nil {
+		if err := measure("invariants", printVerify); err != nil {
 			return err
 		}
 	}
@@ -109,6 +160,101 @@ func run(table, figure int, mem, pentest, ablation, all bool, iters int) error {
 		flag.Usage()
 	}
 	return nil
+}
+
+// hostPerfOn appends a host-throughput row per suite; benchOutPath collects
+// the same rows into a JSON summary file. Both are host-side observability:
+// with both off, measurement output is byte-identical run to run.
+var (
+	hostPerfOn   bool
+	benchOutPath string
+	suitePerfs   []suitePerf
+)
+
+// suitePerf is one suite's host-performance summary: wall time, emulated
+// work, and how the host-side caches fared while producing it.
+type suitePerf struct {
+	Suite         string  `json:"suite"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	EmulatedInsns int64   `json:"emulated_insns"`
+	EmulatedMIPS  float64 `json:"emulated_mips"`
+	TLBHitRate    float64 `json:"tlb_hit_rate"`
+	DecodeHitRate float64 `json:"decode_hit_rate"`
+}
+
+func rate(hits, misses int64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// measure runs one suite printer, recording wall time and the emulated-work
+// delta when -hostperf or -benchout asked for them.
+func measure(name string, fn func() error) error {
+	if !hostPerfOn && benchOutPath == "" {
+		return fn()
+	}
+	before := cpu.ReadHostPerf()
+	start := time.Now()
+	if err := fn(); err != nil {
+		return err
+	}
+	wall := time.Since(start).Seconds()
+	d := cpu.ReadHostPerf().Sub(before)
+	sp := suitePerf{
+		Suite:         name,
+		WallSeconds:   wall,
+		EmulatedInsns: d.Insns,
+		EmulatedMIPS:  float64(d.Insns) / 1e6 / wall,
+		TLBHitRate:    rate(d.TLBHits, d.TLBMisses),
+		DecodeHitRate: rate(d.CodeHits, d.CodeMisses),
+	}
+	suitePerfs = append(suitePerfs, sp)
+	if hostPerfOn {
+		if jsonOut {
+			return emitJSON(map[string]any{
+				"kind": "hostperf", "suite": sp.Suite, "wall_seconds": sp.WallSeconds,
+				"emulated_insns": sp.EmulatedInsns, "emulated_mips": sp.EmulatedMIPS,
+				"tlb_hit_rate": sp.TLBHitRate, "decode_hit_rate": sp.DecodeHitRate,
+			})
+		}
+		fmt.Printf("host: %s in %.3fs — %d emulated insns, %.1f MIPS, TLB hit %.1f%%, decode hit %.1f%%\n\n",
+			sp.Suite, sp.WallSeconds, sp.EmulatedInsns, sp.EmulatedMIPS,
+			100*sp.TLBHitRate, 100*sp.DecodeHitRate)
+	}
+	return nil
+}
+
+// writeBenchOut writes the per-suite summaries plus a total line.
+func writeBenchOut(path string) error {
+	total := suitePerf{Suite: "total"}
+	for _, sp := range suitePerfs {
+		total.WallSeconds += sp.WallSeconds
+		total.EmulatedInsns += sp.EmulatedInsns
+	}
+	if total.WallSeconds > 0 {
+		total.EmulatedMIPS = float64(total.EmulatedInsns) / 1e6 / total.WallSeconds
+	}
+	agg := cpu.ReadHostPerf()
+	total.TLBHitRate = rate(agg.TLBHits, agg.TLBMisses)
+	total.DecodeHitRate = rate(agg.CodeHits, agg.CodeMisses)
+	out := struct {
+		Fastpaths   bool        `json:"fastpaths"`
+		DecodeCache bool        `json:"decode_cache"`
+		Suites      []suitePerf `json:"suites"`
+		Total       suitePerf   `json:"total"`
+	}{
+		Fastpaths:   cpu.HostFastpathDefault(),
+		DecodeCache: cpu.DecodeCacheDefault(),
+		Suites:      suitePerfs,
+		Total:       total,
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 // jsonOut switches every printer to line-delimited JSON.

@@ -1,0 +1,59 @@
+package cpu
+
+import (
+	"testing"
+
+	"lightzone/internal/mem"
+)
+
+// benchLoopInsns is the emulated instruction count of one sumProgram(256)
+// pass (2 setup + 3 per iteration + HVC), used to report per-instruction
+// throughput.
+const benchLoopInsns = 2 + 3*256 + 1
+
+// BenchmarkStep measures the per-Step pipeline with every host fastpath
+// off: decode from the block cache, dispatch, account — one instruction per
+// Step call. This is the PR 1–3 baseline the block-resident loop is
+// compared against.
+func BenchmarkStep(b *testing.B) {
+	e := newEnv(b)
+	e.c.SetHostFastpaths(false)
+	e.load(b, sumProgram(256))
+	e.run(b, 10_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.rerun(b, 10_000)
+	}
+	b.ReportMetric(float64(b.N)*benchLoopInsns/b.Elapsed().Seconds(), "insns/s")
+}
+
+// BenchmarkBlockReplay measures the block-resident loop on a hot cached
+// block: micro-TLB fetch fastpath, no re-decode, batched cycle accounting.
+func BenchmarkBlockReplay(b *testing.B) {
+	e := newEnv(b)
+	e.load(b, sumProgram(256))
+	e.run(b, 10_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.rerun(b, 10_000)
+	}
+	b.ReportMetric(float64(b.N)*benchLoopInsns/b.Elapsed().Seconds(), "insns/s")
+}
+
+// BenchmarkTranslateHit measures Translate on a warm data page: with the
+// fastpaths on this is a D-side micro-TLB hit, the cost every load and
+// store in the emulator pays.
+func BenchmarkTranslateHit(b *testing.B) {
+	e := newEnv(b)
+	if _, ab := e.c.Translate(dataVA, mem.AccessRead, false); ab != nil {
+		b.Fatalf("warm translate aborted: %+v", ab)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ab := e.c.Translate(dataVA, mem.AccessRead, false); ab != nil {
+			b.Fatal("translate aborted")
+		}
+	}
+}

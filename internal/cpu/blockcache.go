@@ -2,13 +2,15 @@ package cpu
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"lightzone/internal/arm64"
 	"lightzone/internal/mem"
 )
 
-// maxCachedBlocks bounds the decoded-block cache; on overflow the whole
-// cache is reset (cheap, and refill is just re-decoding).
+// maxCachedBlocks bounds the decoded-block cache; on overflow the oldest
+// half (by insertion order) is evicted, so a workload sweeping past the cap
+// re-decodes only cold blocks instead of hitting a full-miss cliff.
 const maxCachedBlocks = 8192
 
 // dblock is a decoded straight-line block: the Decode results for
@@ -18,18 +20,34 @@ type dblock struct {
 	insns []arm64.Insn
 	page  uint64 // VA >> PageShift
 	snap  uint64 // code-epoch snapshot when the build started
+	// checkedGen is the epoch generation at which snap was last verified to
+	// match the page's current epoch. When the global generation has not
+	// moved since, no epoch can have moved either, so enter skips the
+	// per-page Snapshot probes — a pure host-side elision.
+	checkedGen uint64
 }
 
-// blockKey addresses a block by execution context and start address:
-// (VMID, ASID, page, offset), mirroring the TLB's tagging so blocks from
-// different address spaces never alias. mmuOff separates flat (stage-1 off)
-// fetches from translated ones that happen to share an ASID value.
-type blockKey struct {
+// Blocks are addressed by execution context and start address: (VMID, ASID,
+// page, offset), mirroring the TLB's tagging so blocks from different
+// address spaces never alias. mmuOff separates flat (stage-1 off) fetches
+// from translated ones that happen to share an ASID value. Like the TLB,
+// the context is interned and the key packed into a single uint64 — the
+// canonical 36-bit page index and the insn-aligned page offset in the low
+// 46 bits, the interned context id above — so every probe on the fetch path
+// uses the runtime's fast uint64 map.
+type blockKey = uint64
+
+const (
+	blockPageBits = 36
+	blockOffBits  = 10 // 4KB page / 4-byte instructions
+	blockCtxShift = blockPageBits + blockOffBits
+)
+
+// blockCtx identifies a block's translation context before interning.
+type blockCtx struct {
 	vmid   uint16
 	asid   uint16
 	mmuOff bool
-	page   uint64
-	off    uint16
 }
 
 // blockCursor replays an entered block instruction by instruction. It is
@@ -52,11 +70,26 @@ type blockCursor struct {
 type BlockCache struct {
 	enabled bool
 	blocks  map[blockKey]*dblock
+	// order records block keys in insertion order for cohort eviction on
+	// overflow. Keys of blocks deleted for staleness are not scrubbed (that
+	// would be a linear scan per invalidation); evictCohort simply skips
+	// keys that no longer resolve, and a key re-inserted after a stale
+	// delete appears twice — its older position may evict the rebuilt block
+	// early, which costs one re-decode and nothing else.
+	order []blockKey
 	// codePages counts completed blocks per page so the store hook can
 	// skip epoch bumps for pages that hold no cached code.
 	codePages map[uint64]int
 	epochs    *mem.CodeEpochs
 	stats     *mem.Stats
+
+	// Context interning (see blockKey): (vmid, asid, mmuOff) -> pre-shifted
+	// context id, with a one-entry cache for the common same-context run.
+	ctxIDs  map[blockCtx]uint64
+	ctxList []blockCtx // index = context id, for key decoding
+	lastCtx blockCtx
+	lastID  uint64
+	lastOK  bool
 
 	// In-progress block builder. The build is abandoned (never inserted)
 	// if the page's epoch moves between build start and finalize.
@@ -68,14 +101,51 @@ type BlockCache struct {
 	binsns   []arm64.Insn
 }
 
+// decodeCacheDefault seeds the enabled state of newly created block caches,
+// so tools (lzbench -nodecode) can configure machines booted deep inside
+// sweeps.
+var decodeCacheDefault atomic.Bool
+
+func init() { decodeCacheDefault.Store(true) }
+
+// SetDecodeCacheDefault sets whether new vCPUs start with the decoded-block
+// cache enabled.
+func SetDecodeCacheDefault(on bool) { decodeCacheDefault.Store(on) }
+
+// DecodeCacheDefault reports the current default for new vCPUs.
+func DecodeCacheDefault() bool { return decodeCacheDefault.Load() }
+
 func newBlockCache(epochs *mem.CodeEpochs, stats *mem.Stats) *BlockCache {
 	return &BlockCache{
-		enabled:   true,
+		enabled:   decodeCacheDefault.Load(),
 		blocks:    make(map[blockKey]*dblock),
 		codePages: make(map[uint64]int),
 		epochs:    epochs,
 		stats:     stats,
+		ctxIDs:    make(map[blockCtx]uint64),
 	}
+}
+
+// ctxFor interns a block translation context and returns its pre-shifted
+// id. The intern tables are a pure host-side cache: if context churn (VMID
+// or ASID recycling across many processes) ever grows them past the block
+// cap, the whole cache is dropped and interning restarts — costing only
+// re-decodes.
+func (d *BlockCache) ctxFor(c blockCtx) uint64 {
+	if d.lastOK && c == d.lastCtx {
+		return d.lastID
+	}
+	id, ok := d.ctxIDs[c]
+	if !ok {
+		if len(d.ctxList) >= maxCachedBlocks {
+			d.reset()
+		}
+		id = uint64(len(d.ctxList)) << blockCtxShift
+		d.ctxIDs[c] = id
+		d.ctxList = append(d.ctxList, c)
+	}
+	d.lastCtx, d.lastID, d.lastOK = c, id, true
+	return id
 }
 
 // SetEnabled turns the cache on or off (off: every instruction is fetched
@@ -115,12 +185,13 @@ func (c *VCPU) DecodedBlocks() []CachedBlockInfo {
 	d := c.Decoded
 	out := make([]CachedBlockInfo, 0, len(d.blocks))
 	for k, b := range d.blocks {
+		ctx := d.ctxList[k>>blockCtxShift]
 		info := CachedBlockInfo{
-			VMID:    k.vmid,
-			ASID:    k.asid,
-			MMUOff:  k.mmuOff,
-			Page:    k.page,
-			Off:     k.off,
+			VMID:    ctx.vmid,
+			ASID:    ctx.asid,
+			MMUOff:  ctx.mmuOff,
+			Page:    b.page,
+			Off:     uint16(k & (1<<blockOffBits - 1) << 2),
 			EpochOK: d.epochs.Snapshot(b.page) == b.snap,
 			Raw:     make([]uint32, len(b.insns)),
 		}
@@ -151,27 +222,64 @@ func (c *VCPU) DecodedBlocks() []CachedBlockInfo {
 func (d *BlockCache) reset() {
 	clear(d.blocks)
 	clear(d.codePages)
+	clear(d.ctxIDs)
+	d.ctxList = d.ctxList[:0]
+	d.lastOK = false
+	d.order = d.order[:0]
 	d.building = false
 }
 
-// keyFor derives the cache key for a fetch at pc under c's current
+// evictCohort drops the oldest half of the cached blocks by insertion
+// order. Stale order entries (blocks already deleted, or re-inserted later
+// under the same key) are skipped without counting toward the cohort.
+func (d *BlockCache) evictCohort() {
+	target := len(d.blocks) / 2
+	evicted := 0
+	i := 0
+	for ; i < len(d.order) && evicted < target; i++ {
+		k := d.order[i]
+		b, ok := d.blocks[k]
+		if !ok {
+			continue
+		}
+		delete(d.blocks, k)
+		d.dropPageRef(b.page)
+		evicted++
+	}
+	d.order = append(d.order[:0], d.order[i:]...)
+}
+
+// compactOrder rebuilds order keeping the first occurrence of each live
+// key, bounding growth when stale deletions and rebuilds churn the same
+// keys without ever reaching the block cap.
+func (d *BlockCache) compactOrder() {
+	seen := make(map[blockKey]bool, len(d.blocks))
+	kept := d.order[:0]
+	for _, k := range d.order {
+		if _, ok := d.blocks[k]; ok && !seen[k] {
+			seen[k] = true
+			kept = append(kept, k)
+		}
+	}
+	d.order = kept
+}
+
+// keyFor derives the packed cache key for a fetch at pc under c's current
 // translation context, mirroring Translate's TTBR/ASID/VMID selection.
 func (d *BlockCache) keyFor(c *VCPU, pc uint64) blockKey {
-	k := blockKey{
-		vmid: c.CurrentVMID(),
-		page: pc >> mem.PageShift,
-		off:  uint16(pc & mem.PageMask),
-	}
+	ctx := blockCtx{vmid: c.CurrentVMID()}
 	if c.sys[arm64.SCTLREL1]&SCTLRM == 0 {
-		k.mmuOff = true
-		return k
+		ctx.mmuOff = true
+	} else {
+		ttbr := c.sys[arm64.TTBR0EL1]
+		if mem.IsTTBR1(mem.VA(pc)) {
+			ttbr = c.sys[arm64.TTBR1EL1]
+		}
+		ctx.asid = TTBRASID(ttbr)
 	}
-	ttbr := c.sys[arm64.TTBR0EL1]
-	if mem.IsTTBR1(mem.VA(pc)) {
-		ttbr = c.sys[arm64.TTBR1EL1]
-	}
-	k.asid = TTBRASID(ttbr)
-	return k
+	page := pc >> mem.PageShift & (1<<blockPageBits - 1)
+	off := pc & mem.PageMask >> 2
+	return d.ctxFor(ctx) | page<<blockOffBits | off
 }
 
 // enter returns the valid cached block starting at pc, or nil. A block
@@ -185,12 +293,19 @@ func (d *BlockCache) enter(c *VCPU, pc uint64) *dblock {
 	if b == nil {
 		return nil
 	}
+	gen := d.epochs.Gen()
+	if b.checkedGen == gen {
+		// No epoch of any granularity moved since the last validation, so
+		// the per-page Snapshot cannot have changed either.
+		return b
+	}
 	if d.epochs.Snapshot(b.page) != b.snap {
 		delete(d.blocks, key)
 		d.dropPageRef(b.page)
 		d.stats.CodeStale++
 		return nil
 	}
+	b.checkedGen = gen
 	return b
 }
 
@@ -224,16 +339,21 @@ func (d *BlockCache) finalize() {
 	if len(d.binsns) == 0 || d.epochs.Snapshot(d.bpage) != d.bsnap {
 		return
 	}
+	if len(d.order) >= 2*maxCachedBlocks {
+		d.compactOrder()
+	}
 	if len(d.blocks) >= maxCachedBlocks {
-		d.reset()
+		d.evictCohort()
 	}
 	if _, exists := d.blocks[d.bkey]; !exists {
 		d.codePages[d.bpage]++
+		d.order = append(d.order, d.bkey)
 	}
 	d.blocks[d.bkey] = &dblock{
-		insns: append([]arm64.Insn(nil), d.binsns...),
-		page:  d.bpage,
-		snap:  d.bsnap,
+		insns:      append([]arm64.Insn(nil), d.binsns...),
+		page:       d.bpage,
+		snap:       d.bsnap,
+		checkedGen: d.epochs.Gen(),
 	}
 	d.stats.CodeBlocks++
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"lightzone/internal/arm64"
+	"lightzone/internal/mem"
 )
 
 // sumProgram emits the arithmetic loop used by the cache tests: sum 1..n
@@ -171,6 +172,91 @@ func TestDecodeCacheDisabled(t *testing.T) {
 	if e.c.DecodeCacheLen() != 0 || e.c.Stats.CodeHits != 0 {
 		t.Errorf("disabled cache recorded state: %d blocks, %d hits",
 			e.c.DecodeCacheLen(), e.c.Stats.CodeHits)
+	}
+}
+
+// loadBlockSweep maps `pages` consecutive code pages and fills them with
+// single-instruction blocks: every slot is `B #4` (each a terminator, so
+// each decodes as its own block), and the very last slot is HVC so the
+// sweep exits. pages*1024 distinct blocks execute per sweep.
+func loadBlockSweep(t testing.TB, e *env, pages int) {
+	t.Helper()
+	word := func(buf []byte, i int, w uint32) {
+		buf[i] = byte(w)
+		buf[i+1] = byte(w >> 8)
+		buf[i+2] = byte(w >> 16)
+		buf[i+3] = byte(w >> 24)
+	}
+	const bPlus4 = 0x14000001 // B #4
+	for p := 0; p < pages; p++ {
+		va := codeVA + mem.VA(uint64(p)*uint64(mem.PageSize))
+		if p > 0 {
+			pa, err := e.pm.AllocFrame()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := e.s1.Map(va, pa, mem.AttrNG); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := e.s1.Walk(va)
+		if err != nil || !res.Found {
+			t.Fatalf("sweep page %d missing: %v", p, err)
+		}
+		buf := make([]byte, mem.PageSize)
+		for i := 0; i < len(buf); i += 4 {
+			word(buf, i, bPlus4)
+		}
+		if p == pages-1 {
+			word(buf, len(buf)-4, arm64.HVC(0))
+		}
+		if err := e.pm.Write(res.PA, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestBlockCacheOverflowEvictsCohort sweeps more distinct blocks than
+// maxCachedBlocks and checks overflow evicts only the oldest cohort instead
+// of dropping the whole cache: the cache stays at least half full, the
+// recently-executed half of the sweep replays entirely from cache (a full
+// reset at the cap — the old overflow behaviour — would have dropped it),
+// and emulated cycles remain identical to the cache-off pipeline across the
+// eviction path.
+func TestBlockCacheOverflowEvictsCohort(t *testing.T) {
+	const pages = maxCachedBlocks/1024 + 1
+	const total = pages * 1024
+	e := newEnv(t)
+	loadBlockSweep(t, e, pages)
+	e.run(t, total+10)
+	if n := e.c.DecodeCacheLen(); n < maxCachedBlocks/2 || n > maxCachedBlocks {
+		t.Errorf("after overflow sweep: %d cached blocks, want within [%d, %d]",
+			n, maxCachedBlocks/2, maxCachedBlocks)
+	}
+	// Replay only the second half of the sweep: its blocks are younger than
+	// the evicted cohort, so every one must still be cached.
+	const tailStart = pages / 2 * 1024 // first replayed block index
+	const tail = total - tailStart
+	hits := e.c.Stats.CodeHits
+	e.c.SetEL(arm64.EL1)
+	e.c.PC = uint64(codeVA) + uint64(tailStart)*arm64.InsnBytes
+	e.run(t, tail+10)
+	if delta := e.c.Stats.CodeHits - hits; delta < tail {
+		t.Errorf("tail replay hit %d of %d blocks (overflow evicted the young cohort)",
+			delta, tail)
+	}
+
+	run := func(enabled bool) (int64, int64) {
+		e := newEnv(t)
+		e.c.SetDecodeCache(enabled)
+		loadBlockSweep(t, e, pages)
+		e.run(t, total+10)
+		return e.c.Cycles, e.c.Insns
+	}
+	onC, onI := run(true)
+	offC, offI := run(false)
+	if onC != offC || onI != offI {
+		t.Errorf("overflow sweep identity: cache on %d/%d, off %d/%d", onC, onI, offC, offI)
 	}
 }
 

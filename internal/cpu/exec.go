@@ -13,9 +13,44 @@ var ErrInsnLimit = errors.New("instruction limit reached")
 
 // Run executes emulated code until an exception leaves the emulated world
 // (to EL2, or to a functional EL1 kernel), or maxInsns instructions retire.
+//
+// With host fastpaths enabled, replay of a cached block runs block-resident
+// in runBlock — the per-instruction Step/Run boundary crossing is hoisted
+// out — and falls back to Step for block entry, decode misses, and IRQ
+// delivery. Budget accounting is identical to the Step-per-iteration loop:
+// every retired instruction and every delivered exception consumes one
+// unit. With fastpaths disabled this is exactly the plain Step loop.
 func (c *VCPU) Run(maxInsns int64) (Exit, error) {
-	for i := int64(0); i < maxInsns; i++ {
+	insns := c.Insns
+	tlbH, tlbM := c.Stats.TLBHits, c.Stats.TLBMisses
+	codeH, codeM := c.Stats.CodeHits, c.Stats.CodeMisses
+	exit, err := c.runLoop(maxInsns)
+	notePerf(c.Insns-insns,
+		int64(c.Stats.TLBHits-tlbH), int64(c.Stats.TLBMisses-tlbM),
+		int64(c.Stats.CodeHits-codeH), int64(c.Stats.CodeMisses-codeM))
+	return exit, err
+}
+
+func (c *VCPU) runLoop(maxInsns int64) (Exit, error) {
+	resident := c.HostFastpathsEnabled()
+	for done := int64(0); done < maxInsns; {
+		if resident && c.cur.blk != nil && c.PC == c.cur.expect && c.EL() != arm64.EL2 {
+			n, exit, err := c.runBlock(maxInsns - done)
+			done += n
+			if err != nil {
+				return Exit{}, err
+			}
+			if exit != nil {
+				return *exit, nil
+			}
+			if done >= maxInsns {
+				break
+			}
+			// The cursor died (block end, discontinuity, emulated-EL1
+			// delivery) or an unmasked IRQ is pending: take one Step.
+		}
 		exit, err := c.Step()
+		done++
 		if err != nil {
 			return Exit{}, err
 		}
@@ -26,9 +61,70 @@ func (c *VCPU) Run(maxInsns int64) (Exit, error) {
 	return Exit{}, ErrInsnLimit
 }
 
+// runBlock replays the active block cursor in a tight loop, executing at
+// most budget instructions. It preserves Step's semantics per instruction —
+// the architectural fetch translation (now usually a micro-TLB fastpath
+// hit), stats, IRQ recognition and abort delivery — but batches the
+// per-instruction InsnCost into c.batch, flushing through a single Charge
+// before any point where Cycles is observable: terminator dispatch (the
+// only instructions whose handlers trace, trap or exit), exception
+// delivery, and every return path. Returns the number of budget units
+// consumed (retired instructions plus delivered fetch aborts, matching the
+// Step loop's accounting).
+func (c *VCPU) runBlock(budget int64) (int64, *Exit, error) {
+	cur := &c.cur
+	var done int64
+	for done < budget && cur.blk != nil && c.PC == cur.expect {
+		if c.PendingIRQ && c.PState&arm64.PStateI == 0 {
+			break // delivered by the caller's next Step, on its own budget unit
+		}
+		if _, ab := c.Translate(mem.VA(c.PC), mem.AccessExec, false); ab != nil {
+			cur.blk = nil
+			ab.Syndrome.Class = classifyAbort(mem.AccessExec, c.EL(), ab.Syndrome.Stage)
+			done++
+			exit := c.deliver(ab.Syndrome, c.PC) // deliver flushes the batch
+			return done, exit, nil
+		}
+		in := cur.blk.insns[cur.idx]
+		cur.idx++
+		cur.expect += arm64.InsnBytes
+		if cur.idx == len(cur.blk.insns) {
+			cur.blk = nil
+		}
+		c.Stats.CodeHits++
+		c.Insns++
+		done++
+		c.batch += c.Prof.InsnCost
+		c.nextPC = c.PC + arm64.InsnBytes
+		if in.Op.Terminates() {
+			// Terminators are the only ops whose handlers can observe
+			// Cycles (exception entry, the TTBR0-write trace hook, TLBI).
+			c.flushBatch()
+		}
+		exit := handlers[in.Op](c, in)
+		if c.stepErr != nil {
+			err := c.stepErr
+			c.stepErr = nil
+			c.flushBatch()
+			return done, nil, err
+		}
+		if exit != nil {
+			c.flushBatch()
+			return done, exit, nil
+		}
+		c.PC = c.nextPC
+	}
+	c.flushBatch()
+	return done, nil, nil
+}
+
 // deliver routes and takes a synchronous exception; it returns a non-nil
 // Exit when the exception leaves the emulated world.
 func (c *VCPU) deliver(s Syndrome, preferReturn uint64) *Exit {
+	// Exception entry observes and charges Cycles; commit any cycles still
+	// batched by a block-resident replay (data aborts from loads/stores
+	// reach here mid-block with a non-empty batch).
+	c.flushBatch()
 	// An exception hands control to a handler that may change mappings or
 	// rewrite code before returning; never resume a block across it.
 	c.cur.blk = nil

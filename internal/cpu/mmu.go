@@ -61,6 +61,14 @@ func (c *VCPU) s2Resolve(ipa mem.IPA, acc mem.AccessType, charged bool) (mem.PA,
 // stage-2-translated descriptor fetches, permission checks (including PAN
 // and the LDTR/STTR unprivileged override), and combined TLB fill.
 func (c *VCPU) Translate(va mem.VA, acc mem.AccessType, unpriv bool) (mem.PA, *Abort) {
+	// Host-side micro-TLB fastpath (microtlb.go): hits only when the gates
+	// prove the slow path below would hit the TLB with the same entry, pass
+	// the same permission checks, and charge nothing. Hit counters are
+	// mirrored inside microLookup, so taking this return is invisible to
+	// cycles, stats, TLB contents and fault behaviour.
+	if pa, ok := c.microLookup(va, acc, unpriv); ok {
+		return pa, nil
+	}
 	if !mem.ValidVA(va) {
 		return 0, c.abort(va, 0, acc, mem.FaultAddressSize, 1)
 	}
@@ -94,7 +102,9 @@ func (c *VCPU) Translate(va mem.VA, acc mem.AccessType, unpriv bool) (mem.PA, *A
 			}
 		}
 		mask := uint64(1)<<e.BlockShift - 1
-		return e.PABase + mem.PA(uint64(va)&mask), nil
+		pa := e.PABase + mem.PA(uint64(va)&mask)
+		c.microFill(va, acc, unpriv, pa)
+		return pa, nil
 	}
 
 	// Stage-1 walk. Table descriptors live in IPA space when stage-2 is
@@ -164,6 +174,9 @@ func (c *VCPU) Translate(va mem.VA, acc mem.AccessType, unpriv bool) (mem.PA, *A
 		BlockShift: blockShift,
 		HasS2:      c.stage2Enabled(),
 	})
+	// Fill after the Insert: the micro entry's generation snapshot must
+	// cover the state in which the TLB provably holds this translation.
+	c.microFill(va, acc, unpriv, pa)
 	return pa, nil
 }
 

@@ -22,6 +22,13 @@ type VCPU struct {
 	Decoded *BlockCache
 	cur     blockCursor
 
+	// mtlb holds the host-side translation fastpaths (see microtlb.go; all
+	// access is confined to that file by tools/lint). batch accumulates
+	// per-instruction cycles during a block-resident replay and is flushed
+	// through Charge before any point where Cycles is observable.
+	mtlb  microTLBs
+	batch int64
+
 	// Handler dispatch state for the instruction in flight: the committed
 	// next PC (fall-through, branch target, or exception vector) and a Go
 	// error escaping a handler.
@@ -75,6 +82,7 @@ func New(prof *arm64.Profile, pm *mem.PhysMem) *VCPU {
 		Stats:   stats,
 		Decoded: newBlockCache(epochs, stats),
 		PState:  arm64.PStateForEL(arm64.EL1) | arm64.PStateI | arm64.PStateF,
+		mtlb:    microTLBs{enabled: hostFastpathDefault.Load()},
 	}
 }
 
@@ -176,6 +184,18 @@ func (c *VCPU) Charge(n int64) { c.Cycles += n }
 
 // ChargeInsns models n generic instructions executed by functional code.
 func (c *VCPU) ChargeInsns(n int64) { c.Cycles += n * c.Prof.InsnCost }
+
+// flushBatch commits cycles accumulated during a block-resident replay.
+// Called before every point where Cycles is observable: terminator handler
+// dispatch (exception delivery, TTBR-write tracing), exits from runBlock,
+// and exception delivery itself. Charge is the only mutation path, keeping
+// the lint invariant that Cycles moves only through Charge/ChargeInsns.
+func (c *VCPU) flushBatch() {
+	if c.batch != 0 {
+		c.Charge(c.batch)
+		c.batch = 0
+	}
+}
 
 // stage2Enabled reports whether stage-2 translation applies to the current
 // execution context (EL0/EL1 with HCR_EL2.VM set).

@@ -26,6 +26,27 @@ type PhysMem struct {
 	next      uint64
 	freeList  []uint64
 	allocated uint64
+	// pool carves frames out of batch allocations (see newFrame): first
+	// touch costs one host allocation per frameBatch pages instead of one
+	// per page, which matters when fleet sweeps materialize tens of
+	// thousands of frames.
+	pool [][PageSize]byte
+}
+
+// frameBatch is how many frames one pool allocation covers (64KB batches).
+const frameBatch = 16
+
+// newFrame returns a zeroed frame from the batch pool. Batches come zeroed
+// from the allocator, and frames are never returned to the pool (freed
+// frames stay in place and are re-zeroed by AllocFrame on reuse), so every
+// frame handed out is zero.
+func (m *PhysMem) newFrame() *[PageSize]byte {
+	if len(m.pool) == 0 {
+		m.pool = make([][PageSize]byte, frameBatch)
+	}
+	f := &m.pool[0]
+	m.pool = m.pool[1:]
+	return f
 }
 
 // NewPhysMem creates physical memory of size bytes (rounded down to whole
@@ -107,7 +128,7 @@ func (m *PhysMem) frame(pa PA) (*[PageSize]byte, error) {
 	}
 	f := ch[idx&(1<<frameChunkShift-1)]
 	if f == nil {
-		f = new([PageSize]byte)
+		f = m.newFrame()
 		ch[idx&(1<<frameChunkShift-1)] = f
 	}
 	return f, nil

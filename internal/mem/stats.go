@@ -43,6 +43,13 @@ type CodeEpochs struct {
 	pages   map[uint64]uint64 // 4KB page index -> epoch
 	regions map[uint64]uint64 // 2MB region index -> epoch
 
+	// gen advances on every bump of any granularity. Snapshot needs two map
+	// probes, which is too slow for a per-fetch gate; gen gives host-side
+	// micro-TLBs a single-compare "has any code epoch moved" check that is
+	// conservative (a bump anywhere drops all fastpath entries) but exact in
+	// the only direction that matters for soundness.
+	gen uint64
+
 	stats *Stats
 }
 
@@ -62,10 +69,14 @@ func (e *CodeEpochs) Snapshot(page uint64) uint64 {
 	return e.global + e.pages[page] + e.regions[page>>(HugePageShift-PageShift)]
 }
 
+// Gen returns the epoch generation (see the gen field). Observation only.
+func (e *CodeEpochs) Gen() uint64 { return e.gen }
+
 // BumpVA invalidates code cached on va's 4KB page and on the 2MB region
 // containing it (a single invalidation may cover a huge mapping whose
 // interior pages hold cached blocks).
 func (e *CodeEpochs) BumpVA(va VA) {
+	e.gen++
 	page := uint64(va) >> PageShift
 	e.pages[page]++
 	e.regions[page>>(HugePageShift-PageShift)]++
@@ -77,6 +88,7 @@ func (e *CodeEpochs) BumpVA(va VA) {
 // BumpAll invalidates every cached block (wholesale TLB invalidations,
 // ASID/VMID recycling).
 func (e *CodeEpochs) BumpAll() {
+	e.gen++
 	e.global++
 	if e.stats != nil {
 		e.stats.CodeInvalidations++

@@ -51,6 +51,15 @@ type TLB struct {
 	Hits   uint64
 	Misses uint64
 
+	// gen is the TLB generation: it advances on every mutation of the entry
+	// set — Insert (which covers FIFO evictions), every Invalidate* flavour,
+	// and context compaction. Host-side micro-TLBs snapshot the generation
+	// when they cache a translation and treat any advance as "my entry may
+	// no longer be in the real TLB", so a fastpath hit is only possible when
+	// Lookup would provably also hit. The counter is host-only state: it
+	// never feeds cycles or stats.
+	gen uint64
+
 	// Stats, when set, mirrors hit/miss counts into the shared per-vCPU
 	// pipeline stats.
 	Stats *Stats
@@ -68,9 +77,13 @@ func NewTLB(capacity int) *TLB {
 	if capacity <= 0 {
 		capacity = 512
 	}
+	// Sized for a modest working set rather than full capacity: fleet
+	// sweeps create many machines whose TLBs never fill, and the map and
+	// order slice grow on demand.
+	sized := min(capacity, 128)
 	return &TLB{
-		entries:  make(map[uint64]TLBEntry, capacity),
-		order:    make([]uint64, 0, capacity),
+		entries:  make(map[uint64]TLBEntry, sized),
+		order:    make([]uint64, 0, sized),
 		capacity: capacity,
 		ctxIDs:   make(map[ctxKey]uint64),
 	}
@@ -134,8 +147,30 @@ func (t *TLB) Lookup(vmid, asid uint16, va VA) (TLBEntry, bool) {
 	return TLBEntry{}, false
 }
 
+// Gen returns the current TLB generation (see the gen field). Observation
+// only; used by micro-TLB gates and coherence checkers.
+func (t *TLB) Gen() uint64 { return t.gen }
+
+// NoteFastHit records a hit taken by a host-side micro-TLB on behalf of
+// this TLB. The micro-TLB's generation/context gate guarantees the entry is
+// still cached here, so the elided Lookup would have hit: mirroring exactly
+// Lookup's hit-path counter updates keeps Hits/Misses and the shared Stats
+// byte-identical with the fastpaths disabled.
+func (t *TLB) NoteFastHit() {
+	t.Hits++
+	if t.Stats != nil {
+		t.Stats.TLBHits++
+	}
+}
+
 // Insert caches a translation. Stage-1 global mappings (nG clear) are
 // inserted ASID-agnostic.
+//
+// The generation advances only when an existing entry is removed (capacity
+// eviction) or replaced with different contents: those are the mutations
+// that can change the result of a Lookup that previously hit. Adding a new
+// key cannot invalidate any memoised translation, so cold-TLB fill phases
+// leave the host micro-TLBs live instead of staling them on every walk.
 func (t *TLB) Insert(vmid, asid uint16, va VA, e TLBEntry) {
 	tagged, global := t.contexts(vmid, asid)
 	key := tagged
@@ -147,11 +182,16 @@ func (t *TLB) Insert(vmid, asid uint16, va VA, e TLBEntry) {
 	} else {
 		key |= pageOf(va)
 	}
-	if _, exists := t.entries[key]; !exists {
+	if old, exists := t.entries[key]; exists {
+		if old != e {
+			t.gen++
+		}
+	} else {
 		for len(t.entries) >= t.capacity {
 			victim := t.order[0]
 			t.order = t.order[1:]
 			delete(t.entries, victim)
+			t.gen++
 		}
 		t.order = append(t.order, key)
 	}
@@ -163,7 +203,8 @@ func (t *TLB) Insert(vmid, asid uint16, va VA, e TLBEntry) {
 // old ids anymore, and without the reset every (VMID, ASID) pair ever seen
 // would stay interned forever across process churn.
 func (t *TLB) InvalidateAll() {
-	t.entries = make(map[uint64]TLBEntry, t.capacity)
+	t.gen++
+	t.entries = make(map[uint64]TLBEntry, min(t.capacity, 128))
 	t.order = t.order[:0]
 	clear(t.ctxIDs)
 	t.ctxList = t.ctxList[:0]
@@ -190,6 +231,7 @@ func (t *TLB) InvalidateVMID(vmid uint16) {
 // the survivors, rewriting the context bits of every cached entry key.
 // Callers must already have invalidated all entries of dropped contexts.
 func (t *TLB) compactContexts(drop func(ctxKey) bool) {
+	t.gen++
 	remap := make([]uint64, len(t.ctxList))
 	kept := t.ctxList[:0]
 	for i, c := range t.ctxList {
@@ -257,6 +299,7 @@ func (t *TLB) InvalidateVA(vmid uint16, va VA) {
 }
 
 func (t *TLB) invalidate(match func(uint64) bool) {
+	t.gen++
 	kept := t.order[:0]
 	for _, k := range t.order {
 		if match(k) {

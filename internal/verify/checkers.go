@@ -481,6 +481,7 @@ func checkCaches(s *Snapshot) []Finding {
 		return true
 	})
 	out = append(out, blockCacheCheck(s, byVMID)...)
+	out = append(out, checkMicroTLBs(s, byVMID)...)
 	return out
 }
 

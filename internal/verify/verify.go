@@ -102,24 +102,19 @@ type Report struct {
 func (r Report) Clean() bool { return len(r.Findings) == 0 }
 
 // Run executes every registered checker against the snapshot.
-func Run(s *Snapshot) Report {
-	rep := Report{Procs: len(s.Procs)}
-	if s.M != nil && s.M.Prof != nil {
-		rep.Machine = s.M.Prof.Name
-	}
-	for _, c := range Checkers() {
-		found := c.Run(s)
-		rep.Checkers = append(rep.Checkers, CheckerResult{Name: c.Name, Findings: len(found)})
-		rep.Findings = append(rep.Findings, found...)
-	}
-	return rep
-}
+func Run(s *Snapshot) Report { return RunMemo(s, nil) }
 
 // RunMachine captures a snapshot of (m, lz) and runs the registry.
 func RunMachine(m *hyp.Machine, lz *core.LightZone) (Report, error) {
+	return RunMachineMemo(m, lz, nil)
+}
+
+// RunMachineMemo is RunMachine with a checker memo for repeated
+// verifications of the same machine (the chokepoint observer).
+func RunMachineMemo(m *hyp.Machine, lz *core.LightZone, mo *Memo) (Report, error) {
 	s, err := Capture(m, lz)
 	if err != nil {
 		return Report{}, err
 	}
-	return Run(s), nil
+	return RunMemo(s, mo), nil
 }

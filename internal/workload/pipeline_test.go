@@ -6,9 +6,10 @@ import (
 	"lightzone/internal/arm64"
 )
 
-// TestTable5CycleIdentityCacheOnOff runs Table 5 configurations with the
-// decoded-block cache on and off and requires the measured emulated cycles
-// to be bit-identical: the cache elides host-side fetch work only.
+// TestTable5CycleIdentityCacheOnOff runs Table 5 configurations through the
+// full {host fastpaths, decode cache} matrix and requires the measured
+// emulated cycles to be bit-identical in every cell: both layers elide
+// host-side work only.
 func TestTable5CycleIdentityCacheOnOff(t *testing.T) {
 	cases := []struct {
 		variant Variant
@@ -19,6 +20,14 @@ func TestTable5CycleIdentityCacheOnOff(t *testing.T) {
 		{VariantLZTTBR, 8},
 		{VariantWatchpoint, 2},
 	}
+	modes := []struct {
+		name             string
+		noDecode, noFast bool
+	}{
+		{"nodecode", true, false},
+		{"nofastpath", false, true},
+		{"neither", true, true},
+	}
 	for _, plat := range []Platform{
 		{Prof: arm64.ProfileCarmel()},
 		{Prof: arm64.ProfileCarmel(), Guest: true},
@@ -28,18 +37,22 @@ func TestTable5CycleIdentityCacheOnOff(t *testing.T) {
 				Platform: plat, Variant: tc.variant, Domains: tc.domains,
 				Iters: 300, Seed: 42,
 			}
-			on, err := RunDomainSwitch(cfg)
+			base, err := RunDomainSwitch(cfg)
 			if err != nil {
-				t.Fatalf("%v %v/%d cache on: %v", plat, tc.variant, tc.domains, err)
+				t.Fatalf("%v %v/%d baseline: %v", plat, tc.variant, tc.domains, err)
 			}
-			cfg.DisableDecodeCache = true
-			off, err := RunDomainSwitch(cfg)
-			if err != nil {
-				t.Fatalf("%v %v/%d cache off: %v", plat, tc.variant, tc.domains, err)
-			}
-			if on.TotalCycles != off.TotalCycles {
-				t.Errorf("%v %v/%d: cycles differ with cache on (%d) vs off (%d)",
-					plat, tc.variant, tc.domains, on.TotalCycles, off.TotalCycles)
+			for _, m := range modes {
+				c := cfg
+				c.DisableDecodeCache = m.noDecode
+				c.DisableHostFastpaths = m.noFast
+				got, err := RunDomainSwitch(c)
+				if err != nil {
+					t.Fatalf("%v %v/%d %s: %v", plat, tc.variant, tc.domains, m.name, err)
+				}
+				if got.TotalCycles != base.TotalCycles {
+					t.Errorf("%v %v/%d: cycles differ with %s (%d) vs all-on (%d)",
+						plat, tc.variant, tc.domains, m.name, got.TotalCycles, base.TotalCycles)
+				}
 			}
 		}
 	}

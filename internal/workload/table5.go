@@ -38,6 +38,10 @@ type DomainSwitchConfig struct {
 	// off (the seed fetch/decode pipeline) — for the cycle-identity tests
 	// and host-speed benchmarks; emulated cycles must not change.
 	DisableDecodeCache bool
+	// DisableHostFastpaths runs with the micro-TLBs, block-resident Run
+	// loop and batched cycle accounting off (the per-Step pipeline) — for
+	// the identity tests; emulated cycles must not change.
+	DisableHostFastpaths bool
 }
 
 // DomainSwitchResult is one Table 5 cell.
@@ -103,6 +107,9 @@ func prepareDomainSwitch(cfg DomainSwitchConfig, env *Env) (*Env, *kernel.Proces
 	}
 	if cfg.DisableDecodeCache {
 		env.M.CPU.SetDecodeCache(false)
+	}
+	if cfg.DisableHostFastpaths {
+		env.M.CPU.SetHostFastpaths(false)
 	}
 
 	// Pre-computed random domain sequence, one byte per iteration.

@@ -24,6 +24,11 @@ type InvariantMonitor struct {
 	// Err records the first capture failure (a simulator bug, not a
 	// security finding).
 	Err error
+
+	// memo caches the content-keyed checkers (sanitizer sweep, CFG) across
+	// chokepoints whose executable content did not change; memoised reports
+	// are byte-identical to fresh ones.
+	memo *verify.Memo
 }
 
 // EnableInvariants attaches the static verifier to every security-state
@@ -33,9 +38,9 @@ type InvariantMonitor struct {
 // are byte-identical with the monitor attached — and each run is recorded
 // on the module's trace as a KindInvariant event.
 func (e *Env) EnableInvariants() *InvariantMonitor {
-	mon := &InvariantMonitor{env: e}
+	mon := &InvariantMonitor{env: e, memo: verify.NewMemo()}
 	e.LZ.Observer = func(event string, lp *core.LZProc) {
-		rep, err := verify.RunMachine(e.M, e.LZ)
+		rep, err := verify.RunMachineMemo(e.M, e.LZ, mon.memo)
 		if err != nil {
 			if mon.Err == nil {
 				mon.Err = fmt.Errorf("invariant capture at %s: %w", event, err)

@@ -9,8 +9,13 @@ import (
 
 func lintSource(t *testing.T, src string) []string {
 	t.Helper()
+	return lintNamed(t, "src.go", src)
+}
+
+func lintNamed(t *testing.T, name, src string) []string {
+	t.Helper()
 	fset := token.NewFileSet()
-	f, err := parser.ParseFile(fset, "src.go", src, 0)
+	f, err := parser.ParseFile(fset, name, src, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,5 +90,43 @@ func f() { handlers := map[int]int{}; handlers[1] = 2; _ = handlers }
 `)
 	if len(probs) != 0 {
 		t.Fatalf("non-cpu handlers must be ignored, got %v", probs)
+	}
+}
+
+func TestTLBEntriesConfinedToTLBFile(t *testing.T) {
+	// Even a read of the entry map outside tlb.go widens the audit surface.
+	probs := lintNamed(t, "stage1.go", `package mem
+func peek(t *TLB) int { return len(t.entries) }
+`)
+	if len(probs) != 1 || !strings.Contains(probs[0], "tlb.go") {
+		t.Fatalf("want one confinement violation, got %v", probs)
+	}
+}
+
+func TestTLBEntriesAllowedInTLBFile(t *testing.T) {
+	probs := lintNamed(t, "tlb.go", `package mem
+func (t *TLB) size() int { return len(t.entries) }
+`)
+	if len(probs) != 0 {
+		t.Fatalf("tlb.go must own .entries, got %v", probs)
+	}
+}
+
+func TestMicroTLBConfinedToMicroTLBFile(t *testing.T) {
+	probs := lintNamed(t, "exec.go", `package cpu
+func fast(c *VCPU) bool { return c.mtlb.enabled }
+`)
+	if len(probs) != 1 || !strings.Contains(probs[0], "microtlb.go") {
+		t.Fatalf("want one confinement violation, got %v", probs)
+	}
+}
+
+func TestEntriesOutsideMemIgnored(t *testing.T) {
+	// Other packages may have their own unrelated entries fields.
+	probs := lintNamed(t, "memo.go", `package verify
+func f(m *memo) int { return len(m.entries) }
+`)
+	if len(probs) != 0 {
+		t.Fatalf("non-mem entries must be ignored, got %v", probs)
 	}
 }

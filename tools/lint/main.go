@@ -10,6 +10,12 @@
 //     by Charge/ChargeInsns in package cpu. Scattered `c.Cycles +=` writes
 //     are how double-charging bugs crept into trap-cost measurements.
 //
+//  3. cache-state confinement: the TLB's entry map (`.entries` in package
+//     mem) is touched only by tlb.go, and the micro-TLB state (`.mtlb` in
+//     package cpu) only by microtlb.go. The soundness arguments for the
+//     host fastpaths are audits of those single files; a stray access
+//     elsewhere would silently widen the audit surface.
+//
 // Usage: go run ./tools/lint [root]   (root defaults to ".")
 //
 // Exits non-zero and prints one line per violation. Test files are skipped:
@@ -69,10 +75,32 @@ func main() {
 // chargers are the only functions allowed to mutate a .Cycles field.
 var chargers = map[string]bool{"Charge": true, "ChargeInsns": true}
 
+// confined lists selector names whose owning state is confined to a single
+// file per package: package -> selector -> the only file allowed to use it.
+var confined = map[string]map[string]string{
+	"mem": {"entries": "tlb.go"},
+	"cpu": {"mtlb": "microtlb.go"},
+}
+
 // lintFile checks one parsed file and returns its violations.
 func lintFile(fset *token.FileSet, f *ast.File) []string {
 	var problems []string
 	inCPU := f.Name.Name == "cpu"
+	base := filepath.Base(fset.Position(f.Pos()).Filename)
+	if rules := confined[f.Name.Name]; rules != nil {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if owner, confined := rules[sel.Sel.Name]; confined && base != owner {
+				problems = append(problems, fmt.Sprintf(
+					"%s: .%s accessed outside %s; cache state is confined to its owning file",
+					fset.Position(sel.Pos()), sel.Sel.Name, owner))
+			}
+			return true
+		})
+	}
 	for _, decl := range f.Decls {
 		fn, ok := decl.(*ast.FuncDecl)
 		if !ok || fn.Body == nil {
