@@ -17,10 +17,14 @@
 //	lzbench -all -parallel 8    # shard measurement cells over 8 workers
 //	lzbench -invariants         # static invariant verifier on the clean machines
 //	lzbench -pentest -invariants # + planted-attack battery, caught statically
+//	lzbench -all -record r.json # record the run into a replay journal
+//	lzbench -replay r.json      # re-run the journal; rows must be byte-identical
+//	lzbench -chaos 32           # fault-injection sweep: 32 derived chaos cases
 //
 // Every measurement cell boots a private machine, so -parallel N changes
 // only wall-clock time: the emitted rows (emulated cycle counts included)
-// are byte-identical for every N.
+// are byte-identical for every N. Record/replay leans on exactly that:
+// a journal replays correctly at any -parallel width.
 package main
 
 import (
@@ -36,6 +40,7 @@ import (
 
 	"lightzone/internal/arm64"
 	"lightzone/internal/cpu"
+	"lightzone/internal/replay"
 	"lightzone/internal/workload"
 )
 
@@ -58,6 +63,11 @@ func main() {
 		benchOut = flag.String("benchout", "", "write a machine-readable per-suite host-performance summary (JSON) to this file")
 		cpuProf  = flag.String("cpuprofile", "", "write a host CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a host heap profile to this file")
+		record   = flag.String("record", "", "record the run (config, nondeterministic inputs, emitted rows) into a replay journal at this path; implies -json")
+		replayP  = flag.String("replay", "", "replay a recorded journal: re-run its suites under the recorded inputs and fail unless every row is byte-identical; implies -json")
+		chaosN   = flag.Int("chaos", 0, "run a fault-injection sweep of this many derived chaos cases; every case must converge to its recorded baseline or be flagged by a named verify checker")
+		chaosSd  = flag.Int64("chaosseed", 1, "seed for deriving the -chaos plans")
+		chaosOut = flag.String("chaosout", "", "write one replayable journal per failing chaos case into this directory")
 	)
 	flag.Parse()
 	csvOut = *csvDir
@@ -83,7 +93,8 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	err := run(*table, *figure, *mem, *pentest, *ablation, *all, *iters)
+	err := dispatch(*table, *figure, *mem, *pentest, *ablation, *all, *iters,
+		*parallel, *noFast, *noDecode, *record, *replayP, *chaosN, *chaosSd, *chaosOut)
 	if *cpuProf != "" {
 		pprof.StopCPUProfile()
 	}
@@ -97,6 +108,179 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lzbench:", err)
 		os.Exit(1)
 	}
+}
+
+// dispatch routes between the measurement path (optionally recorded), a
+// journal replay, and a chaos sweep.
+func dispatch(table, figure int, mem, pentest, ablation, all bool, iters,
+	parallel int, noFast, noDecode bool, record, replayPath string,
+	chaosN int, chaosSeed int64, chaosOut string) error {
+	modes := 0
+	for _, on := range []bool{record != "", replayPath != "", chaosN > 0} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		return fmt.Errorf("-record, -replay and -chaos are mutually exclusive")
+	}
+	if chaosN > 0 {
+		return runChaos(chaosN, chaosSeed, chaosOut)
+	}
+	if (record != "" || replayPath != "") && hostPerfOn {
+		return fmt.Errorf("-hostperf rows depend on the host and cannot be recorded or replayed")
+	}
+	if replayPath != "" {
+		return runReplay(replayPath)
+	}
+	spec := runSpec{
+		suites: suitesFromFlags(table, figure, pentest, ablation, all),
+		iters:  iters,
+		mem:    mem || all,
+	}
+	if record != "" {
+		return runRecord(record, spec, parallel, noFast, noDecode)
+	}
+	return run(spec)
+}
+
+// runRecord executes the run with row capture and input recording on, then
+// seals everything into a journal.
+func runRecord(path string, spec runSpec, parallel int, noFast, noDecode bool) error {
+	if len(spec.suites) == 0 {
+		return fmt.Errorf("-record needs at least one suite (e.g. -all)")
+	}
+	jsonOut = true
+	capture = []string{}
+	source = replay.NewRecording()
+	if err := run(spec); err != nil {
+		return err
+	}
+	if err := source.Err(); err != nil {
+		return err
+	}
+	j := &replay.Journal{
+		Version: replay.Version,
+		Kind:    replay.KindBench,
+		Config: replay.RunConfig{
+			Suites:     spec.suites,
+			Iters:      spec.iters,
+			Mem:        spec.mem,
+			Seed:       workload.Table5Seed,
+			Parallel:   parallel,
+			NoFastpath: noFast,
+			NoDecode:   noDecode,
+			Invariants: invariants,
+		},
+		Inputs: source.Inputs(),
+		Rows:   capture,
+	}
+	j.Seal()
+	if err := j.Write(path); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "lzbench: recorded %d rows into %s\n", len(j.Rows), path)
+	return nil
+}
+
+// runReplay re-executes a journal's suites under its recorded inputs and
+// compares the emitted rows byte for byte. The current -parallel width is
+// deliberately kept: a journal must replay identically at any width.
+func runReplay(path string) error {
+	j, err := replay.ReadJournal(path)
+	if err != nil {
+		return err
+	}
+	if j.Kind != replay.KindBench {
+		return fmt.Errorf("%s: journal kind %q; lzbench replays bench journals (use lzreplay for %q)", path, j.Kind, j.Kind)
+	}
+	jsonOut = true
+	invariants = j.Config.Invariants
+	if j.Config.NoFastpath {
+		cpu.SetHostFastpathDefault(false)
+	}
+	if j.Config.NoDecode {
+		cpu.SetDecodeCacheDefault(false)
+	}
+	capture = []string{}
+	source = replay.NewReplaying(j.Inputs)
+	spec := runSpec{suites: j.Config.Suites, iters: j.Config.Iters, mem: j.Config.Mem}
+	if err := run(spec); err != nil {
+		return err
+	}
+	if err := source.Err(); err != nil {
+		return err
+	}
+	diffs := replay.DiffRows(j.Rows, capture, 10)
+	if len(diffs) > 0 {
+		fmt.Fprintf(os.Stderr, "lzbench: replay DIVERGED from %s: %d of %d recorded rows differ (first %d shown)\n",
+			path, countDiffs(j.Rows, capture), len(j.Rows), len(diffs))
+		for _, d := range diffs {
+			fmt.Fprintf(os.Stderr, "  row %d:\n    recorded: %s\n    replayed: %s\n", d.Index, d.A, d.B)
+		}
+		return fmt.Errorf("replay diverged")
+	}
+	fmt.Fprintf(os.Stderr, "lzbench: replay of %s byte-identical (%d rows)\n", path, len(capture))
+	return nil
+}
+
+func countDiffs(a, b []string) int {
+	return len(replay.DiffRows(a, b, max(len(a), len(b))+1))
+}
+
+// runChaos derives and runs the fault-injection sweep. Every case must land
+// in its injection's expectation class; each failing case is journalled for
+// standalone replay when -chaosout is set.
+func runChaos(n int, seed int64, outDir string) error {
+	results, err := replay.ChaosSweep(fleet, n, seed)
+	if err != nil {
+		return err
+	}
+	failed := 0
+	for _, r := range results {
+		if jsonOut {
+			if err := emitJSON(map[string]any{
+				"kind": "chaos", "case": r.Case, "scenario": r.Scenario,
+				"injection": r.Injection, "expect": r.Expect, "outcome": r.Outcome,
+				"applied": r.Applied, "pass": r.Pass, "delta": r.Delta, "failure": r.Failure,
+			}); err != nil {
+				return err
+			}
+		} else {
+			status := "ok  "
+			if !r.Pass {
+				status = "FAIL"
+			}
+			fmt.Printf("  %s case %2d  %-13s %-18s expect=%-9s outcome=%-12s applied=%d",
+				status, r.Case, r.Scenario, r.Injection, r.Expect, r.Outcome, r.Applied)
+			if r.Delta != "" {
+				fmt.Printf("  (%s)", r.Delta)
+			}
+			if r.Failure != "" {
+				fmt.Printf("  %s", r.Failure)
+			}
+			fmt.Println()
+		}
+		if !r.Pass {
+			failed++
+			if outDir != "" {
+				plans := replay.DerivePlans(n, seed)
+				j := replay.ChaosJournal(plans[r.Case], r.Failure)
+				p := fmt.Sprintf("%s/chaos-case-%03d.journal.json", outDir, r.Case)
+				if err := j.Write(p); err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "lzbench: journalled failing chaos case %d at %s\n", r.Case, p)
+			}
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("chaos sweep: %d of %d cases diverged silently or missed their expectation class", failed, n)
+	}
+	if !jsonOut {
+		fmt.Printf("chaos sweep: all %d cases landed in their expectation class\n", n)
+	}
+	return nil
 }
 
 func writeMemProfile(path string) error {
@@ -113,51 +297,82 @@ func writeMemProfile(path string) error {
 // collected by cell index, so output ordering never depends on the width.
 var fleet *workload.Fleet
 
-func run(table, figure int, mem, pentest, ablation, all bool, iters int) error {
-	any := false
+// runSpec names the suites to execute, in the canonical emission order
+// suitesFromFlags produces. Replays rebuild it from the journal instead of
+// the command line, so a journal is self-contained.
+type runSpec struct {
+	suites []string
+	iters  int
+	mem    bool
+}
+
+// suitesFromFlags maps the selection flags onto the ordered suite list.
+func suitesFromFlags(table, figure int, pentest, ablation, all bool) []string {
+	var s []string
 	if all || table == 4 {
-		any = true
-		if err := measure("table4", printTable4); err != nil {
-			return err
-		}
+		s = append(s, "table4")
 	}
 	if all || table == 5 {
-		any = true
-		if err := measure("table5", func() error { return printTable5(iters) }); err != nil {
-			return err
-		}
+		s = append(s, "table5")
 	}
 	for _, f := range []int{3, 4, 5} {
 		if all || figure == f {
-			any = true
-			f := f
-			if err := measure(fmt.Sprintf("figure%d", f), func() error {
-				return printFigure(f, mem || all)
-			}); err != nil {
-				return err
-			}
+			s = append(s, fmt.Sprintf("figure%d", f))
 		}
 	}
 	if all || pentest {
-		any = true
-		if err := measure("pentest", printPentest); err != nil {
-			return err
-		}
+		s = append(s, "pentest")
 	}
 	if all || ablation {
-		any = true
-		if err := measure("ablations", printAblations); err != nil {
-			return err
-		}
+		s = append(s, "ablations")
 	}
 	if invariants {
-		any = true
-		if err := measure("invariants", printVerify); err != nil {
+		s = append(s, "invariants")
+	}
+	return s
+}
+
+func run(spec runSpec) error {
+	if len(spec.suites) == 0 {
+		flag.Usage()
+		return nil
+	}
+	// The cost-model axis: a replayed journal must see the same platform
+	// profile set the recording did.
+	if profs := source.Int64("platform/profiles", replay.Fixed(int64(len(arm64.Profiles())))); profs != int64(len(arm64.Profiles())) {
+		return fmt.Errorf("journal recorded %d platform profiles, this build has %d", profs, len(arm64.Profiles()))
+	}
+	for _, name := range spec.suites {
+		var fn func() error
+		switch name {
+		case "table4":
+			fn = printTable4
+		case "table5":
+			// The iteration budget and workload seed are nondeterministic
+			// inputs at the journal boundary: recording pins them, replaying
+			// restores the pinned budget and cross-checks the seed against
+			// the build's constant.
+			iters := int(source.Int64("table5/iters", replay.Fixed(int64(spec.iters))))
+			seed := source.Int64("table5/seed", replay.Fixed(workload.Table5Seed))
+			if seed != workload.Table5Seed {
+				return fmt.Errorf("journal recorded table5 seed %d, this build uses %d", seed, workload.Table5Seed)
+			}
+			fn = func() error { return printTable5(iters) }
+		case "figure3", "figure4", "figure5":
+			f := int(name[len(name)-1] - '0')
+			fn = func() error { return printFigure(f, spec.mem) }
+		case "pentest":
+			fn = printPentest
+		case "ablations":
+			fn = printAblations
+		case "invariants":
+			fn = printVerify
+		default:
+			return fmt.Errorf("unknown suite %q", name)
+		}
+		if err := measure(name, fn); err != nil {
 			return err
 		}
-	}
-	if !any {
-		flag.Usage()
 	}
 	return nil
 }
@@ -260,12 +475,24 @@ func writeBenchOut(path string) error {
 // jsonOut switches every printer to line-delimited JSON.
 var jsonOut bool
 
+// capture, when non-nil, accumulates every emitted JSON row for the journal
+// (-record) or the byte-identity comparison (-replay). source supplies the
+// nondeterministic draws; a nil source passes generators through untouched,
+// so plain runs are unaffected.
+var (
+	capture []string
+	source  *replay.Source
+)
+
 // emitJSON writes one self-describing result object per line; kind names
 // the table/figure so mixed -all output stays filterable with jq.
 func emitJSON(obj map[string]any) error {
 	b, err := json.Marshal(obj)
 	if err != nil {
 		return err
+	}
+	if capture != nil {
+		capture = append(capture, string(b))
 	}
 	_, err = fmt.Println(string(b))
 	return err

@@ -48,11 +48,17 @@ func Decode(word uint32) Insn {
 		}
 		return in
 	case word>>24 == 0x54: // B.cond
+		if word>>4&1 == 1 {
+			break // o0=1 (BC.cond / undefined space) not modelled
+		}
 		in.Op = OpBCond
 		in.Cond = uint8(word & 0xF)
 		in.Imm = signExtend(uint64(word>>5&0x7FFFF), 19) * 4
 		return in
 	case word>>25&0x3F == 0b011010: // CBZ / CBNZ
+		if word>>31 == 0 {
+			break // 32-bit compare not modelled; the interpreter is 64-bit only
+		}
 		if word>>24&1 == 1 {
 			in.Op = OpCBNZ
 		} else {
@@ -60,7 +66,6 @@ func Decode(word uint32) Insn {
 		}
 		in.Rt = uint8(word & 0x1F)
 		in.Imm = signExtend(uint64(word>>5&0x7FFFF), 19) * 4
-		in.SF = word>>31 == 1
 		return in
 	case word>>23&0x3F == 0b100101: // move wide
 		return decodeMoveWide(word, in)
@@ -86,6 +91,9 @@ func Decode(word uint32) Insn {
 	case word>>24&0x1F == 0b01010 && word>>21&1 == 0: // logical shifted reg
 		return decodeLogicalReg(word, in)
 	case word>>23&0x7F == 0b1010010: // load/store pair, 64-bit signed offset
+		if word>>30 != 0b10 {
+			break // 32-bit LDP/STP and LDPSW not modelled
+		}
 		in.Rt = uint8(word & 0x1F)
 		in.Rn = uint8(word >> 5 & 0x1F)
 		in.Rt2 = uint8(word >> 10 & 0x1F)
@@ -98,6 +106,9 @@ func Decode(word uint32) Insn {
 		}
 		return in
 	case word>>21&0xFF == 0b11010100 && word>>10&3 == 0: // conditional select
+		if word>>29 != 0b100 {
+			break // only 64-bit CSEL; CSINV/CSNEG/CCMP space not modelled
+		}
 		in.Rd = uint8(word & 0x1F)
 		in.Rn = uint8(word >> 5 & 0x1F)
 		in.Rm = uint8(word >> 16 & 0x1F)
@@ -105,6 +116,9 @@ func Decode(word uint32) Insn {
 		in.Op = OpCSel
 		return in
 	case word>>21&0xFF == 0b11010100 && word>>10&3 == 1: // csinc
+		if word>>29 != 0b100 {
+			break
+		}
 		in.Rd = uint8(word & 0x1F)
 		in.Rn = uint8(word >> 5 & 0x1F)
 		in.Rm = uint8(word >> 16 & 0x1F)
@@ -130,8 +144,9 @@ func decodeSystem(word uint32, in Insn) Insn {
 	l := word >> 21 & 1
 	switch enc.Op0 {
 	case 0:
-		// MSR (immediate) or unmatched hint/barrier space.
-		if l == 0 && enc.CRn == 4 {
+		// MSR (immediate) or unmatched hint/barrier space. The immediate
+		// form fixes Rt to 0b11111; other Rt values are undefined.
+		if l == 0 && enc.CRn == 4 && in.Rt == 31 {
 			in.Op = OpMSRImm
 			in.Imm = int64(enc.CRm)
 			return in
@@ -175,6 +190,12 @@ func decodeExcGen(word uint32, in Insn) Insn {
 }
 
 func decodeBranchReg(word uint32, in Insn) Insn {
+	// op2 (20:16) must be 0b11111, op3 (15:10) and op4 (4:0) must be zero;
+	// anything else in the space is an unmodelled (or undefined) encoding.
+	if word>>16&0x1F != 0x1F || word>>10&0x3F != 0 || word&0x1F != 0 {
+		in.Op = OpUnknown
+		return in
+	}
 	in.Rn = uint8(word >> 5 & 0x1F)
 	switch word >> 21 & 0xF {
 	case 0b0000:
@@ -190,10 +211,13 @@ func decodeBranchReg(word uint32, in Insn) Insn {
 }
 
 func decodeMoveWide(word uint32, in Insn) Insn {
+	if word>>31 == 0 {
+		in.Op = OpUnknown // 32-bit move wide not modelled
+		return in
+	}
 	in.Rd = uint8(word & 0x1F)
 	in.Imm = int64(word >> 5 & 0xFFFF)
 	in.ShiftAmt = uint8(word>>21&3) * 16
-	in.SF = word>>31 == 1
 	switch word >> 29 & 3 {
 	case 0b00:
 		in.Op = OpMOVN
@@ -208,13 +232,16 @@ func decodeMoveWide(word uint32, in Insn) Insn {
 }
 
 func decodeAddSubImm(word uint32, in Insn) Insn {
+	if word>>31 == 0 {
+		in.Op = OpUnknown // 32-bit add/sub not modelled
+		return in
+	}
 	in.Rd = uint8(word & 0x1F)
 	in.Rn = uint8(word >> 5 & 0x1F)
 	in.Imm = int64(word >> 10 & 0xFFF)
 	if word>>22&1 == 1 {
 		in.Imm <<= 12
 	}
-	in.SF = word>>31 == 1
 	in.SetFlags = word>>29&1 == 1
 	if word>>30&1 == 1 {
 		in.Op = OpSubImm
@@ -225,11 +252,14 @@ func decodeAddSubImm(word uint32, in Insn) Insn {
 }
 
 func decodeAddSubReg(word uint32, in Insn) Insn {
+	if word>>31 == 0 || word>>22&3 != 0 {
+		in.Op = OpUnknown // only 64-bit, LSL-shifted forms are modelled
+		return in
+	}
 	in.Rd = uint8(word & 0x1F)
 	in.Rn = uint8(word >> 5 & 0x1F)
 	in.Rm = uint8(word >> 16 & 0x1F)
 	in.ShiftAmt = uint8(word >> 10 & 0x3F)
-	in.SF = word>>31 == 1
 	in.SetFlags = word>>29&1 == 1
 	if word>>30&1 == 1 {
 		in.Op = OpSubReg
@@ -240,11 +270,14 @@ func decodeAddSubReg(word uint32, in Insn) Insn {
 }
 
 func decodeLogicalReg(word uint32, in Insn) Insn {
+	if word>>31 == 0 || word>>22&3 != 0 {
+		in.Op = OpUnknown // only 64-bit, LSL-shifted forms are modelled
+		return in
+	}
 	in.Rd = uint8(word & 0x1F)
 	in.Rn = uint8(word >> 5 & 0x1F)
 	in.Rm = uint8(word >> 16 & 0x1F)
 	in.ShiftAmt = uint8(word >> 10 & 0x3F)
-	in.SF = word>>31 == 1
 	switch word >> 29 & 3 {
 	case 0b00:
 		in.Op = OpAndReg
@@ -260,10 +293,13 @@ func decodeLogicalReg(word uint32, in Insn) Insn {
 }
 
 func decodeTwoSource(word uint32, in Insn) Insn {
+	if word>>29 != 0b100 {
+		in.Op = OpUnknown // 64-bit UDIV/LSLV/LSRV only; S must be clear
+		return in
+	}
 	in.Rd = uint8(word & 0x1F)
 	in.Rn = uint8(word >> 5 & 0x1F)
 	in.Rm = uint8(word >> 16 & 0x1F)
-	in.SF = word>>31 == 1
 	switch word >> 10 & 0x3F {
 	case 0b000010:
 		in.Op = OpUDiv
@@ -278,8 +314,8 @@ func decodeTwoSource(word uint32, in Insn) Insn {
 }
 
 func decodeThreeSource(word uint32, in Insn) Insn {
-	if word>>29&3 != 0 || word>>21&7 != 0 || word>>15&1 != 0 {
-		in.Op = OpUnknown
+	if word>>31 == 0 || word>>29&3 != 0 || word>>21&7 != 0 || word>>15&1 != 0 {
+		in.Op = OpUnknown // 64-bit MADD only
 		return in
 	}
 	in.Op = OpMAdd
@@ -287,11 +323,14 @@ func decodeThreeSource(word uint32, in Insn) Insn {
 	in.Rn = uint8(word >> 5 & 0x1F)
 	in.Rm = uint8(word >> 16 & 0x1F)
 	in.Ra = uint8(word >> 10 & 0x1F)
-	in.SF = word>>31 == 1
 	return in
 }
 
 func decodeLoadStore(word uint32, in Insn) Insn {
+	if word>>23&1 == 1 {
+		in.Op = OpUnknown // opc=1x: sign-extending loads / PRFM not modelled
+		return in
+	}
 	in.Size = uint8(word >> 30 & 3)
 	in.Rt = uint8(word & 0x1F)
 	in.Rn = uint8(word >> 5 & 0x1F)

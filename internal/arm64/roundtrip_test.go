@@ -248,6 +248,166 @@ func TestEncodeDecodeDisassembleRoundTrip(t *testing.T) {
 	}
 }
 
+// reencodeInsn rebuilds the instruction word from a decoded Insn's fields
+// using the package encoders, for every accepted Op. The SetFlags variants
+// the encoder surface doesn't name (ADDS immediate/register, ANDS) are the
+// base encoding with the S/opc bits set.
+func reencodeInsn(in Insn) (uint32, bool) {
+	setS := func(w uint32) uint32 {
+		if in.SetFlags {
+			w |= 1 << 29
+		}
+		return w
+	}
+	switch in.Op {
+	case OpNOP:
+		return WordNOP, true
+	case OpISB:
+		return WordISB, true
+	case OpDSB:
+		return WordDSBSY, true
+	case OpDMB:
+		return WordDMBSY, true
+	case OpERET:
+		return WordERET, true
+	case OpMOVZ:
+		return MOVZ(in.Rd, uint16(in.Imm), in.ShiftAmt/16), true
+	case OpMOVK:
+		return MOVK(in.Rd, uint16(in.Imm), in.ShiftAmt/16), true
+	case OpMOVN:
+		return MOVN(in.Rd, uint16(in.Imm), in.ShiftAmt/16), true
+	case OpAddImm, OpSubImm:
+		return setS(reAddSubImm(in)), true
+	case OpADR:
+		return ADR(in.Rd, in.Imm), true
+	case OpAddReg:
+		return setS(ADDShifted(in.Rd, in.Rn, in.Rm, in.ShiftAmt)), true
+	case OpSubReg:
+		return setS(SUBReg(in.Rd, in.Rn, in.Rm) | uint32(in.ShiftAmt&0x3F)<<10), true
+	case OpAndReg:
+		w := ANDReg(in.Rd, in.Rn, in.Rm) | uint32(in.ShiftAmt&0x3F)<<10
+		if in.SetFlags {
+			w |= 3 << 29 // opc 00 (AND) -> 11 (ANDS)
+		}
+		return w, true
+	case OpOrrReg:
+		return ORRShifted(in.Rd, in.Rn, in.Rm, in.ShiftAmt), true
+	case OpEorReg:
+		return EORReg(in.Rd, in.Rn, in.Rm) | uint32(in.ShiftAmt&0x3F)<<10, true
+	case OpLSLV:
+		return LSLV(in.Rd, in.Rn, in.Rm), true
+	case OpLSRV:
+		return LSRV(in.Rd, in.Rn, in.Rm), true
+	case OpUDiv:
+		return UDIV(in.Rd, in.Rn, in.Rm), true
+	case OpMAdd:
+		return MADD(in.Rd, in.Rn, in.Rm, in.Ra), true
+	case OpUBFM:
+		return UBFM(in.Rd, in.Rn, in.ShiftAmt, uint8(in.Imm)), true
+	case OpB:
+		return B(in.Imm), true
+	case OpBL:
+		return BL(in.Imm), true
+	case OpBCond:
+		return BCond(in.Cond, in.Imm), true
+	case OpCBZ:
+		return CBZ(in.Rt, in.Imm), true
+	case OpCBNZ:
+		return CBNZ(in.Rt, in.Imm), true
+	case OpBR:
+		return BR(in.Rn), true
+	case OpBLR:
+		return BLR(in.Rn), true
+	case OpRET:
+		return RET(in.Rn), true
+	case OpLdrImm:
+		return LDRImm(in.Rt, in.Rn, uint16(in.Imm), in.Size), true
+	case OpStrImm:
+		return STRImm(in.Rt, in.Rn, uint16(in.Imm), in.Size), true
+	case OpLdur:
+		return LDUR(in.Rt, in.Rn, int16(in.Imm), in.Size), true
+	case OpStur:
+		return STUR(in.Rt, in.Rn, int16(in.Imm), in.Size), true
+	case OpLdtr:
+		return LDTR(in.Rt, in.Rn, int16(in.Imm), in.Size), true
+	case OpSttr:
+		return STTR(in.Rt, in.Rn, int16(in.Imm), in.Size), true
+	case OpLdp:
+		return LDP(in.Rt, in.Rt2, in.Rn, int16(in.Imm)), true
+	case OpStp:
+		return STP(in.Rt, in.Rt2, in.Rn, int16(in.Imm)), true
+	case OpLdrReg:
+		return LDRReg(in.Rt, in.Rn, in.Rm, in.Size), true
+	case OpStrReg:
+		return STRReg(in.Rt, in.Rn, in.Rm, in.Size), true
+	case OpCSel:
+		return CSEL(in.Rd, in.Rn, in.Rm, in.Cond), true
+	case OpCSInc:
+		return CSINC(in.Rd, in.Rn, in.Rm, in.Cond), true
+	case OpSVC:
+		return SVC(uint16(in.Imm)), true
+	case OpHVC:
+		return HVC(uint16(in.Imm)), true
+	case OpSMC:
+		return SMC(uint16(in.Imm)), true
+	case OpMSRReg, OpMSRImm, OpSYS:
+		return sysWord(0, in.Sys) | reg(in.Rt), true
+	case OpMRS, OpSYSL:
+		return sysWord(1, in.Sys) | reg(in.Rt), true
+	}
+	return 0, false
+}
+
+// FuzzDecode drives the decoder with raw 32-bit words. Three properties:
+// Decode and Disassemble never panic, Raw always carries the input word,
+// and every word the decoder accepts (Op != OpUnknown) re-encodes from its
+// decoded fields to the identical word — i.e. the decoder records every bit
+// it accepts, and rejects encodings the interpreter would misexecute.
+func FuzzDecode(f *testing.F) {
+	for _, tc := range roundTripCases() {
+		r := rand.New(rand.NewSource(99))
+		w, _ := tc.gen(r)
+		f.Add(w)
+	}
+	// Edges: all-zero, all-ones, and near-miss words around the subset's
+	// dispatch boundaries (32-bit forms, shifted registers, LDRSW space).
+	for _, w := range []uint32{
+		0, ^uint32(0),
+		0x0B000000, // 32-bit ADD (sf=0)
+		0x8B801000, // ADD with ASR shift type
+		0xB8000000, // 32-bit STR space
+		0xF9800000, // opc=1x load/store (LDRSW/PRFM space)
+		0xD5004000, // MSR imm shape with Rt != 31
+		0xD61F0001, // BR with op4 bits set
+	} {
+		f.Add(w)
+	}
+	f.Fuzz(func(t *testing.T, word uint32) {
+		in := Decode(word)
+		if in.Raw != word {
+			t.Fatalf("Decode(%#08x).Raw = %#08x", word, in.Raw)
+		}
+		dis := Disassemble(word)
+		if dis == "" {
+			t.Fatalf("Disassemble(%#08x) is empty", word)
+		}
+		if in.Op == OpUnknown {
+			return
+		}
+		re, ok := reencodeInsn(in)
+		if !ok {
+			t.Fatalf("accepted op %v (%#08x) has no re-encoder", in.Op, word)
+		}
+		if re != word {
+			t.Fatalf("decode→encode not identity: %#08x decodes to %v (%+v), re-encodes to %#08x",
+				word, in.Op, in, re)
+		}
+		if strings.HasPrefix(dis, ".inst") {
+			t.Errorf("accepted word %#08x (%v) disassembles to fallback %q", word, in.Op, dis)
+		}
+	})
+}
+
 // TestMSRMRSRoundTripAllSysRegs covers the MSR/MRS pair for every modelled
 // system register: decode recovers the exact (op0,op1,CRn,CRm,op2) tuple and
 // the L bit separates the two forms.

@@ -249,6 +249,17 @@ func (d *BlockCache) evictCohort() {
 	d.order = append(d.order[:0], d.order[i:]...)
 }
 
+// EvictBlockCohort forces the cap-pressure eviction path: the oldest half
+// of the cached decoded blocks is dropped, exactly as if the cache had hit
+// its capacity bound. Host-side state only — the chaos engine fires it
+// mid-run to prove evicted blocks rebuild bit-identically (cycles, stats on
+// the emulated surface, and architectural state all unchanged).
+func (c *VCPU) EvictBlockCohort() {
+	c.cur.blk = nil // never resume a cursor into a possibly-evicted block
+	c.Decoded.evictCohort()
+	c.Decoded.compactOrder()
+}
+
 // compactOrder rebuilds order keeping the first occurrence of each live
 // key, bounding growth when stale deletions and rebuilds churn the same
 // keys without ever reaching the block cap.

@@ -1,0 +1,132 @@
+package cpu_test
+
+// Differential-fuzz conformance suite: seeded random A64 instruction
+// streams run through the execution engine twice — once with the host
+// fastpaths and decoded-block cache on, once with both off — and the two
+// pipelines must agree bit for bit on registers, PSTATE, memory, cycle
+// accounting and TLB statistics. Faulting and undefined streams are
+// legitimate inputs: every exception is an architectural event both
+// pipelines must deliver identically.
+//
+// A divergence is auto-minimized (NOP substitution to fixpoint) and written
+// as a replayable journal; `lzreplay -run` replays it standalone.
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"lightzone/internal/replay"
+)
+
+// corpusSeeds reads the committed seed corpus.
+func corpusSeeds(t *testing.T) []int64 {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", "difffuzz_seeds.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var seeds []int64
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := strconv.ParseInt(line, 10, 64)
+		if err != nil {
+			t.Fatalf("corpus line %q: %v", line, err)
+		}
+		seeds = append(seeds, s)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) == 0 {
+		t.Fatal("empty seed corpus")
+	}
+	return seeds
+}
+
+// reportDivergence minimizes the diverging stream and journals it so the
+// failure replays standalone, then fails the test with the journal path.
+func reportDivergence(t *testing.T, seed int64, words []uint32, divergence string) {
+	t.Helper()
+	diverges := func(ws []uint32) bool {
+		res, err := replay.DualRun(ws)
+		return err == nil && res.Divergence != ""
+	}
+	minimized := replay.Minimize(words, diverges)
+	res, _ := replay.DualRun(minimized)
+	j := replay.FuzzJournal(seed, minimized, res.Divergence)
+	path := filepath.Join(t.TempDir(), "difffuzz-failure.journal.json")
+	if err := j.Write(path); err != nil {
+		t.Logf("could not journal the failure: %v", err)
+	}
+	t.Fatalf("seed %d: pipelines diverge: %s\nminimized journal: %s (replay with: lzreplay -run %s)",
+		seed, divergence, path, path)
+}
+
+// TestDiffFuzzCorpus runs every committed corpus seed through both
+// pipelines at two stream lengths.
+func TestDiffFuzzCorpus(t *testing.T) {
+	for _, n := range []int{64, 400} {
+		for _, seed := range corpusSeeds(t) {
+			words := replay.GenWords(seed, n)
+			res, err := replay.DualRun(words)
+			if err != nil {
+				t.Fatalf("seed %d n=%d: %v", seed, n, err)
+			}
+			if res.Divergence != "" {
+				reportDivergence(t, seed, words, res.Divergence)
+			}
+			if res.Fast.Insns == 0 {
+				t.Errorf("seed %d n=%d: stream executed nothing", seed, n)
+			}
+		}
+	}
+}
+
+// TestDiffFuzzSweep complements the corpus with a deterministic sweep of
+// derived seeds, so every run covers streams no corpus line pins.
+func TestDiffFuzzSweep(t *testing.T) {
+	const cases = 32
+	if testing.Short() {
+		t.Skip("sweep skipped in -short")
+	}
+	for i := 0; i < cases; i++ {
+		seed := int64(1_000_000_007)*int64(i) + 17
+		words := replay.GenWords(seed, 250)
+		res, err := replay.DualRun(words)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Divergence != "" {
+			reportDivergence(t, seed, words, res.Divergence)
+		}
+	}
+}
+
+// TestDiffFuzzExitParity spot-checks that the two pipelines agree on the
+// exit itself, not just the end state: the corpus must contain both clean
+// hypercall exits and fault exits for the comparison to mean anything.
+func TestDiffFuzzExitParity(t *testing.T) {
+	classes := map[string]bool{}
+	for _, seed := range corpusSeeds(t) {
+		res, err := replay.DualRun(replay.GenWords(seed, 120))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.FastExit != res.SlowExit {
+			t.Errorf("seed %d: exits differ: %+v vs %+v", seed, res.FastExit, res.SlowExit)
+		}
+		classes[res.FastExit.Syndrome.Class.String()] = true
+	}
+	if len(classes) < 2 {
+		t.Errorf("corpus exercises only %d exit class(es): %v — add seeds", len(classes), classes)
+	}
+}

@@ -116,6 +116,16 @@ func (c *VCPU) SetHostFastpaths(on bool) {
 // HostFastpathsEnabled reports whether this vCPU uses the host fastpaths.
 func (c *VCPU) HostFastpathsEnabled() bool { return c.mtlb.enabled }
 
+// FlushMicroTLBs drops every memoised micro-TLB entry without changing the
+// enabled state. Host-side only: the next access per page re-runs the full
+// Translate (which mirrors its TLB hit into the same Stats counters), so
+// emulated cycles, stats and architectural state are bit-identical — the
+// chaos engine fires this mid-run to prove it.
+func (c *VCPU) FlushMicroTLBs() {
+	c.mtlb.i = [iMicroWays]microEntry{}
+	c.mtlb.d = [dMicroWays]microEntry{}
+}
+
 // microLookup is the fastpath tried at the top of Translate. It returns the
 // translated PA and true only when the gates prove the slow path would hit
 // the TLB, pass all permission checks, and charge nothing.

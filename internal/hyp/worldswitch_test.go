@@ -1,0 +1,265 @@
+package hyp
+
+import (
+	"testing"
+
+	"lightzone/internal/arm64"
+	"lightzone/internal/cpu"
+	"lightzone/internal/kernel"
+)
+
+// switchListCost is the charged MRS+MSR cost of switching a register list.
+func switchListCost(prof *arm64.Profile, regs []arm64.SysReg) int64 {
+	var n int64
+	for _, r := range regs {
+		n += prof.SysRegReadCost(r) + prof.SysRegWriteCost(r)
+	}
+	return n
+}
+
+// TestWriteWorldRegRetainFilter checks the §5.2.1 retain optimisation at
+// the register level: rewriting an unchanged EL2 control register costs
+// nothing, a changed value pays the MSR, and the ablation switch restores
+// conventional always-write behaviour.
+func TestWriteWorldRegRetainFilter(t *testing.T) {
+	cases := []struct {
+		name          string
+		disableRetain bool
+		initial, next uint64
+		wantWrite     bool
+	}{
+		{"unchanged value is retained", false, cpu.HCRVM, cpu.HCRVM, false},
+		{"changed value is written", false, cpu.HCRVM, cpu.HCRVM ^ 1, true},
+		{"zero to zero is retained", false, 0, 0, false},
+		{"ablation writes unchanged value", true, cpu.HCRVM, cpu.HCRVM, true},
+		{"ablation writes changed value", true, 0, cpu.HCRVM, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := NewMachine(arm64.ProfileCortexA55(), 64<<20)
+			m.Hyp.Opts.DisableRetainRegs = tc.disableRetain
+			m.CPU.SetSys(arm64.HCREL2, tc.initial)
+			before := m.CPU.Cycles
+			m.Hyp.WriteWorldReg(arm64.HCREL2, tc.next)
+			charged := m.CPU.Cycles - before
+			if got := m.CPU.Sys(arm64.HCREL2); got != tc.next {
+				t.Errorf("HCR_EL2 = %#x after WriteWorldReg, want %#x", got, tc.next)
+			}
+			want := int64(0)
+			if tc.wantWrite {
+				want = m.Prof.SysRegWriteCost(arm64.HCREL2)
+			}
+			if charged != want {
+				t.Errorf("charged %d cycles, want %d", charged, want)
+			}
+		})
+	}
+}
+
+// guestExitProgram is a minimal guest process: a few syscalls, then exit.
+func guestExitProgram(t *testing.T, vm *VM, name string) *kernel.Process {
+	t.Helper()
+	a := arm64.NewAsm()
+	for i := 0; i < 2; i++ {
+		a.MovImm(8, kernel.SysGetpid)
+		a.Emit(arm64.SVC(0))
+	}
+	a.MovImm(0, 0)
+	a.MovImm(8, kernel.SysExit)
+	a.Emit(arm64.SVC(0))
+	words, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := vm.Kernel.CreateProcess(name, kernel.Program{Text: words})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestRetainFilterAcrossGuestRuns checks retention end to end: re-entering
+// the same VM must not re-write HCR_EL2/VTTBR_EL2, so back-to-back guest
+// runs are strictly cheaper with the filter than with the ablation that
+// rewrites the world registers on every entry.
+func TestRetainFilterAcrossGuestRuns(t *testing.T) {
+	run := func(disableRetain bool) int64 {
+		m := NewMachine(arm64.ProfileCortexA55(), 128<<20)
+		m.Hyp.Opts.DisableRetainRegs = disableRetain
+		vm, err := m.NewGuestVM("guest")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			p := guestExitProgram(t, vm, "p")
+			if err := m.RunGuestProcess(vm, p, 100000); err != nil {
+				t.Fatal(err)
+			}
+			if p.Killed {
+				t.Fatalf("killed: %s", p.KillMsg)
+			}
+		}
+		return m.CPU.Cycles
+	}
+	retained, conventional := run(false), run(true)
+	if retained >= conventional {
+		t.Errorf("retain filter saved nothing: %d cycles with filter, %d without", retained, conventional)
+	}
+	// Only the first entry installs the world registers; the two re-entries
+	// each skip one HCR and one VTTBR write.
+	prof := arm64.ProfileCortexA55()
+	saved := 2 * (prof.SysRegWriteCost(arm64.HCREL2) + prof.SysRegWriteCost(arm64.VTTBREL2))
+	if got := conventional - retained; got != saved {
+		t.Errorf("retention saved %d cycles across re-entries, want %d", got, saved)
+	}
+}
+
+// TestChargePartialEL1Switch checks the §5.2.2 reduced register switch: the
+// partial list must be charged exactly, be cheaper than the conventional
+// full-context switch, and degenerate to it under the ablation.
+func TestChargePartialEL1Switch(t *testing.T) {
+	for _, prof := range []*arm64.Profile{arm64.ProfileCortexA55(), arm64.ProfileCarmel()} {
+		t.Run(prof.Name, func(t *testing.T) {
+			cases := []struct {
+				name           string
+				disablePartial bool
+				regs           []arm64.SysReg
+			}{
+				{"partial list", false, arm64.LightZonePartialRegs},
+				{"ablation falls back to full list", true, arm64.GuestContextRegs},
+			}
+			var costs [2]int64
+			for i, tc := range cases {
+				m := NewMachine(prof, 64<<20)
+				m.Hyp.Opts.DisablePartialSwitch = tc.disablePartial
+				before := m.CPU.Cycles
+				m.Hyp.ChargePartialEL1Switch()
+				costs[i] = m.CPU.Cycles - before
+				if want := switchListCost(prof, tc.regs); costs[i] != want {
+					t.Errorf("%s: charged %d cycles, want %d", tc.name, costs[i], want)
+				}
+			}
+			if costs[0] >= costs[1] {
+				t.Errorf("partial switch (%d) not cheaper than full switch (%d)", costs[0], costs[1])
+			}
+		})
+	}
+}
+
+// TestChargeGuestContextTransfer pins the conventional save/load and GPR
+// transfer costs the hypercall path is built from.
+func TestChargeGuestContextTransfer(t *testing.T) {
+	prof := arm64.ProfileCortexA55()
+	ctxRegs := int64(len(arm64.GuestContextRegs))
+	var wantSave, wantLoad int64
+	for _, r := range arm64.GuestContextRegs {
+		wantSave += prof.SysRegReadCost(r)
+		wantLoad += prof.SysRegWriteCost(r)
+	}
+	wantSave += ctxRegs * prof.MemAccessCost
+	wantLoad += ctxRegs * prof.MemAccessCost
+
+	cases := []struct {
+		name   string
+		charge func(h *Hypervisor)
+		opts   Opts
+		want   int64
+	}{
+		{"context save", (*Hypervisor).ChargeGuestContextSave, Opts{}, wantSave},
+		{"context load", (*Hypervisor).ChargeGuestContextLoad, Opts{}, wantLoad},
+		{"GPR transfer, shared pt_regs", (*Hypervisor).ChargeGPRTransfer, Opts{}, 16 * prof.MemAccessCost},
+		{"GPR transfer, conventional double pass", (*Hypervisor).ChargeGPRTransfer,
+			Opts{DisableSharedPtRegs: true}, 32 * prof.MemAccessCost},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := NewMachine(prof, 64<<20)
+			m.Hyp.Opts = tc.opts
+			before := m.CPU.Cycles
+			tc.charge(m.Hyp)
+			if got := m.CPU.Cycles - before; got != tc.want {
+				t.Errorf("charged %d cycles, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestHandleEmptyHypercallPreservesWorld checks the KVM-style hypercall
+// body: the counter moves, the guest's HCR/VTTBR survive the host round
+// trip, and the cost is deterministic across invocations.
+func TestHandleEmptyHypercallPreservesWorld(t *testing.T) {
+	m := NewMachine(arm64.ProfileCortexA55(), 64<<20)
+	hcr, vttbr := uint64(cpu.HCRVM|1<<3), uint64(0x0001_0000_4000_0000)
+	m.CPU.SetSys(arm64.HCREL2, hcr)
+	m.CPU.SetSys(arm64.VTTBREL2, vttbr)
+
+	var costs [2]int64
+	for i := range costs {
+		before := m.CPU.Cycles
+		m.Hyp.HandleEmptyHypercall()
+		costs[i] = m.CPU.Cycles - before
+	}
+	if m.Hyp.Hypercalls != 2 {
+		t.Errorf("Hypercalls = %d, want 2", m.Hyp.Hypercalls)
+	}
+	if got := m.CPU.Sys(arm64.HCREL2); got != hcr {
+		t.Errorf("HCR_EL2 = %#x after hypercall, want guest value %#x", got, hcr)
+	}
+	if got := m.CPU.Sys(arm64.VTTBREL2); got != vttbr {
+		t.Errorf("VTTBR_EL2 = %#x after hypercall, want guest value %#x", got, vttbr)
+	}
+	if costs[0] != costs[1] {
+		t.Errorf("hypercall cost not deterministic: %d then %d cycles", costs[0], costs[1])
+	}
+	if costs[0] <= switchListCost(m.Prof, arm64.GuestContextRegs) {
+		t.Errorf("hypercall cost %d does not cover a full context switch (%d)",
+			costs[0], switchListCost(m.Prof, arm64.GuestContextRegs))
+	}
+}
+
+// TestGuestSignalDeliveryEndToEnd runs the sigaction/kill/sigreturn round
+// trip inside an EL1 guest: LightZone's signal-context patch must work for
+// guest kernels driven through the hypervisor, not just the VHE host.
+func TestGuestSignalDeliveryEndToEnd(t *testing.T) {
+	m := NewMachine(arm64.ProfileCortexA55(), 128<<20)
+	vm, err := m.NewGuestVM("guest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := arm64.NewAsm()
+	a.MovImm(0, kernel.SIGUSR1)
+	a.ADR(1, "handler")
+	a.MovImm(8, kernel.SysSigaction)
+	a.Emit(arm64.SVC(0))
+	a.MovImm(8, kernel.SysGetpid)
+	a.Emit(arm64.SVC(0)) // x0 = own pid
+	a.MovImm(1, kernel.SIGUSR1)
+	a.MovImm(8, kernel.SysKill)
+	a.Emit(arm64.SVC(0))
+	a.MovImm(9, uint64(kernel.DataBase))
+	a.Emit(arm64.LDRImm(0, 9, 0, 3))
+	a.MovImm(8, kernel.SysExit)
+	a.Emit(arm64.SVC(0))
+	a.Label("handler")
+	a.MovImm(9, uint64(kernel.DataBase))
+	a.Emit(arm64.STRImm(0, 9, 0, 3))
+	a.MovImm(8, kernel.SysSigreturn)
+	a.Emit(arm64.SVC(0))
+	words, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := vm.Kernel.CreateProcess("sig", kernel.Program{Text: words, Data: make([]byte, 8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunGuestProcess(vm, p, 100000); err != nil {
+		t.Fatal(err)
+	}
+	if p.Killed {
+		t.Fatalf("killed: %s", p.KillMsg)
+	}
+	if p.ExitCode != kernel.SIGUSR1 {
+		t.Errorf("exit code = %d, want %d (guest handler must observe x0=signo)", p.ExitCode, kernel.SIGUSR1)
+	}
+}

@@ -263,7 +263,11 @@ func (k *Kernel) SwitchTo(t *Thread, w *World) {
 }
 
 // ErrTrapBudget is returned by RunProcess when maxTraps is exhausted
-// before the process exits.
+// before the process exits. The budget-exhausting trap is fully handled
+// before the error is reported — the vCPU is parked at a clean
+// architectural boundary (post-ERET, no exception in flight), so callers
+// can resume the process with another RunProcess call. The record/replay
+// chaos engine leans on this to drive runs in slices.
 var ErrTrapBudget = errors.New("trap budget exhausted")
 
 // worldFor builds the World configuration for an ordinary process under
@@ -301,11 +305,15 @@ func (k *Kernel) RunProcess(p *Process, maxTraps int64) error {
 				return fmt.Errorf("pid %d: %w", p.PID, err)
 			}
 			traps++
-			if traps > maxTraps {
-				return ErrTrapBudget
-			}
+			// Handle the exit BEFORE checking the budget: cpu.Run has
+			// already taken the exception, so bailing out here would strand
+			// the vCPU at the vector with a half-delivered trap and make the
+			// next RunProcess call resume into the interpreter's EL2 guard.
 			if err := k.HandleExit(t, exit); err != nil {
 				return err
+			}
+			if traps >= maxTraps && !p.Exited {
+				return ErrTrapBudget
 			}
 			k.quantumLeft--
 			if k.quantumLeft <= 0 {

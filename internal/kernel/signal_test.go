@@ -1,0 +1,320 @@
+package kernel
+
+import (
+	"errors"
+	"testing"
+
+	"lightzone/internal/arm64"
+	"lightzone/internal/cpu"
+	"lightzone/internal/mem"
+)
+
+// newSignalKernel builds a kernel at the given EL with one idle process, so
+// signal delivery can be exercised at both the VHE host level (EL2) and the
+// guest kernel level (EL1) without running guest code.
+func newSignalKernel(t *testing.T, el arm64.EL) (*Kernel, *Thread) {
+	t.Helper()
+	prof := arm64.ProfileCortexA55()
+	pm := mem.NewPhysMem(64 << 20)
+	c := cpu.New(prof, pm)
+	k := NewKernel("sigtest", prof, pm, c, el)
+	p, err := k.CreateProcess("victim", Program{Text: []uint32{arm64.WordNOP}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, p.MainThread()
+}
+
+// TestSignalFrameRoundTrip checks the LightZone signal-context extension
+// (§6): the frame pushed at delivery carries TTBR0 and PSTATE.PAN of the
+// interrupted context, and rt_sigreturn restores them exactly — at both the
+// host kernel EL and inside an EL1 guest kernel.
+func TestSignalFrameRoundTrip(t *testing.T) {
+	const handler = uint64(TextBase) + 0x1000
+	cases := []struct {
+		name   string
+		el     arm64.EL
+		pan    bool
+		ttbr0  uint64
+		tpidr  uint64
+		spel0  uint64
+		pstate uint64
+	}{
+		{"host EL2, PAN clear", arm64.EL2, false, 0x4000_1000, 0x111, uint64(StackTop) - 0x40, 0},
+		{"guest EL1, PAN set", arm64.EL1, true, 0x4000_2000, 0x222, uint64(StackTop) - 0x80, 0},
+		{"guest EL1, domain TTBR", arm64.EL1, false, 0x8_4000_3000, 0, uint64(StackTop) - 0xC0, arm64.PStateSPSel},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			k, th := newSignalKernel(t, tc.el)
+			c := k.CPU
+			th.Proc.SigHandlers[SIGUSR1] = handler
+
+			// Install the interrupted context the way the trap path leaves
+			// it: PC/PSTATE in ELR/SPSR, the rest live in the vCPU.
+			pstate := tc.pstate
+			if tc.pan {
+				pstate |= arm64.PStatePAN
+			}
+			const interruptedPC = uint64(TextBase) + 0x40
+			var wantX [32]uint64
+			for i := range wantX {
+				wantX[i] = uint64(i) * 0x101
+				c.SetR(uint8(i), wantX[i])
+			}
+			wantX[31] = 0 // XZR
+			c.SetSys(k.elrReg(), interruptedPC)
+			c.SetSys(k.spsrReg(), pstate)
+			c.SetSys(arm64.TTBR0EL1, tc.ttbr0)
+			c.SetSys(arm64.TPIDREL0, tc.tpidr)
+			c.SetSys(arm64.SPEL0, tc.spel0)
+
+			if !k.DeliverSignal(th, SIGUSR1) {
+				t.Fatal("DeliverSignal found no handler")
+			}
+			if got := c.R(0); got != SIGUSR1 {
+				t.Errorf("handler x0 = %d, want %d", got, SIGUSR1)
+			}
+			if got := c.R(1); got != 0 {
+				t.Errorf("handler x1 = %#x, want 0 (no fault address)", got)
+			}
+			if got := c.Sys(k.elrReg()); got != handler {
+				t.Errorf("ELR = %#x, want handler %#x", got, handler)
+			}
+			if th.inHandler != 1 || len(th.sigFrames) != 1 {
+				t.Fatalf("inHandler=%d frames=%d, want 1/1", th.inHandler, len(th.sigFrames))
+			}
+			frame := th.sigFrames[0]
+			if frame.TTBR0 != tc.ttbr0 {
+				t.Errorf("frame TTBR0 = %#x, want %#x", frame.TTBR0, tc.ttbr0)
+			}
+			if frame.PC != interruptedPC {
+				t.Errorf("frame PC = %#x, want %#x", frame.PC, interruptedPC)
+			}
+			if got := frame.PState&arm64.PStatePAN != 0; got != tc.pan {
+				t.Errorf("frame PAN = %v, want %v", got, tc.pan)
+			}
+
+			// Clobber everything the handler could touch, then sigreturn.
+			for i := uint8(0); i < 31; i++ {
+				c.SetR(i, 0xDEAD_0000+uint64(i))
+			}
+			c.SetSys(arm64.TTBR0EL1, 0xBAD0)
+			c.SetSys(arm64.TPIDREL0, 0xBAD1)
+			c.SetSys(arm64.SPEL0, 0xBAD2)
+			c.SetSys(k.spsrReg(), 0)
+
+			if err := k.sigReturn(th); err != nil {
+				t.Fatal(err)
+			}
+			if c.X != wantX {
+				t.Errorf("GPRs not restored: got %v", c.X)
+			}
+			if got := c.Sys(arm64.TTBR0EL1); got != tc.ttbr0 {
+				t.Errorf("TTBR0 = %#x after sigreturn, want %#x", got, tc.ttbr0)
+			}
+			if got := c.Sys(arm64.TPIDREL0); got != tc.tpidr {
+				t.Errorf("TPIDR = %#x, want %#x", got, tc.tpidr)
+			}
+			if got := c.Sys(arm64.SPEL0); got != tc.spel0 {
+				t.Errorf("SP_EL0 = %#x, want %#x", got, tc.spel0)
+			}
+			if got := c.Sys(k.elrReg()); got != interruptedPC {
+				t.Errorf("ELR = %#x, want interrupted PC %#x", got, interruptedPC)
+			}
+			if got := c.Sys(k.spsrReg()); got != pstate {
+				t.Errorf("SPSR = %#x, want %#x (PAN bit must survive)", got, pstate)
+			}
+			if th.inHandler != 0 || len(th.sigFrames) != 0 {
+				t.Errorf("inHandler=%d frames=%d after sigreturn, want 0/0", th.inHandler, len(th.sigFrames))
+			}
+		})
+	}
+}
+
+// TestSignalNestingAndUnderflow delivers a second signal while the first
+// handler runs: frames must pop LIFO, and a sigreturn with no frame is an
+// error rather than a corrupt restore.
+func TestSignalNestingAndUnderflow(t *testing.T) {
+	k, th := newSignalKernel(t, arm64.EL2)
+	c := k.CPU
+	const h1, h2 = uint64(TextBase) + 0x100, uint64(TextBase) + 0x200
+	th.Proc.SigHandlers[SIGUSR1] = h1
+	th.Proc.SigHandlers[SIGILL] = h2
+
+	const pc0 = uint64(TextBase) + 0x10
+	c.SetSys(k.elrReg(), pc0)
+
+	if !k.DeliverSignal(th, SIGUSR1) {
+		t.Fatal("first delivery failed")
+	}
+	if !k.DeliverSignal(th, SIGILL) {
+		t.Fatal("nested delivery failed")
+	}
+	if th.inHandler != 2 || len(th.sigFrames) != 2 {
+		t.Fatalf("inHandler=%d frames=%d, want 2/2", th.inHandler, len(th.sigFrames))
+	}
+	if got := c.Sys(k.elrReg()); got != h2 {
+		t.Errorf("ELR = %#x, want nested handler %#x", got, h2)
+	}
+
+	if err := k.sigReturn(th); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Sys(k.elrReg()); got != h1 {
+		t.Errorf("ELR = %#x after inner sigreturn, want outer handler %#x", got, h1)
+	}
+	if got := c.R(0); got != SIGUSR1 {
+		t.Errorf("x0 = %d after inner sigreturn, want outer signal %d", got, SIGUSR1)
+	}
+	if err := k.sigReturn(th); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Sys(k.elrReg()); got != pc0 {
+		t.Errorf("ELR = %#x after outer sigreturn, want %#x", got, pc0)
+	}
+	if err := k.sigReturn(th); !errors.Is(err, errNoSignalFrame) {
+		t.Errorf("underflow sigreturn = %v, want errNoSignalFrame", err)
+	}
+}
+
+// TestPendingSignalDisposition covers the queue-drain policy: fatal signals
+// without a handler kill the process, non-fatal ones are dropped, and a
+// registered handler always wins.
+func TestPendingSignalDisposition(t *testing.T) {
+	const handler = uint64(TextBase) + 0x300
+	cases := []struct {
+		name       string
+		sig        int
+		handled    bool
+		wantKilled bool
+		wantFrames int
+	}{
+		{"SIGUSR1 unhandled is dropped", SIGUSR1, false, false, 0},
+		{"SIGSEGV unhandled is fatal", SIGSEGV, false, true, 0},
+		{"SIGILL unhandled is fatal", SIGILL, false, true, 0},
+		{"SIGSEGV handled is delivered", SIGSEGV, true, false, 1},
+		{"SIGUSR1 handled is delivered", SIGUSR1, true, false, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			k, th := newSignalKernel(t, arm64.EL2)
+			if tc.handled {
+				th.Proc.SigHandlers[tc.sig] = handler
+			}
+			th.sigPending = append(th.sigPending, tc.sig)
+			k.CheckSignals(th)
+			if len(th.sigPending) != 0 {
+				t.Errorf("queue not drained: %v", th.sigPending)
+			}
+			if th.Proc.Killed != tc.wantKilled {
+				t.Errorf("killed = %v (%q), want %v", th.Proc.Killed, th.Proc.KillMsg, tc.wantKilled)
+			}
+			if len(th.sigFrames) != tc.wantFrames {
+				t.Errorf("frames = %d, want %d", len(th.sigFrames), tc.wantFrames)
+			}
+			if tc.wantFrames > 0 && k.CPU.Sys(k.elrReg()) != handler {
+				t.Errorf("ELR = %#x, want handler %#x", k.CPU.Sys(k.elrReg()), handler)
+			}
+		})
+	}
+}
+
+// sigactionProgram registers "handler" for sig via rt_sigaction.
+func sigactionProgram(a *arm64.Asm, sig uint64) {
+	a.MovImm(0, sig)
+	a.ADR(1, "handler")
+	a.MovImm(8, SysSigaction)
+	a.Emit(arm64.SVC(0))
+}
+
+// TestKillDeliversSignalEndToEnd runs the full user-level round trip:
+// rt_sigaction, kill(self), handler entry with x0 = signo, rt_sigreturn
+// back to the interrupted flow. The handler communicates through memory
+// because sigreturn restores every GPR of the interrupted context.
+func TestKillDeliversSignalEndToEnd(t *testing.T) {
+	k := newTestKernel(t)
+	a := arm64.NewAsm()
+	sigactionProgram(a, SIGUSR1)
+	svc(a, SysGetpid) // x0 = own pid, the first kill argument
+	a.MovImm(1, SIGUSR1)
+	a.MovImm(8, SysKill)
+	a.Emit(arm64.SVC(0))
+	// The handler ran on the way out of the kill syscall; fetch what it
+	// stored and exit with it.
+	a.MovImm(9, uint64(DataBase))
+	a.Emit(arm64.LDRImm(0, 9, 0, 3))
+	a.MovImm(8, SysExit)
+	a.Emit(arm64.SVC(0))
+	a.Label("handler")
+	a.MovImm(9, uint64(DataBase))
+	a.Emit(arm64.STRImm(0, 9, 0, 3)) // record the signal number
+	a.MovImm(8, SysSigreturn)
+	a.Emit(arm64.SVC(0))
+
+	p := buildAndRun(t, k, a)
+	if p.Killed {
+		t.Fatalf("killed: %s", p.KillMsg)
+	}
+	if p.ExitCode != SIGUSR1 {
+		t.Errorf("exit code = %d, want %d (handler must have observed x0=signo)", p.ExitCode, SIGUSR1)
+	}
+	if th := p.MainThread(); th.inHandler != 0 || len(th.sigFrames) != 0 {
+		t.Errorf("inHandler=%d frames=%d after exit, want 0/0", th.inHandler, len(th.sigFrames))
+	}
+}
+
+// TestSegvHandlerReceivesFaultAddress faults on an unmapped address with a
+// SIGSEGV handler installed: the handler must run with x1 = faulting VA
+// instead of the process being killed.
+func TestSegvHandlerReceivesFaultAddress(t *testing.T) {
+	const badVA = uint64(0x5000_0000)
+	k := newTestKernel(t)
+	a := arm64.NewAsm()
+	sigactionProgram(a, SIGSEGV)
+	a.MovImm(1, badVA)
+	a.Emit(arm64.LDRImm(0, 1, 0, 3)) // faults: no VMA there
+	// Not reached: the handler exits directly (sigreturn would re-fault).
+	a.MovImm(8, SysExit)
+	a.Emit(arm64.SVC(0))
+	a.Label("handler")
+	a.MovImm(9, uint64(DataBase))
+	a.Emit(arm64.STRImm(1, 9, 0, 3)) // record the fault address
+	svc(a, SysExit, 42)
+
+	p := buildAndRun(t, k, a)
+	if p.Killed {
+		t.Fatalf("killed despite SIGSEGV handler: %s", p.KillMsg)
+	}
+	if p.ExitCode != 42 {
+		t.Errorf("exit code = %d, want 42 (exit from inside the handler)", p.ExitCode)
+	}
+	var rec [8]byte
+	if err := p.AS.ReadVA(DataBase, rec[:]); err != nil {
+		t.Fatal(err)
+	}
+	var got uint64
+	for i, b := range rec {
+		got |= uint64(b) << (8 * i)
+	}
+	if got != badVA {
+		t.Errorf("handler saw fault VA %#x, want %#x", got, badVA)
+	}
+}
+
+// TestSigreturnWithoutFrameIsEINVAL: a stray rt_sigreturn must fail with
+// EINVAL, not corrupt the thread.
+func TestSigreturnWithoutFrameIsEINVAL(t *testing.T) {
+	k := newTestKernel(t)
+	a := arm64.NewAsm()
+	svc(a, SysSigreturn)
+	a.Emit(arm64.MOVReg(19, 0)) // save return value
+	svc(a, SysExit, 0)
+	p := buildAndRun(t, k, a)
+	if p.Killed {
+		t.Fatalf("killed: %s", p.KillMsg)
+	}
+	if got := int64(k.CPU.R(19)); got != -EINVAL {
+		t.Errorf("stray sigreturn returned %d, want %d", got, -EINVAL)
+	}
+}

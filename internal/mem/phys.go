@@ -134,6 +134,25 @@ func (m *PhysMem) frame(pa PA) (*[PageSize]byte, error) {
 	return f, nil
 }
 
+// VisitFrames calls fn for every materialized frame in ascending physical
+// order. Observation only: unlike Read, it never materializes frames, so a
+// full-memory digest taken between benchmark steps leaves the machine
+// byte-identical (an untouched frame reads as zero and stays untouched).
+// fn must not retain the frame pointer past the call.
+func (m *PhysMem) VisitFrames(fn func(pa PA, frame *[PageSize]byte)) {
+	for ci, ch := range m.chunks {
+		if ch == nil {
+			continue
+		}
+		for fi, f := range ch {
+			if f == nil {
+				continue
+			}
+			fn(PA((uint64(ci)<<frameChunkShift|uint64(fi))<<PageShift), f)
+		}
+	}
+}
+
 // Read copies len(buf) bytes starting at pa. Accesses may cross frames.
 func (m *PhysMem) Read(pa PA, buf []byte) error {
 	for len(buf) > 0 {

@@ -1,0 +1,97 @@
+package replay
+
+import (
+	"reflect"
+	"testing"
+
+	"lightzone/internal/workload"
+)
+
+// chaosPlan builds a hand-written plan against the registered entities.
+func chaosPlan(t *testing.T, scenario, injection string, at int) Plan {
+	t.Helper()
+	scn, ok := ScenarioByName(scenario)
+	if !ok {
+		t.Fatalf("unknown scenario %q", scenario)
+	}
+	if _, ok := InjectionByName(injection); !ok {
+		t.Fatalf("unknown injection %q", injection)
+	}
+	return Plan{Scenario: scenario, Injection: injection,
+		SliceTraps: scn.SliceChoices[0], InjectAt: at, Repeat: 1}
+}
+
+// TestChaosExpectationClasses drives one representative injection per
+// expectation class end-to-end and requires each to land in its class.
+func TestChaosExpectationClasses(t *testing.T) {
+	cases := []struct {
+		name      string
+		plan      Plan
+		wantClass Expectation
+	}{
+		{"host-invisible", chaosPlan(t, "ttbr-8", "mtlb-flush", 3), ExpectIdentical},
+		{"timing-only", chaosPlan(t, "watchpoint-4", "tlb-evict-all", 9), ExpectConverge},
+		{"tamper-flagged", chaosPlan(t, "ttbr-8", "gatetab-tamper", 5), ExpectFlagged},
+		{"protection-attack", chaosPlan(t, "pan-8", "pan-set", 2), ExpectEnforced},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := RunChaosCase(tc.plan)
+			if !res.Pass {
+				t.Fatalf("case failed: %+v", res)
+			}
+			if res.Expect != string(tc.wantClass) {
+				t.Errorf("expectation class %q, want %q", res.Expect, tc.wantClass)
+			}
+			if res.Applied == 0 {
+				t.Error("injection never applied")
+			}
+			t.Logf("outcome=%s delta=%q", res.Outcome, res.Delta)
+		})
+	}
+}
+
+// TestChaosRevertedFlipsAreIdentical exercises the context-flip injections
+// whose revert must be provably exact.
+func TestChaosRevertedFlipsAreIdentical(t *testing.T) {
+	for _, inj := range []string{"pan-flip", "asid-flip", "block-cohort-evict", "fastpath-off"} {
+		res := RunChaosCase(chaosPlan(t, "ttbr-8", inj, 4))
+		if !res.Pass {
+			t.Errorf("%s: %+v", inj, res)
+		} else if res.Outcome != "identical" {
+			t.Errorf("%s: outcome %q, want identical (%s)", inj, res.Outcome, res.Delta)
+		}
+	}
+}
+
+// TestChaosGateCodeTamperFlagged covers the second tamper path: the gate
+// slot's code bytes, not its table entry.
+func TestChaosGateCodeTamperFlagged(t *testing.T) {
+	res := RunChaosCase(chaosPlan(t, "ttbr-8", "gate-code-tamper", 6))
+	if !res.Pass || res.Outcome != "flagged" {
+		t.Fatalf("%+v", res)
+	}
+}
+
+// TestChaosSweepDeterministicAcrossWidths requires a sweep's results to be
+// byte-identical at any fleet width — chaos rows are fleet cells like any
+// other measurement.
+func TestChaosSweepDeterministicAcrossWidths(t *testing.T) {
+	const n, seed = 6, 11
+	seq, err := ChaosSweep(workload.NewFleet(1), n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range seq {
+		if !r.Pass {
+			t.Errorf("case %d failed: %+v", i, r)
+		}
+	}
+	par, err := ChaosSweep(workload.NewFleet(4), n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("sweep diverged across fleet widths\nseq: %+v\npar: %+v", seq, par)
+	}
+}

@@ -1,0 +1,92 @@
+package replay
+
+import (
+	"reflect"
+	"testing"
+
+	"lightzone/internal/arm64"
+)
+
+func TestGenWordsDeterministic(t *testing.T) {
+	a, b := GenWords(123, 256), GenWords(123, 256)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different streams")
+	}
+	c := GenWords(124, 256)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical streams")
+	}
+	if got := len(GenWords(1, MaxFuzzWords+500)); got != MaxFuzzWords {
+		t.Errorf("oversized request not clamped: %d", got)
+	}
+}
+
+func TestDualRunIdentityAcrossSeeds(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		res, err := DualRun(GenWords(seed, 200))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Divergence != "" {
+			t.Errorf("seed %d diverged: %s", seed, res.Divergence)
+		}
+		if res.Fast.Insns == 0 {
+			t.Errorf("seed %d executed nothing", seed)
+		}
+	}
+}
+
+func TestDualRunEmptyStream(t *testing.T) {
+	// An empty stream is just the HVC terminator.
+	res, err := DualRun(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Divergence != "" {
+		t.Fatal(res.Divergence)
+	}
+	if res.FastExit.Syndrome.Class.String() == "" {
+		t.Error("no exit syndrome recorded")
+	}
+}
+
+func TestDualRunRejectsOversizedStream(t *testing.T) {
+	if _, err := DualRun(make([]uint32, MaxFuzzWords+1)); err == nil {
+		t.Error("oversized stream accepted")
+	}
+}
+
+func TestMinimizePreservesLengthAndDivergence(t *testing.T) {
+	// Synthetic oracle: "diverges" iff word 5 is the magic store AND word
+	// 9 is the magic load; everything else is noise the minimizer must NOP.
+	magicStore := arm64.STRImm(1, 20, 8, 3)
+	magicLoad := arm64.LDRImm(2, 20, 8, 3)
+	words := GenWords(77, 16)
+	words[5], words[9] = magicStore, magicLoad
+	oracle := func(ws []uint32) bool {
+		return ws[5] == magicStore && ws[9] == magicLoad
+	}
+	min := Minimize(words, oracle)
+	if len(min) != len(words) {
+		t.Fatalf("length changed: %d -> %d", len(words), len(min))
+	}
+	if !oracle(min) {
+		t.Fatal("minimized stream no longer diverges")
+	}
+	for i, w := range min {
+		if i != 5 && i != 9 && w != arm64.WordNOP {
+			t.Errorf("word %d not minimized to NOP: %#x", i, w)
+		}
+	}
+}
+
+func TestFuzzJournalRoundTrip(t *testing.T) {
+	words := GenWords(9, 32)
+	j := FuzzJournal(9, words, "synthetic")
+	if err := j.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Fuzz.Seed != 9 || len(j.Fuzz.Words) != 32 {
+		t.Errorf("journal does not pin the stream: %+v", j.Fuzz)
+	}
+}

@@ -1,0 +1,133 @@
+package replay
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"lightzone/internal/arm64"
+	"lightzone/internal/cpu"
+	"lightzone/internal/mem"
+)
+
+// Digest summarizes the architecturally observable outcome of a run: final
+// register file, PSTATE, every byte of touched physical memory, the
+// emulated cycle/instruction counters, the guest-visible TLB statistics,
+// and how the process ended. Host-side cache counters (decode hits,
+// micro-TLB hits) are deliberately excluded — they are observability, not
+// architecture, and legitimately move under host-invisible perturbations.
+// PSTATE is kept out of the register hash so a comparator can attribute a
+// single-bit PSTATE difference (a forced PAN flip's direct footprint) to
+// the injection that wrote it.
+type Digest struct {
+	Regs       string `json:"regs"` // sha256 over X0..X30 and PC
+	PState     uint64 `json:"pstate"`
+	Mem        string `json:"mem"` // sha256 over all touched physical frames
+	CycleTotal int64  `json:"cycles"`
+	Insns      int64  `json:"insns"`
+	Measured   int64  `json:"measured"` // marker-delimited cycles (0 if unused)
+	TLBHits    uint64 `json:"tlb_hits"`
+	TLBMiss    uint64 `json:"tlb_misses"`
+	Killed     bool   `json:"killed,omitempty"`
+	KillMsg    string `json:"kill_msg,omitempty"`
+}
+
+// CaptureDigest reads the digest off a vCPU and its physical memory.
+// Observation only: frames are visited, never materialized, and nothing is
+// charged, so digesting between run slices cannot perturb the run. The
+// caller fills Measured and Killed/KillMsg, which live outside the CPU.
+func CaptureDigest(c *cpu.VCPU, pm *mem.PhysMem) Digest {
+	var d Digest
+	h := sha256.New()
+	var b [8]byte
+	for i := 0; i < 31; i++ {
+		binary.LittleEndian.PutUint64(b[:], c.R(uint8(i)))
+		h.Write(b[:])
+	}
+	binary.LittleEndian.PutUint64(b[:], c.PC)
+	h.Write(b[:])
+	d.Regs = hex.EncodeToString(h.Sum(nil))
+	d.PState = c.PState
+
+	mh := sha256.New()
+	pm.VisitFrames(func(pa mem.PA, frame *[mem.PageSize]byte) {
+		binary.LittleEndian.PutUint64(b[:], uint64(pa))
+		mh.Write(b[:])
+		mh.Write(frame[:])
+	})
+	d.Mem = hex.EncodeToString(mh.Sum(nil))
+
+	d.CycleTotal = c.Cycles
+	d.Insns = c.Insns
+	d.TLBHits = c.Stats.TLBHits
+	d.TLBMiss = c.Stats.TLBMisses
+	return d
+}
+
+// StateEqual reports whether two digests agree on architectural state:
+// registers, PSTATE, memory, and how the process ended. Cycle totals,
+// the measured interval and TLB statistics are excluded — this is the
+// convergence criterion for perturbations that are architecturally visible
+// only as timing (forced TLB eviction, spurious TLBI).
+func (d Digest) StateEqual(o Digest) bool {
+	return d.Regs == o.Regs && d.PState == o.PState && d.Mem == o.Mem &&
+		d.Killed == o.Killed && d.KillMsg == o.KillMsg
+}
+
+// Equal reports bit-identity: state plus cycle accounting, the measured
+// interval and TLB statistics — the criterion for host-invisible
+// perturbations (micro-TLB flush, block-cache eviction, decode-cache off).
+func (d Digest) Equal(o Digest) bool {
+	return d.StateEqual(o) && d.CycleTotal == o.CycleTotal && d.Insns == o.Insns &&
+		d.Measured == o.Measured && d.TLBHits == o.TLBHits && d.TLBMiss == o.TLBMiss
+}
+
+// PANFootprintOnly reports whether o differs from d exactly by the
+// PSTATE.PAN bit — the direct, attributable footprint of a forced PAN set
+// that the guest never rewrote. Everything else must match StateEqual.
+func (d Digest) PANFootprintOnly(o Digest) bool {
+	return d.Regs == o.Regs && d.Mem == o.Mem &&
+		d.Killed == o.Killed && d.KillMsg == o.KillMsg &&
+		d.PState != o.PState && d.PState^o.PState == arm64.PStatePAN
+}
+
+// Delta describes how o differs from the baseline d, for reports.
+func (d Digest) Delta(o Digest) string {
+	switch {
+	case d.Equal(o):
+		return "identical"
+	case d.StateEqual(o):
+		return fmt.Sprintf("state converged; cycles %+d, measured %+d, tlb hits %+d misses %+d",
+			o.CycleTotal-d.CycleTotal, o.Measured-d.Measured,
+			int64(o.TLBHits)-int64(d.TLBHits), int64(o.TLBMiss)-int64(d.TLBMiss))
+	case d.PANFootprintOnly(o):
+		return "state converged up to the injected PSTATE.PAN bit"
+	default:
+		var why []string
+		if d.Regs != o.Regs {
+			why = append(why, "registers")
+		}
+		if d.PState != o.PState {
+			why = append(why, fmt.Sprintf("pstate %#x vs %#x", d.PState, o.PState))
+		}
+		if d.Mem != o.Mem {
+			why = append(why, "memory")
+		}
+		if d.Killed != o.Killed || d.KillMsg != o.KillMsg {
+			why = append(why, fmt.Sprintf("exit (killed=%v %q vs killed=%v %q)", d.Killed, d.KillMsg, o.Killed, o.KillMsg))
+		}
+		return "DIVERGED: " + join(why)
+	}
+}
+
+func join(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ", "
+		}
+		out += p
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package replay
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Source is the boundary through which a run obtains its nondeterministic
+// inputs — RNG seeds, iteration budgets, width hints. In recording mode
+// every draw evaluates its generator and logs the value under its key; in
+// replaying mode the logged value is returned instead and the generator is
+// never consulted, so the replayed run sees exactly the recorded inputs.
+// Draws are keyed, not ordered: fleet cells draw concurrently and in
+// scheduling-dependent order, so the journal stores a sorted key/value set
+// and replay is insensitive to which worker asks first. Drawing the same
+// key twice must yield the same value (it does by construction: the first
+// draw pins it).
+type Source struct {
+	mu        sync.Mutex
+	replaying bool
+	vals      map[string]int64
+	missing   []string // replay draws with no recorded value (reported by Err)
+}
+
+// NewRecording returns a Source that evaluates and logs every draw.
+func NewRecording() *Source {
+	return &Source{vals: make(map[string]int64)}
+}
+
+// NewReplaying returns a Source that serves draws from recorded inputs.
+func NewReplaying(inputs []Input) *Source {
+	s := &Source{replaying: true, vals: make(map[string]int64, len(inputs))}
+	for _, in := range inputs {
+		s.vals[in.Key] = in.Value
+	}
+	return s
+}
+
+// Replaying reports whether draws come from a journal.
+func (s *Source) Replaying() bool { return s != nil && s.replaying }
+
+// Int64 draws the value for key. In recording mode gen supplies it (first
+// draw wins; repeats return the pinned value). In replaying mode the
+// recorded value is returned; a key the journal never recorded falls back
+// to gen but is remembered as missing, surfaced by Err.
+func (s *Source) Int64(key string, gen func() int64) int64 {
+	if s == nil {
+		return gen()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok := s.vals[key]; ok {
+		return v
+	}
+	v := gen()
+	if s.replaying {
+		s.missing = append(s.missing, key)
+	}
+	s.vals[key] = v
+	return v
+}
+
+// Fixed is a convenience generator for Int64.
+func Fixed(v int64) func() int64 { return func() int64 { return v } }
+
+// Err reports replay draws that had no recorded value. A non-nil error
+// means the replayed binary asked for inputs the recording never consumed —
+// the journal and the code have diverged.
+func (s *Source) Err() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.missing) == 0 {
+		return nil
+	}
+	return fmt.Errorf("replay drew %d inputs absent from the journal: %v", len(s.missing), s.missing)
+}
+
+// Inputs returns every pinned draw sorted by key, ready for a journal.
+func (s *Source) Inputs() []Input {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Input, 0, len(s.vals))
+	for k, v := range s.vals {
+		out = append(out, Input{Key: k, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

@@ -6,6 +6,7 @@ package trace
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -56,12 +57,17 @@ func (k Kind) String() string {
 	}
 }
 
-// Event is one recorded occurrence.
+// Event is one recorded occurrence. Machine and Seq exist so that merged
+// timelines have a total order that depends only on what was recorded,
+// never on worker scheduling: Seq is the event's record index within its
+// recorder, Machine the recorder's index in the Merge call.
 type Event struct {
-	Cycle int64
-	Kind  Kind
-	PID   int
-	Note  string
+	Cycle   int64
+	Kind    Kind
+	PID     int
+	Note    string
+	Machine int
+	Seq     uint64
 }
 
 func (e Event) String() string {
@@ -75,6 +81,7 @@ type Recorder struct {
 	events []Event
 	next   int
 	full   bool
+	seq    uint64 // monotone record index, survives ring eviction
 
 	// Counts aggregates per kind regardless of ring eviction.
 	Counts map[Kind]int64
@@ -97,7 +104,8 @@ func (r *Recorder) Record(cycle int64, kind Kind, pid int, format string, args .
 		return
 	}
 	r.Counts[kind]++
-	r.events[r.next] = Event{Cycle: cycle, Kind: kind, PID: pid, Note: fmt.Sprintf(format, args...)}
+	r.events[r.next] = Event{Cycle: cycle, Kind: kind, PID: pid, Note: fmt.Sprintf(format, args...), Seq: r.seq}
+	r.seq++
 	r.next++
 	if r.next == len(r.events) {
 		r.next = 0
@@ -142,20 +150,24 @@ func (r *Recorder) Dump() string {
 	return b.String()
 }
 
-// Merge combines per-machine recorders into one timeline. Events are
-// concatenated in argument order — cycle counters of distinct machines are
-// unrelated, so ordering by (source index, arrival order) is the only
-// deterministic merge; a fleet passing its per-cell recorders in cell-index
-// order therefore gets identical output regardless of worker scheduling.
-// Counts are summed (they survive ring eviction in the sources). Nil
-// recorders are skipped, so optional sinks merge without special-casing.
+// Merge combines per-machine recorders into one timeline, totally ordered
+// by (cycle, machine index, seq). The machine index is the recorder's
+// position in the argument list and seq its per-recorder record index, so
+// the merged order is a pure function of the recorded content: a fleet
+// passing its per-cell recorders in cell-index order gets byte-identical
+// output regardless of worker scheduling or chaos perturbation, and two
+// journals built from merged timelines diff meaningfully line by line.
+// Cycle counters of distinct machines are unrelated clocks — the cycle-major
+// order is an interleaving convention, not causality. Counts are summed
+// (they survive ring eviction in the sources). Nil recorders are skipped,
+// so optional sinks merge without special-casing.
 func Merge(recs ...*Recorder) *Recorder {
 	total := 0
 	for _, r := range recs {
 		total += r.Len()
 	}
 	out := NewRecorder(max(total, 1))
-	for _, r := range recs {
+	for i, r := range recs {
 		if r == nil {
 			continue
 		}
@@ -163,10 +175,22 @@ func Merge(recs ...*Recorder) *Recorder {
 			out.Counts[k] += n
 		}
 		for _, e := range r.Events() {
+			e.Machine = i
 			out.events[out.next] = e
 			out.next++
 		}
 	}
+	sort.SliceStable(out.events[:out.next], func(i, j int) bool {
+		a, b := out.events[i], out.events[j]
+		if a.Cycle != b.Cycle {
+			return a.Cycle < b.Cycle
+		}
+		if a.Machine != b.Machine {
+			return a.Machine < b.Machine
+		}
+		return a.Seq < b.Seq
+	})
+	out.seq = uint64(out.next) // further Records keep seq monotone
 	if out.next == len(out.events) {
 		out.next, out.full = 0, true
 	}

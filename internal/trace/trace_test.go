@@ -62,28 +62,65 @@ func TestDumpAndSummary(t *testing.T) {
 	}
 }
 
-func TestMergeDeterministicConcatenation(t *testing.T) {
+func TestMergeSortsByCycleMachineSeq(t *testing.T) {
 	a := NewRecorder(4)
 	a.Record(500, KindTrap, 1, "a0")
 	a.Record(900, KindSyscall, 1, "a1")
 	b := NewRecorder(4)
-	b.Record(10, KindTrap, 2, "b0") // lower cycle, but machine b comes second
+	b.Record(10, KindTrap, 2, "b0")  // lowest cycle: sorts first despite arg order
+	b.Record(500, KindTrap, 2, "b1") // ties a0 on cycle: machine index breaks the tie
 	m := Merge(a, nil, b)
 	evs := m.Events()
-	if len(evs) != 3 || m.Len() != 3 {
+	if len(evs) != 4 || m.Len() != 4 {
 		t.Fatalf("merged len = %d/%d", len(evs), m.Len())
 	}
-	// Argument order wins: a's events precede b's regardless of cycles.
-	if evs[0].Note != "a0" || evs[1].Note != "a1" || evs[2].Note != "b0" {
-		t.Errorf("merge order: %+v", evs)
+	want := []string{"b0", "a0", "b1", "a1"}
+	for i, w := range want {
+		if evs[i].Note != w {
+			t.Fatalf("merge order: got %+v, want notes %v", evs, want)
+		}
 	}
-	if m.Counts[KindTrap] != 2 || m.Counts[KindSyscall] != 1 {
+	if evs[0].Machine != 2 || evs[1].Machine != 0 {
+		t.Errorf("machine tags: %+v", evs)
+	}
+	if m.Counts[KindTrap] != 3 || m.Counts[KindSyscall] != 1 {
 		t.Errorf("merged counts = %v", m.Counts)
 	}
 	// The merged recorder must remain a valid ring (exactly full here).
 	m.Record(1000, KindEnter, 3, "post-merge")
 	if m.Counts[KindEnter] != 1 {
 		t.Errorf("post-merge record lost: %v", m.Counts)
+	}
+}
+
+// TestMergeStableUnderSchedulingAndChaos is the -chaos/-parallel ordering
+// regression: the merged timeline must be a pure function of the recorded
+// content. Two fleets recording the same per-machine events — but with the
+// machines' recorders populated in different wall-clock interleavings, and
+// with cycle ties across machines — must merge to byte-identical dumps.
+func TestMergeStableUnderSchedulingAndChaos(t *testing.T) {
+	build := func(interleave bool) string {
+		a, b := NewRecorder(8), NewRecorder(8)
+		rec := func(r *Recorder, cyc int64, note string) {
+			r.Record(cyc, KindDomainSwitch, 1, "%s", note)
+		}
+		if interleave {
+			// Worker scheduling B first, then ping-pong.
+			rec(b, 100, "b0")
+			rec(a, 100, "a0")
+			rec(b, 100, "b1")
+			rec(a, 200, "a1")
+		} else {
+			// Sequential: all of A, then all of B.
+			rec(a, 100, "a0")
+			rec(a, 200, "a1")
+			rec(b, 100, "b0")
+			rec(b, 100, "b1")
+		}
+		return Merge(a, b).Dump()
+	}
+	if seq, par := build(false), build(true); seq != par {
+		t.Errorf("merge depends on recording interleaving:\nseq:\n%spar:\n%s", seq, par)
 	}
 }
 

@@ -83,6 +83,25 @@ func domainSwitchBudget(cfg DomainSwitchConfig) int64 {
 	return int64(cfg.Iters)*4 + 100_000
 }
 
+// DomainSwitchBudget exposes the run's trap budget for callers that drive
+// the process in slices (the record/replay chaos engine).
+func DomainSwitchBudget(cfg DomainSwitchConfig) int64 { return domainSwitchBudget(cfg) }
+
+// DomainVA returns the virtual address of domain d's page, for callers that
+// perturb specific domain translations (the chaos engine's targeted TLBI).
+func DomainVA(d int) mem.VA {
+	return mem.VA(domainRegionBase + uint64(d)*domainRegionStride)
+}
+
+// PrepareDomainSwitch boots an environment and assembles the benchmark
+// process without running it, so external drivers (the chaos engine in
+// internal/replay) can run the process in trap-budget slices — Env.Run
+// returns kernel.ErrTrapBudget at each slice boundary, a clean
+// architectural point for fault injection — instead of to completion.
+func PrepareDomainSwitch(cfg DomainSwitchConfig) (*Env, *kernel.Process, error) {
+	return prepareDomainSwitch(cfg, nil)
+}
+
 // prepareDomainSwitch boots the environment (unless one is supplied) and
 // assembles the benchmark process without running it. Callers other than
 // runDomainSwitch drive the process in trap-budget slices (Env.Run returns
