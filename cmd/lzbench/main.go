@@ -15,6 +15,7 @@
 //	lzbench -all                # everything
 //	lzbench -all -json          # machine-readable: one JSON object per line
 //	lzbench -all -parallel 8    # shard measurement cells over 8 workers
+//	lzbench -backend all        # isolation-backend comparison matrix
 //	lzbench -invariants         # static invariant verifier on the clean machines
 //	lzbench -pentest -invariants # + planted-attack battery, caught statically
 //	lzbench -all -record r.json # record the run into a replay journal
@@ -56,6 +57,7 @@ func main() {
 		csvDir   = flag.String("csv", "", "also write figure series as CSV files into this directory")
 		jsonMode = flag.Bool("json", false, "emit one JSON object per table row / figure point instead of tables")
 		invar    = flag.Bool("invariants", false, "run the static invariant verifier at every mutation chokepoint of the clean machines, plus the planted-attack battery with -pentest; off by default, and the default output is unchanged when off")
+		backend  = flag.String("backend", "", "measure the isolation-backend comparison matrix for this backend (or \"all\"): domain-switch, per-page lz_mprotect and lz-syscall cycles under lightzone, overlay and granule; off by default and not part of -all")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for the measurement sweeps (1 = fully sequential)")
 		noFast   = flag.Bool("nofastpath", false, "disable the host-side fastpaths (micro-TLBs, block-resident run loop, batched charging); emitted rows must stay byte-identical")
 		noDecode = flag.Bool("nodecode", false, "disable the decoded-block cache (the seed fetch/decode pipeline); emitted rows must stay byte-identical")
@@ -73,6 +75,7 @@ func main() {
 	csvOut = *csvDir
 	jsonOut = *jsonMode
 	invariants = *invar
+	backendSel = *backend
 	hostPerfOn = *hostPerf
 	benchOutPath = *benchOut
 	if *noFast {
@@ -171,6 +174,7 @@ func runRecord(path string, spec runSpec, parallel int, noFast, noDecode bool) e
 			NoFastpath: noFast,
 			NoDecode:   noDecode,
 			Invariants: invariants,
+			Backend:    backendSel,
 		},
 		Inputs: source.Inputs(),
 		Rows:   capture,
@@ -196,6 +200,9 @@ func runReplay(path string) error {
 	}
 	jsonOut = true
 	invariants = j.Config.Invariants
+	// The backend selector is part of the recorded boundary: a journal whose
+	// suites include the comparison matrix replays it at the same scope.
+	backendSel = j.Config.Backend
 	if j.Config.NoFastpath {
 		cpu.SetHostFastpathDefault(false)
 	}
@@ -329,6 +336,9 @@ func suitesFromFlags(table, figure int, pentest, ablation, all bool) []string {
 	if invariants {
 		s = append(s, "invariants")
 	}
+	if backendSel != "" {
+		s = append(s, "backends")
+	}
 	return s
 }
 
@@ -367,6 +377,11 @@ func run(spec runSpec) error {
 			fn = printAblations
 		case "invariants":
 			fn = printVerify
+		case "backends":
+			// The comparison matrix shares table 5's iteration budget; the
+			// journal pins it the same way.
+			iters := int(source.Int64("backends/iters", replay.Fixed(int64(spec.iters))))
+			fn = func() error { return printBackends(iters) }
 		default:
 			return fmt.Errorf("unknown suite %q", name)
 		}
@@ -455,15 +470,17 @@ func writeBenchOut(path string) error {
 	total.TLBHitRate = rate(agg.TLBHits, agg.TLBMisses)
 	total.DecodeHitRate = rate(agg.CodeHits, agg.CodeMisses)
 	out := struct {
-		Fastpaths   bool        `json:"fastpaths"`
-		DecodeCache bool        `json:"decode_cache"`
-		Suites      []suitePerf `json:"suites"`
-		Total       suitePerf   `json:"total"`
+		Fastpaths   bool                     `json:"fastpaths"`
+		DecodeCache bool                     `json:"decode_cache"`
+		Suites      []suitePerf              `json:"suites"`
+		Total       suitePerf                `json:"total"`
+		Backends    []workload.BackendMatrix `json:"backends,omitempty"`
 	}{
 		Fastpaths:   cpu.HostFastpathDefault(),
 		DecodeCache: cpu.DecodeCacheDefault(),
 		Suites:      suitePerfs,
 		Total:       total,
+		Backends:    backendMatrices,
 	}
 	b, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
@@ -792,6 +809,77 @@ func printVerify() error {
 		for _, r := range results {
 			fmt.Printf("    %-10s %3d invariant runs, %d findings\n", r.Name, r.InvariantRuns, r.Findings)
 		}
+	}
+	if !jsonOut {
+		fmt.Println()
+	}
+	return nil
+}
+
+// backendSel selects the isolation-backend comparison matrix: a backend
+// name restricts the matrix to that backend, "all" measures every
+// registered backend side by side. Empty (the default) skips the suite.
+var backendSel string
+
+// backendMatrices collects the measured matrices for -benchout.
+var backendMatrices []workload.BackendMatrix
+
+// printBackends measures the cross-backend comparison matrix on the Table 5
+// platforms: domain-switch cycles at every Table 5 domain count, the
+// per-page lz_mprotect cost, and the lz-syscall roundtrip, per backend.
+func printBackends(iters int) error {
+	backends, err := workload.ResolveBackends(backendSel)
+	if err != nil {
+		return err
+	}
+	if !jsonOut {
+		fmt.Printf("Backend comparison: cycles per operation (%d switch iterations)\n", iters)
+	}
+	for _, row := range workload.Table5Platforms() {
+		m, err := fleet.BackendSweep(row.Plat, backends, iters)
+		if err != nil {
+			return err
+		}
+		backendMatrices = append(backendMatrices, m)
+		if jsonOut {
+			for _, c := range m.Cells {
+				obj := map[string]any{
+					"kind": "backend", "platform": m.Machine,
+					"backend": c.Backend, "metric": c.Metric, "cycles": c.Cycles,
+				}
+				if c.Domains > 0 {
+					obj["domains"] = c.Domains
+				}
+				if err := emitJSON(obj); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		fmt.Printf("  %s:\n", m.Machine)
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprint(w, "    backend")
+		for _, d := range workload.Table5Domains {
+			fmt.Fprintf(w, "\tswitch d=%d", d)
+		}
+		fmt.Fprintln(w, "\tmprotect/page\tsyscall")
+		for _, b := range backends {
+			fmt.Fprintf(w, "    %s", b)
+			for _, c := range m.Cells {
+				if c.Backend == b && c.Metric == "switch" {
+					fmt.Fprintf(w, "\t%.1f", c.Cycles)
+				}
+			}
+			for _, metric := range []string{"mprotect-page", "syscall"} {
+				for _, c := range m.Cells {
+					if c.Backend == b && c.Metric == metric {
+						fmt.Fprintf(w, "\t%.1f", c.Cycles)
+					}
+				}
+			}
+			fmt.Fprintln(w)
+		}
+		w.Flush()
 	}
 	if !jsonOut {
 		fmt.Println()

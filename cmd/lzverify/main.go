@@ -13,6 +13,7 @@
 //
 //	lzverify                    # verify the clean machines (exit 0 = clean)
 //	lzverify -planted           # verify the planted attacks are all caught
+//	lzverify -planted -backend all # re-plant the battery under every backend
 //	lzverify -json              # one JSON object per verification cell
 //	lzverify -platform Carmel   # restrict to platforms matching a substring
 package main
@@ -33,10 +34,11 @@ func main() {
 		planted  = flag.Bool("planted", false, "run the planted-attack battery instead of the clean sweep")
 		jsonMode = flag.Bool("json", false, "emit one JSON object per verification cell")
 		platform = flag.String("platform", "", "restrict to platforms whose name contains this substring")
+		backend  = flag.String("backend", "lightzone", "with -planted: isolation backend to re-plant the battery under (or \"all\")")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for the verification cells")
 	)
 	flag.Parse()
-	if err := run(*planted, *jsonMode, *platform, *parallel); err != nil {
+	if err := run(*planted, *jsonMode, *platform, *backend, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "lzverify:", err)
 		os.Exit(1)
 	}
@@ -55,16 +57,25 @@ func platforms(filter string) ([]workload.Platform, error) {
 	return out, nil
 }
 
-func run(planted, jsonMode bool, platform string, parallel int) error {
+func run(planted, jsonMode bool, platform, backend string, parallel int) error {
 	plats, err := platforms(platform)
 	if err != nil {
 		return err
 	}
+	backends, err := workload.ResolveBackends(backend)
+	if err != nil {
+		return err
+	}
+	if !planted && backend != "lightzone" {
+		return fmt.Errorf("-backend selects the battery substrate and needs -planted (the clean sweep is the lightzone substrate)")
+	}
 	fleet := workload.NewFleet(parallel)
 	for _, plat := range plats {
 		if planted {
-			if err := runPlanted(fleet, plat, jsonMode); err != nil {
-				return err
+			for _, b := range backends {
+				if err := runPlanted(fleet, plat, b, jsonMode); err != nil {
+					return err
+				}
 			}
 			continue
 		}
@@ -101,22 +112,25 @@ func runClean(fleet *workload.Fleet, plat workload.Platform, jsonMode bool) erro
 	return nil
 }
 
-// runPlanted verifies the attack battery; PlantedSweep returns an error —
-// and lzverify exits non-zero — when any planted violation goes undetected
-// or an unreachable control word is falsely flagged.
-func runPlanted(fleet *workload.Fleet, plat workload.Platform, jsonMode bool) error {
-	results, err := fleet.PlantedSweep(plat)
+// runPlanted verifies the attack battery under one backend's substrate;
+// PlantedSweepBackend returns an error — and lzverify exits non-zero — when
+// any planted violation goes undetected or an unreachable control word is
+// falsely flagged. Attacks that have no meaning on a substrate (gate
+// tampering where no gates exist) are replaced by that backend's own
+// battery: overlay-key retagging, granule-state forgery, and so on.
+func runPlanted(fleet *workload.Fleet, plat workload.Platform, backend string, jsonMode bool) error {
+	results, err := fleet.PlantedSweepBackend(plat, backend)
 	if err != nil {
-		return err
+		return fmt.Errorf("backend %s: %w", backend, err)
 	}
 	if !jsonMode {
-		fmt.Printf("%s:\n", plat)
+		fmt.Printf("%s [%s]:\n", plat, backend)
 	}
 	for _, r := range results {
 		if jsonMode {
 			if err := emitJSON(map[string]any{
-				"kind": "planted", "platform": plat.String(), "attack": r.Name,
-				"checker": r.Checker, "va": fmt.Sprintf("%#x", r.VA),
+				"kind": "planted", "platform": plat.String(), "backend": backend,
+				"attack": r.Name, "checker": r.Checker, "va": fmt.Sprintf("%#x", r.VA),
 				"caught": r.Caught, "detail": r.Detail,
 			}); err != nil {
 				return err

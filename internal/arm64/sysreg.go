@@ -35,6 +35,10 @@ const (
 	TPIDRROEL0
 	TPIDREL1
 	MDSCREL1
+	// POREL1 is the EL1 permission-overlay register (FEAT_S1POE's
+	// POR_EL1): the active overlay key of the running context. The overlay
+	// backend writes it on domain entry instead of switching TTBR0.
+	POREL1
 
 	// EL0-accessible status registers (op1==3): always legal for processes.
 	NZCV
@@ -125,6 +129,9 @@ var sysRegTable = [sysRegCount]sysRegInfo{
 	TPIDRROEL0:    {"TPIDRRO_EL0", SysRegEnc{3, 3, 13, 0, 3}, EL0, true},
 	TPIDREL1:      {"TPIDR_EL1", SysRegEnc{3, 0, 13, 0, 4}, EL1, false},
 	MDSCREL1:      {"MDSCR_EL1", SysRegEnc{2, 0, 0, 2, 2}, EL1, false},
+	// Deliberately not in Stage1Regs: overlay-key switches must stay
+	// untrapped — that untrapped MSR is the backend's whole cost claim.
+	POREL1: {"POR_EL1", SysRegEnc{3, 0, 10, 2, 4}, EL1, false},
 
 	NZCV:      {"NZCV", SysRegEnc{3, 3, 4, 2, 0}, EL0, false},
 	FPCR:      {"FPCR", SysRegEnc{3, 3, 4, 4, 0}, EL0, false},

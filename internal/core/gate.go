@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"lightzone/internal/arm64"
 	"lightzone/internal/mem"
@@ -246,6 +247,30 @@ func GateCodeBase() uint64 { return uint64(gateCodeVA) }
 
 // GateSlotLen is the byte size of one call-gate slot.
 const GateSlotLen = gateSlotLen
+
+// Gates returns the registered call gates in id order (observation-only;
+// lives here because gate state is confined to this file).
+func (lp *LZProc) Gates() []GateInfo {
+	out := make([]GateInfo, 0, len(lp.gateEntries))
+	for id, entry := range lp.gateEntries {
+		out = append(out, GateInfo{ID: id, Entry: entry, PGTID: lp.gatePgt[id]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// GateTabPA returns the physical base of the first GateTab page.
+func (lp *LZProc) GateTabPA() mem.PA { return lp.gateTabPA }
+
+// GateCodePA returns the physical base of the first gate code page.
+func (lp *LZProc) GateCodePA() mem.PA { return lp.gateCode }
+
+// TTBRTabPages returns the physical frames backing TTBRTab, in page order.
+func (lp *LZProc) TTBRTabPages() []mem.PA {
+	out := make([]mem.PA, len(lp.ttbrTabPA))
+	copy(out, lp.ttbrTabPA)
+	return out
+}
 
 // GateListing disassembles the generated call gate for a gate id — the
 // security-critical code sequence of §6.2, for inspection and debugging.

@@ -72,29 +72,6 @@ type GateInfo struct {
 	PGTID int    // page table the gate switches to
 }
 
-// Gates returns the registered call gates in id order.
-func (lp *LZProc) Gates() []GateInfo {
-	out := make([]GateInfo, 0, len(lp.gateEntries))
-	for id, entry := range lp.gateEntries {
-		out = append(out, GateInfo{ID: id, Entry: entry, PGTID: lp.gatePgt[id]})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
-}
-
-// GateTabPA returns the physical base of the first GateTab page.
-func (lp *LZProc) GateTabPA() mem.PA { return lp.gateTabPA }
-
-// GateCodePA returns the physical base of the first gate code page.
-func (lp *LZProc) GateCodePA() mem.PA { return lp.gateCode }
-
-// TTBRTabPages returns the physical frames backing TTBRTab, in page order.
-func (lp *LZProc) TTBRTabPages() []mem.PA {
-	out := make([]mem.PA, len(lp.ttbrTabPA))
-	copy(out, lp.ttbrTabPA)
-	return out
-}
-
 // ExecCleanPages returns the page bases currently in the sanitized-
 // executable state, ascending. These are exactly the pages the runtime
 // proved free of Table 3 instructions; the verifier re-proves the claim.

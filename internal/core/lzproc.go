@@ -82,6 +82,15 @@ type LZProc struct {
 	proc *kernel.Process
 	vm   *hyp.VM
 
+	// backend is the isolation substrate the process entered with; the
+	// module routes lifecycle syscalls, backend-private HVCs and fault
+	// classification through it.
+	backend Backend
+	// okeys is overlay-backend state (nil elsewhere; backend_overlay.go).
+	okeys *overlayState
+	// gran is granule-backend state (nil elsewhere; backend_granule.go).
+	gran *granuleState
+
 	allowScalable bool
 	policy        SanPolicy
 	fake          *FakePhys
@@ -432,9 +441,24 @@ func (lp *LZProc) Alloc() (int, error) {
 	if err != nil {
 		return -1, err
 	}
-	// Copy the unprotected (global) mappings from the base table; pages
-	// attached to protected domains carry the software marker and are
-	// skipped.
+	if err := lp.populatePGT(d); err != nil {
+		return -1, err
+	}
+	if err := lp.writeTTBRTab(d.ID, d.TTBR()); err != nil {
+		return -1, err
+	}
+	lp.kern.CPU.Charge(lp.kern.Prof.HandlerDispatchCost)
+	lp.lz.observe("lz_alloc", lp)
+	return d.ID, nil
+}
+
+// populatePGT fills a fresh domain table: the unprotected (global)
+// mappings are copied from the base table — pages attached to protected
+// domains carry the software marker and are skipped — and the
+// PAN-protected user pages are re-attached. Shared by the lightzone and
+// granule backends, which differ only in what they charge and publish
+// around the copy.
+func (lp *LZProc) populatePGT(d *DomainPGT) error {
 	base := lp.pgts[0]
 	var copyErr error
 	if err := base.S1.Visit(func(va mem.VA, desc uint64, size uint64) bool {
@@ -450,20 +474,12 @@ func (lp *LZProc) Alloc() (int, error) {
 		lp.kern.CPU.Charge(2 * lp.kern.Prof.MemAccessCost)
 		return copyErr == nil
 	}); err != nil {
-		return -1, err
+		return err
 	}
 	if copyErr != nil {
-		return -1, copyErr
+		return copyErr
 	}
-	if err := lp.attachUserPagesTo(d); err != nil {
-		return -1, err
-	}
-	if err := lp.writeTTBRTab(d.ID, d.TTBR()); err != nil {
-		return -1, err
-	}
-	lp.kern.CPU.Charge(lp.kern.Prof.HandlerDispatchCost)
-	lp.lz.observe("lz_alloc", lp)
-	return d.ID, nil
+	return lp.attachUserPagesTo(d)
 }
 
 // Free implements lz_free: destroy a page table. The base table (0) and

@@ -58,6 +58,10 @@ type LightZone struct {
 	// cycle model and must not mutate machine state.
 	Observer func(event string, lp *LZProc)
 
+	// backend is the isolation substrate new processes enter with
+	// (SetBackend swaps it; the default is the paper's lightzone).
+	backend Backend
+
 	procs          map[int]*LZProc
 	pendingEntries map[int][]GateEntry
 }
@@ -68,6 +72,7 @@ var _ kernel.Module = (*LightZone)(nil)
 func New(h *hyp.Hypervisor) *LightZone {
 	return &LightZone{
 		Hyp:            h,
+		backend:        lightzoneBackend{},
 		procs:          make(map[int]*LZProc),
 		pendingEntries: make(map[int][]GateEntry),
 	}
@@ -106,26 +111,26 @@ func (lz *LightZone) Syscall(k *kernel.Kernel, t *kernel.Thread, num int, args [
 		}
 		switch num {
 		case SysLZAlloc:
-			id, err := lp.Alloc()
+			id, err := lp.backend.Alloc(lp)
 			if err != nil {
 				return lzErr(), true, nil
 			}
 			_ = err
 			return uint64(id), true, nil
 		case SysLZFree:
-			if err := lp.Free(int(int64(args[0]))); err != nil {
+			if err := lp.backend.Free(lp, int(int64(args[0]))); err != nil {
 				return lzErr(), true, nil
 			}
 			return 0, true, nil
 		case SysLZProt:
 			perm := int(args[3])
 			pgt := int(int64(args[2]))
-			if err := lp.Prot(mem.VA(args[0]), args[1], pgt, perm); err != nil {
+			if err := lp.backend.Prot(lp, mem.VA(args[0]), args[1], pgt, perm); err != nil {
 				return lzErr(), true, nil
 			}
 			return 0, true, nil
 		case SysLZMapGatePgt:
-			if err := lp.MapGatePgt(int(int64(args[0])), int(int64(args[1]))); err != nil {
+			if err := lp.backend.MapGatePgt(lp, int(int64(args[0])), int(int64(args[1]))); err != nil {
 				return lzErr(), true, nil
 			}
 			return 0, true, nil
@@ -162,6 +167,7 @@ func (lz *LightZone) enter(k *kernel.Kernel, t *kernel.Thread, allowScalable boo
 		kern:          k,
 		proc:          p,
 		vm:            vm,
+		backend:       lz.backend,
 		allowScalable: allowScalable,
 		policy:        policy,
 		fake:          NewFakePhys(lz.Opts.IdentityPhys),
@@ -188,7 +194,7 @@ func (lz *LightZone) enter(k *kernel.Kernel, t *kernel.Thread, allowScalable boo
 	if err := lp.installStub(); err != nil {
 		return 0, err
 	}
-	if err := lp.installGates(); err != nil {
+	if err := lp.backend.Install(lp); err != nil {
 		return 0, err
 	}
 
@@ -352,6 +358,11 @@ func (lz *LightZone) dispatch(k *kernel.Kernel, t *kernel.Thread, lp *LZProc, ex
 			lp.violation(t, fmt.Sprintf("call gate check failed (pc=%#x)", s.PC))
 			return nil
 		default:
+			// Backend-private entry paths (e.g. the granule backend's
+			// realm-style domain switch) get first refusal.
+			if handled, err := lp.backend.HandleHVC(k, t, lp, s); handled {
+				return err
+			}
 			lp.violation(t, fmt.Sprintf("unknown hvc #%#x", s.Imm))
 			return nil
 		}
@@ -446,7 +457,7 @@ func (lz *LightZone) handleForwardedSync(k *kernel.Kernel, t *kernel.Thread, lp 
 	case cpu.ECSVC:
 		return lz.handleSyscall(k, t, lp, true)
 	case cpu.ECDataAbortSame, cpu.ECDataAbortLower, cpu.ECInsAbortSame, cpu.ECInsAbortLower:
-		return lz.handleLZFault(k, t, lp, orig)
+		return lp.backend.HandleFault(k, t, lp, orig)
 	case cpu.ECUnknown:
 		lp.violation(t, fmt.Sprintf("undefined instruction at %#x", c.Sys(arm64.ELREL1)))
 		return nil

@@ -24,6 +24,12 @@ const (
 	// processes. Unprivileged loads/stores are forbidden (they bypass
 	// PAN); all stage-1 register access is forbidden.
 	SanPAN
+	// SanOverlay is the overlay backend's policy: SanTTBR's rules, except
+	// the domain switch is an untrapped POR_EL1 write in application code
+	// rather than a TTBR0 write inside a call gate — so POR_EL1 access is
+	// admitted and TTBR0 access stays forbidden everywhere (the backend
+	// has no gates for it to be legal in).
+	SanOverlay
 )
 
 func (p SanPolicy) String() string {
@@ -34,6 +40,8 @@ func (p SanPolicy) String() string {
 		return "ttbr"
 	case SanPAN:
 		return "pan"
+	case SanOverlay:
+		return "overlay"
 	default:
 		return fmt.Sprintf("san(%d)", uint8(p))
 	}
@@ -58,7 +66,10 @@ var nzcvFPTargets = map[uint32]bool{
 	arm64.FPSR.Enc().Key(): true,
 }
 
-var ttbr0Key = arm64.TTBR0EL1.Enc().Key()
+var (
+	ttbr0Key  = arm64.TTBR0EL1.Enc().Key()
+	porEL1Key = arm64.POREL1.Enc().Key()
+)
 
 // CheckWord classifies one instruction word under a policy. It returns a
 // non-empty reason string when the word is sensitive and must not appear in
@@ -138,6 +149,13 @@ func CheckWord(word uint32, policy SanPolicy) string {
 			// sanitizer. In application pages it is forbidden under
 			// both policies.
 			return "ttbr0 access outside call gate"
+		}
+		if key == porEL1Key && policy == SanOverlay {
+			// POR_EL1 is the overlay backend's domain-switch register;
+			// SanOverlay admits it in application code (the switch is
+			// deliberately untrapped). Every other policy keeps the
+			// generic deny below.
+			return ""
 		}
 		return "privileged system-register access"
 	}

@@ -96,6 +96,9 @@ func (c *VCPU) Translate(va mem.VA, acc mem.AccessType, unpriv bool) (mem.PA, *A
 		if kind := mem.CheckStage1(e.S1Desc, acc, privileged, pan, unpriv); kind != mem.FaultNone {
 			return 0, c.abort(va, 0, acc, kind, 1)
 		}
+		if !c.overlayPermits(e.S1Desc) {
+			return 0, c.abort(va, 0, acc, mem.FaultOverlay, 1)
+		}
 		if e.HasS2 {
 			if kind := mem.CheckStage2(e.S2Desc, acc); kind != mem.FaultNone {
 				return 0, c.abort(va, 0, acc, kind, 2)
@@ -103,7 +106,9 @@ func (c *VCPU) Translate(va mem.VA, acc mem.AccessType, unpriv bool) (mem.PA, *A
 		}
 		mask := uint64(1)<<e.BlockShift - 1
 		pa := e.PABase + mem.PA(uint64(va)&mask)
-		c.microFill(va, acc, unpriv, pa)
+		if mem.OverlayKey(e.S1Desc) == 0 {
+			c.microFill(va, acc, unpriv, pa)
+		}
 		return pa, nil
 	}
 
@@ -159,6 +164,9 @@ func (c *VCPU) Translate(va mem.VA, acc mem.AccessType, unpriv bool) (mem.PA, *A
 	if kind := mem.CheckStage1(leaf, acc, privileged, pan, unpriv); kind != mem.FaultNone {
 		return 0, c.abort(va, 0, acc, kind, 1)
 	}
+	if !c.overlayPermits(leaf) {
+		return 0, c.abort(va, 0, acc, mem.FaultOverlay, 1)
+	}
 
 	pa, s2desc, ab := c.s2Resolve(leafIPA, acc, true)
 	if ab != nil {
@@ -176,8 +184,22 @@ func (c *VCPU) Translate(va mem.VA, acc mem.AccessType, unpriv bool) (mem.PA, *A
 	})
 	// Fill after the Insert: the micro entry's generation snapshot must
 	// cover the state in which the TLB provably holds this translation.
-	c.microFill(va, acc, unpriv, pa)
+	// Overlay-keyed pages stay out of the micro-TLB: a POR_EL1 write is not
+	// a micro-TLB invalidation point, so keyed translations must re-check
+	// the active key on every access.
+	if mem.OverlayKey(leaf) == 0 {
+		c.microFill(va, acc, unpriv, pa)
+	}
 	return pa, nil
+}
+
+// overlayPermits implements the FEAT_S1POE-style permission-overlay check:
+// a descriptor carrying a nonzero overlay key is accessible only while
+// POR_EL1's low byte holds that key. Unkeyed descriptors (the entire
+// pre-overlay world) always pass.
+func (c *VCPU) overlayPermits(desc uint64) bool {
+	key := mem.OverlayKey(desc)
+	return key == 0 || key == int(c.sys[arm64.POREL1]&mem.OverlayKeyMax)
 }
 
 func s1IndexOf(va mem.VA, level int) uint64 {

@@ -31,9 +31,30 @@ const (
 	// domains.
 	AttrSWLZProt uint64 = 1 << 55
 
+	// OverlayKeyShift places the permission-overlay key index in the
+	// descriptor's upper attribute byte (bits 63:56). The overlay backend
+	// generalizes POE's 3-bit POIndex to 8 bits so a key can name each of
+	// the evaluation's up-to-128 domains; key 0 means "no overlay" and the
+	// page behaves exactly as the base attributes say.
+	OverlayKeyShift = 56
+	// OverlayKeyMax is the largest representable overlay key.
+	OverlayKeyMax = 255
+
 	// OAMask extracts the output address from a descriptor.
 	OAMask uint64 = 0x0000_FFFF_FFFF_F000
 )
+
+// OverlayKey extracts a descriptor's permission-overlay key (0 = none).
+func OverlayKey(desc uint64) int {
+	return int(desc >> OverlayKeyShift & OverlayKeyMax)
+}
+
+// OverlayKeyAttr builds the descriptor attribute bits carrying an overlay
+// key. Keys outside 1..OverlayKeyMax are not representable; callers
+// validate before mapping.
+func OverlayKeyAttr(key int) uint64 {
+	return uint64(key&OverlayKeyMax) << OverlayKeyShift
+}
 
 // Stage-2 descriptor bits.
 const (
@@ -75,6 +96,7 @@ const (
 	FaultPermission            // mapping exists but denies the access
 	FaultAddressSize           // non-canonical or out-of-range address
 	FaultAccessFlag            // AF clear
+	FaultOverlay               // permission-overlay key check failed
 )
 
 func (k FaultKind) String() string {
@@ -89,6 +111,8 @@ func (k FaultKind) String() string {
 		return "address-size"
 	case FaultAccessFlag:
 		return "access-flag"
+	case FaultOverlay:
+		return "overlay"
 	default:
 		return "fault?"
 	}

@@ -1,0 +1,145 @@
+package verify
+
+import (
+	"fmt"
+
+	"lightzone/internal/mem"
+)
+
+// checkOverlayKeys is the overlay backend's structural audit, replacing
+// gate-integrity where no gates exist. It cross-checks the descriptors
+// actually installed in the (single) base table against the module's
+// overlay bookkeeping:
+//
+//   - a keyed descriptor must carry a granted key, the protected marker,
+//     and exactly the key the module recorded for that page;
+//   - a page the module recorded as keyed must still carry its key;
+//   - keyed pages are kernel-only data (never user, never executable) —
+//     overlay domains are data-only by construction.
+func checkOverlayKeys(s *Snapshot) []Finding {
+	var out []Finding
+	for pi := range s.Procs {
+		p := &s.Procs[pi]
+		if p.Backend != "overlay" {
+			continue
+		}
+		granted := make(map[int]bool, len(p.OverlayKeys))
+		for _, k := range p.OverlayKeys {
+			granted[k] = true
+		}
+		for di := range p.Domains {
+			d := &p.Domains[di]
+			seen := make(map[mem.VA]int, len(d.Maps))
+			for _, m := range d.Maps {
+				if mem.IsTTBR1(m.VA) {
+					continue
+				}
+				key := mem.OverlayKey(m.Desc)
+				seen[m.VA] = key
+				if key == 0 {
+					if want, tagged := p.PageKeys[m.VA]; tagged {
+						out = append(out, Finding{
+							Checker: "overlay-keys", PID: p.PID, Proc: p.Name, Domain: d.ID,
+							VA:     uint64(m.VA),
+							Detail: fmt.Sprintf("page recorded as keyed to domain %d but its descriptor carries no overlay key", want),
+						})
+					}
+					continue
+				}
+				if m.Desc&mem.AttrSWLZProt == 0 {
+					out = append(out, Finding{
+						Checker: "overlay-keys", PID: p.PID, Proc: p.Name, Domain: d.ID,
+						VA:     uint64(m.VA),
+						Detail: fmt.Sprintf("overlay key %d on a descriptor without the protected marker", key),
+					})
+				}
+				if !granted[key] {
+					out = append(out, Finding{
+						Checker: "overlay-keys", PID: p.PID, Proc: p.Name, Domain: d.ID,
+						VA:     uint64(m.VA),
+						Detail: fmt.Sprintf("descriptor carries overlay key %d which was never granted", key),
+					})
+				}
+				if want := p.PageKeys[m.VA]; want != key {
+					out = append(out, Finding{
+						Checker: "overlay-keys", PID: p.PID, Proc: p.Name, Domain: d.ID,
+						VA:     uint64(m.VA),
+						Detail: fmt.Sprintf("descriptor overlay key %d disagrees with the module's record %d", key, want),
+					})
+				}
+				if m.User() || m.Exec() {
+					out = append(out, Finding{
+						Checker: "overlay-keys", PID: p.PID, Proc: p.Name, Domain: d.ID,
+						VA:     uint64(m.VA),
+						Detail: fmt.Sprintf("overlay-keyed page is not kernel-only data (user=%v exec=%v)", m.User(), m.Exec()),
+					})
+				}
+			}
+			// Module records with no installed descriptor at all: the page
+			// was withdrawn without the bookkeeping following.
+			for va, want := range p.PageKeys {
+				if _, present := seen[va]; !present {
+					out = append(out, Finding{
+						Checker: "overlay-keys", PID: p.PID, Proc: p.Name, Domain: d.ID,
+						VA:     uint64(va),
+						Detail: fmt.Sprintf("page recorded as keyed to domain %d is not mapped (stale overlay bookkeeping)", want),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkGranules is the granule backend's structural audit, replacing
+// gate-integrity where no gates exist. It proves the delegation discipline
+// over every zone table:
+//
+//   - a zone-protected mapping (the software marker) must back onto a real
+//     frame delegated and assigned to exactly that zone;
+//   - a delegated granule must not be reachable through any unprotected
+//     (global) mapping, in any table — delegation withdrew the frame from
+//     the shared pool;
+//   - a zone-protected mapping installed in a table other than the owning
+//     zone's is a cross-zone alias.
+func checkGranules(s *Snapshot) []Finding {
+	var out []Finding
+	for pi := range s.Procs {
+		p := &s.Procs[pi]
+		if p.Backend != "granule" {
+			continue
+		}
+		for di := range p.Domains {
+			d := &p.Domains[di]
+			for _, m := range d.Maps {
+				if mem.IsTTBR1(m.VA) || !m.HasReal {
+					continue
+				}
+				owner, owned := p.GranuleOwners[m.Real]
+				if m.Desc&mem.AttrSWLZProt != 0 {
+					switch {
+					case !owned:
+						out = append(out, Finding{
+							Checker: "granule-state", PID: p.PID, Proc: p.Name, Domain: d.ID,
+							VA: uint64(m.VA), PA: uint64(m.Real),
+							Detail: "zone-protected mapping backs onto an undelegated granule",
+						})
+					case owner != d.ID:
+						out = append(out, Finding{
+							Checker: "granule-state", PID: p.PID, Proc: p.Name, Domain: d.ID,
+							VA: uint64(m.VA), PA: uint64(m.Real),
+							Detail: fmt.Sprintf("granule assigned to zone %d but mapped zone-protected in zone %d (cross-zone alias)", owner, d.ID),
+						})
+					}
+				} else if owned {
+					out = append(out, Finding{
+						Checker: "granule-state", PID: p.PID, Proc: p.Name, Domain: d.ID,
+						VA: uint64(m.VA), PA: uint64(m.Real),
+						Detail: fmt.Sprintf("delegated granule (zone %d) reachable through an unprotected mapping in table %d", owner, d.ID),
+					})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -412,7 +412,11 @@ func checkCFG(s *Snapshot) []Finding {
 				switch {
 				case core.CheckWord(word, pol) != "":
 					detail = fmt.Sprintf("reachable sensitive instruction: %s", core.CheckWord(word, pol))
-				case in.Op == arm64.OpHVC && in.Imm != core.HVCSyscall:
+				case in.Op == arm64.OpHVC && in.Imm != core.HVCSyscall &&
+					!(p.Backend == "granule" && in.Imm == core.HVCGranuleEnter):
+					// The realm-enter call is part of the granule backend's
+					// API surface; under every other backend it is as foreign
+					// as any unknown hypercall.
 					detail = fmt.Sprintf("reachable HVC #%#x is not the syscall API", in.Imm)
 				case in.Op == arm64.OpUnknown && word != 0:
 					// Zero words are text padding reached by fall-through past

@@ -106,7 +106,7 @@ func RunMemo(s *Snapshot, mo *Memo) Report {
 	if mo != nil {
 		key, haveKey = mo.execKey(s)
 	}
-	for _, c := range Checkers() {
+	for _, c := range CheckersFor(s.BackendName()) {
 		var found []Finding
 		if haveKey && memoizable[c.Name] {
 			if e, ok := mo.entries[c.Name]; ok && e.key == key {

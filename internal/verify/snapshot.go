@@ -59,6 +59,15 @@ type ProcSnap struct {
 	TTBRTabPAs []mem.PA
 	ExecClean  []mem.VA
 
+	// Backend names the isolation substrate the process entered with;
+	// checker selection (CheckersFor) keys off it. The substrate-private
+	// bookkeeping below feeds the overlay-key and granule-state audits
+	// (nil for other backends).
+	Backend       string
+	OverlayKeys   []int          // granted overlay keys, ascending
+	PageKeys      map[mem.VA]int // page base -> key the module tagged
+	GranuleOwners map[mem.PA]int // real frame -> owning zone
+
 	// LP gives checkers access to the live process for fake-physical
 	// resolution, the TTBR1 table and stage-2 (read paths only).
 	LP *core.LZProc
@@ -80,6 +89,16 @@ type Snapshot struct {
 	Procs []ProcSnap
 }
 
+// BackendName returns the isolation substrate the snapshot's processes run
+// under (a module hosts one backend at a time; a machine with no LightZone
+// processes audits under the default registry).
+func (s *Snapshot) BackendName() string {
+	if len(s.Procs) > 0 {
+		return s.Procs[0].Backend
+	}
+	return "lightzone"
+}
+
 // Capture snapshots every LightZone process of (m, lz) for the checkers.
 // The capture itself is observation-only: software table walks through
 // PhysMem reads, no TLB probes, no cycle charges.
@@ -98,6 +117,11 @@ func Capture(m *hyp.Machine, lz *core.LightZone) (*Snapshot, error) {
 			TTBRTabPAs: lp.TTBRTabPages(),
 			ExecClean:  lp.ExecCleanPages(),
 			LP:         lp,
+
+			Backend:       lp.BackendName(),
+			OverlayKeys:   lp.OverlayGranted(),
+			PageKeys:      lp.OverlayPageKeys(),
+			GranuleOwners: lp.GranuleOwners(),
 		}
 		for _, id := range lp.PageTableIDs() {
 			d, ok := lp.PageTable(id)

@@ -53,8 +53,34 @@ type Checker struct {
 	Run  func(*Snapshot) []Finding
 }
 
-// Checkers returns the invariant registry in its fixed execution order.
-func Checkers() []Checker {
+// Checkers returns the invariant registry for the default (lightzone)
+// backend in its fixed execution order.
+func Checkers() []Checker { return CheckersFor("lightzone") }
+
+// CheckersFor returns the invariant registry for an isolation backend. The
+// four substrate-invariant checkers are shared; the third slot carries the
+// substrate's own structural audit — call gates where gates exist
+// (lightzone), otherwise the overlay-key or granule-state audit.
+func CheckersFor(backend string) []Checker {
+	substrate := Checker{
+		Name: "gate-integrity",
+		Desc: "every installed call-gate slot matches the generated gate; GateTab/TTBRTab entries consistent",
+		Run:  checkGates,
+	}
+	switch backend {
+	case "overlay":
+		substrate = Checker{
+			Name: "overlay-keys",
+			Desc: "every overlay-keyed descriptor carries a granted key agreeing with module bookkeeping; keyed pages are protected-marked, kernel-only data",
+			Run:  checkOverlayKeys,
+		}
+	case "granule":
+		substrate = Checker{
+			Name: "granule-state",
+			Desc: "every zone-protected mapping backs onto a granule delegated and assigned to that zone; no foreign or unprotected alias of a delegated granule",
+			Run:  checkGranules,
+		}
+	}
 	return []Checker{
 		{
 			Name: "wx-audit",
@@ -66,11 +92,7 @@ func Checkers() []Checker {
 			Desc: "every executable application page re-passes the Table 3 sanitizer under the process policy",
 			Run:  checkSanitizer,
 		},
-		{
-			Name: "gate-integrity",
-			Desc: "every installed call-gate slot matches the generated gate; GateTab/TTBRTab entries consistent",
-			Run:  checkGates,
-		},
+		substrate,
 		{
 			Name: "cfg-reachability",
 			Desc: "no application-reachable path executes a forbidden MSR/ERET/SMC or non-API HVC",

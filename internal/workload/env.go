@@ -143,6 +143,20 @@ func NewEnv(p Platform) (*Env, error) {
 	return e, nil
 }
 
+// NewEnvBackend boots an environment whose LightZone module uses the named
+// isolation backend. The default backend is "lightzone"; passing it here is
+// equivalent to NewEnv.
+func NewEnvBackend(p Platform, backend string) (*Env, error) {
+	e, err := NewEnv(p)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.LZ.SetBackend(backend); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
 // NewProcess assembles a program and creates a process, registering any
 // gate entries (resolved relative to the text base).
 func (e *Env) NewProcess(name string, a *arm64.Asm, data []byte, entries []core.GateEntry, extra ...kernel.VMA) (*kernel.Process, error) {

@@ -8,7 +8,6 @@ import (
 	"lightzone/internal/core"
 	"lightzone/internal/kernel"
 	"lightzone/internal/mem"
-	"lightzone/internal/verify"
 )
 
 // PlantedResult is one static-detection cell: a machine with a deliberately
@@ -276,36 +275,5 @@ func plantedAttacks() []plantedAttack {
 // VA, and the literal-pool control word must never be flagged. Missing
 // either is an error, not a result row.
 func (f *Fleet) PlantedSweep(plat Platform) ([]PlantedResult, error) {
-	attacks := plantedAttacks()
-	out := make([]PlantedResult, len(attacks))
-	err := f.Run(len(attacks), func(i int) error {
-		pa := attacks[i]
-		env, va, absent, err := pa.build(plat)
-		if err != nil {
-			return fmt.Errorf("%s: %w", pa.name, err)
-		}
-		rep, err := verify.RunMachine(env.M, env.LZ)
-		if err != nil {
-			return fmt.Errorf("%s: %w", pa.name, err)
-		}
-		res := PlantedResult{Name: pa.name, Checker: pa.checker, VA: va, Total: len(rep.Findings)}
-		for _, fd := range rep.Findings {
-			if absent != 0 && fd.VA == absent {
-				return fmt.Errorf("%s: unreachable word at %#x falsely flagged: %s", pa.name, absent, fd.Detail)
-			}
-			if !res.Caught && fd.Checker == pa.checker && fd.VA == va {
-				res.Caught, res.Detail = true, fd.Detail
-			}
-		}
-		if !res.Caught {
-			return fmt.Errorf("%s: expected %s finding at %#x; verifier reported %d findings",
-				pa.name, pa.checker, va, len(rep.Findings))
-		}
-		out[i] = res
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	return f.plantedSweep(plat, plantedAttacks())
 }

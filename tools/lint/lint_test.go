@@ -121,6 +121,63 @@ func fast(c *VCPU) bool { return c.mtlb.enabled }
 	}
 }
 
+func TestOverlayKeysConfinedToOverlayFile(t *testing.T) {
+	// Overlay key records are the overlay backend's private state: even a
+	// read from another core file reaches across the Backend interface.
+	probs := lintNamed(t, "lzproc.go", `package core
+func peek(lp *LZProc) int { return len(lp.okeys) }
+`)
+	if len(probs) != 1 || !strings.Contains(probs[0], "backend_overlay.go") {
+		t.Fatalf("want one confinement violation, got %v", probs)
+	}
+}
+
+func TestOverlayKeysAllowedInOverlayFile(t *testing.T) {
+	probs := lintNamed(t, "backend_overlay.go", `package core
+func (b *overlayBackend) keys(lp *LZProc) int { return len(lp.okeys) }
+`)
+	if len(probs) != 0 {
+		t.Fatalf("backend_overlay.go must own .okeys, got %v", probs)
+	}
+}
+
+func TestGranuleStateConfinedToGranuleFile(t *testing.T) {
+	probs := lintNamed(t, "module.go", `package core
+func peek(lp *LZProc) bool { return lp.gran != nil }
+`)
+	if len(probs) != 1 || !strings.Contains(probs[0], "backend_granule.go") {
+		t.Fatalf("want one confinement violation, got %v", probs)
+	}
+}
+
+func TestGateStateConfinedToGateFile(t *testing.T) {
+	probs := lintNamed(t, "backend_lightzone.go", `package core
+func peek(lp *LZProc) uint64 { return uint64(lp.gateTabPA) }
+`)
+	if len(probs) != 1 || !strings.Contains(probs[0], "gate.go") {
+		t.Fatalf("want one confinement violation, got %v", probs)
+	}
+}
+
+func TestGateStateAllowedInGateFile(t *testing.T) {
+	probs := lintNamed(t, "gate.go", `package core
+func (lp *LZProc) gates() uint64 { return uint64(lp.gateTabPA) + uint64(lp.ttbrTabPA) }
+`)
+	if len(probs) != 0 {
+		t.Fatalf("gate.go must own the gate state, got %v", probs)
+	}
+}
+
+func TestBackendStateOutsideCoreIgnored(t *testing.T) {
+	// Other packages may have their own unrelated fields with these names.
+	probs := lintNamed(t, "anything.go", `package workload
+func f(x *thing) int { return len(x.okeys) + len(x.gran) }
+`)
+	if len(probs) != 0 {
+		t.Fatalf("non-core backend fields must be ignored, got %v", probs)
+	}
+}
+
 func TestEntriesOutsideMemIgnored(t *testing.T) {
 	// Other packages may have their own unrelated entries fields.
 	probs := lintNamed(t, "memo.go", `package verify

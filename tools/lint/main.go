@@ -16,6 +16,15 @@
 //     host fastpaths are audits of those single files; a stray access
 //     elsewhere would silently widen the audit surface.
 //
+//  4. backend-state confinement: each isolation backend's private state in
+//     package core is touched only by its backend's files — the secure
+//     call-gate machinery (`.gateTabPA`, `.ttbrTabPA`, `.gateCode`,
+//     `.gatePages`, `.gatePgt`) by gate.go, overlay key records (`.okeys`)
+//     by backend_overlay.go, granule delegation state (`.gran`) by
+//     backend_granule.go. The Backend interface is the only cross-backend
+//     surface; state reaching across it would let one backend's semantics
+//     leak into another's.
+//
 // Usage: go run ./tools/lint [root]   (root defaults to ".")
 //
 // Exits non-zero and prints one line per violation. Test files are skipped:
@@ -80,6 +89,15 @@ var chargers = map[string]bool{"Charge": true, "ChargeInsns": true}
 var confined = map[string]map[string]string{
 	"mem": {"entries": "tlb.go"},
 	"cpu": {"mtlb": "microtlb.go"},
+	"core": {
+		"gateTabPA": "gate.go",
+		"ttbrTabPA": "gate.go",
+		"gateCode":  "gate.go",
+		"gatePages": "gate.go",
+		"gatePgt":   "gate.go",
+		"okeys":     "backend_overlay.go",
+		"gran":      "backend_granule.go",
+	},
 }
 
 // lintFile checks one parsed file and returns its violations.
@@ -95,7 +113,7 @@ func lintFile(fset *token.FileSet, f *ast.File) []string {
 			}
 			if owner, confined := rules[sel.Sel.Name]; confined && base != owner {
 				problems = append(problems, fmt.Sprintf(
-					"%s: .%s accessed outside %s; cache state is confined to its owning file",
+					"%s: .%s accessed outside %s; this state is confined to its owning file",
 					fset.Position(sel.Pos()), sel.Sel.Name, owner))
 			}
 			return true
