@@ -21,6 +21,9 @@
 //	lzbench -all -record r.json # record the run into a replay journal
 //	lzbench -replay r.json      # re-run the journal; rows must be byte-identical
 //	lzbench -chaos 32           # fault-injection sweep: 32 derived chaos cases
+//	lzbench -serve              # always-on service harness: utilization ladder
+//	lzbench -serve -arrival bursty -rps 2000 -duration 1 -slo 500
+//	lzbench -serve -json -serveout BENCH_PR7.json
 //
 // Every measurement cell boots a private machine, so -parallel N changes
 // only wall-clock time: the emitted rows (emulated cycle counts included)
@@ -42,6 +45,7 @@ import (
 	"lightzone/internal/arm64"
 	"lightzone/internal/cpu"
 	"lightzone/internal/replay"
+	"lightzone/internal/serve"
 	"lightzone/internal/workload"
 )
 
@@ -70,6 +74,12 @@ func main() {
 		chaosN   = flag.Int("chaos", 0, "run a fault-injection sweep of this many derived chaos cases; every case must converge to its recorded baseline or be flagged by a named verify checker")
 		chaosSd  = flag.Int64("chaosseed", 1, "seed for deriving the -chaos plans")
 		chaosOut = flag.String("chaosout", "", "write one replayable journal per failing chaos case into this directory")
+		serveF   = flag.Bool("serve", false, "run the always-on service harness: open-loop load against the long-lived serve apps under both zone-id regimes, with latency percentiles and throughput-at-SLO; off by default and not part of -all")
+		arrivalF = flag.String("arrival", "poisson", "with -serve: arrival process (poisson or bursty)")
+		rpsF     = flag.Float64("rps", 0, "with -serve: offered load in requests/sec; 0 sweeps the utilization ladder against each cell's measured capacity")
+		durF     = flag.Float64("duration", serve.DefaultDurationS, "with -serve: virtual seconds of offered load per operating point")
+		sloF     = flag.Float64("slo", 0, "with -serve: latency SLO in microseconds; 0 derives 4x each cell's mean service time")
+		serveOut = flag.String("serveout", "", "with -serve: also write the full serve cells (calibration, churn pressure, rows) as JSON to this file")
 	)
 	flag.Parse()
 	csvOut = *csvDir
@@ -78,6 +88,12 @@ func main() {
 	backendSel = *backend
 	hostPerfOn = *hostPerf
 	benchOutPath = *benchOut
+	serveOn = *serveF
+	serveArrival = *arrivalF
+	serveRPS = *rpsF
+	serveDur = *durF
+	serveSLO = *sloF
+	serveOutPath = *serveOut
 	if *noFast {
 		cpu.SetHostFastpathDefault(false)
 	}
@@ -103,6 +119,9 @@ func main() {
 	}
 	if err == nil && benchOutPath != "" {
 		err = writeBenchOut(benchOutPath)
+	}
+	if err == nil && serveOutPath != "" {
+		err = writeServeOut(serveOutPath)
 	}
 	if err == nil && *memProf != "" {
 		err = writeMemProfile(*memProf)
@@ -176,9 +195,15 @@ func runRecord(path string, spec runSpec, parallel int, noFast, noDecode bool) e
 			Invariants: invariants,
 			Backend:    backendSel,
 		},
-		Inputs: source.Inputs(),
-		Rows:   capture,
 	}
+	if serveOn {
+		j.Config.Arrival = serveArrival
+		j.Config.RPS = serveRPS
+		j.Config.DurationS = serveDur
+		j.Config.SLOMicros = serveSLO
+	}
+	j.Inputs = source.Inputs()
+	j.Rows = capture
 	j.Seal()
 	if err := j.Write(path); err != nil {
 		return err
@@ -203,6 +228,16 @@ func runReplay(path string) error {
 	// The backend selector is part of the recorded boundary: a journal whose
 	// suites include the comparison matrix replays it at the same scope.
 	backendSel = j.Config.Backend
+	// Likewise the serve-harness settings; the keyed inputs cross-check them.
+	for _, s := range j.Config.Suites {
+		if s == "serve" {
+			serveOn = true
+			serveArrival = j.Config.Arrival
+			serveRPS = j.Config.RPS
+			serveDur = j.Config.DurationS
+			serveSLO = j.Config.SLOMicros
+		}
+	}
 	if j.Config.NoFastpath {
 		cpu.SetHostFastpathDefault(false)
 	}
@@ -339,6 +374,11 @@ func suitesFromFlags(table, figure int, pentest, ablation, all bool) []string {
 	if backendSel != "" {
 		s = append(s, "backends")
 	}
+	// Deliberately opt-in only: the serve harness is continuous-load
+	// territory, not part of -all.
+	if serveOn {
+		s = append(s, "serve")
+	}
 	return s
 }
 
@@ -382,6 +422,36 @@ func run(spec runSpec) error {
 			// journal pins it the same way.
 			iters := int(source.Int64("backends/iters", replay.Fixed(int64(spec.iters))))
 			fn = func() error { return printBackends(iters) }
+		case "serve":
+			// Every serve setting is a nondeterministic input at the journal
+			// boundary; floats are pinned in fixed-point (milli-rps,
+			// milli-seconds, nano-seconds) so the draw is an exact int64.
+			ar, err := serve.ParseArrival(serveArrival)
+			if err != nil {
+				return err
+			}
+			arrivalCode := int64(0)
+			if ar == serve.ArrivalBursty {
+				arrivalCode = 1
+			}
+			arrivalCode = source.Int64("serve/arrival", replay.Fixed(arrivalCode))
+			rps := float64(source.Int64("serve/rps_milli", replay.Fixed(int64(serveRPS*1000)))) / 1000
+			dur := float64(source.Int64("serve/duration_ms", replay.Fixed(int64(serveDur*1000)))) / 1000
+			slo := float64(source.Int64("serve/slo_ns", replay.Fixed(int64(serveSLO*1000)))) / 1000
+			queue := int(source.Int64("serve/queue", replay.Fixed(serve.DefaultQueueBound)))
+			seed := source.Int64("serve/seed", replay.Fixed(serve.DefaultSeed))
+			cfg := serve.Config{
+				Arrival:    serve.ArrivalPoisson,
+				RPS:        rps,
+				DurationS:  dur,
+				SLOMicros:  slo,
+				QueueBound: queue,
+				Seed:       seed,
+			}
+			if arrivalCode == 1 {
+				cfg.Arrival = serve.ArrivalBursty
+			}
+			fn = func() error { return printServe(cfg) }
 		default:
 			return fmt.Errorf("unknown suite %q", name)
 		}
@@ -823,6 +893,89 @@ var backendSel string
 
 // backendMatrices collects the measured matrices for -benchout.
 var backendMatrices []workload.BackendMatrix
+
+// Serve-harness selection (flag-fed in plain runs, journal-fed in replays)
+// and the cells collected for -serveout.
+var (
+	serveOn      bool
+	serveArrival string
+	serveRPS     float64
+	serveDur     float64
+	serveSLO     float64
+	serveOutPath string
+	serveCells   []serve.Cell
+)
+
+// printServe runs the always-on service harness: one fleet cell per
+// (app, zone-id regime), each calibrated on private emulated machines and
+// churned through the real lz_alloc/lz_free paths, then simulated across
+// its operating points in virtual time.
+func printServe(cfg serve.Config) error {
+	cfg.Platform = workload.Table5Platforms()[0].Plat // Carmel Host
+	cells, err := serve.Sweep(fleet, cfg, serve.DefaultSpecs())
+	if err != nil {
+		return err
+	}
+	serveCells = append(serveCells, cells...)
+	if jsonOut {
+		for _, c := range cells {
+			if err := emitJSON(map[string]any{
+				"kind": "serve-cell", "machine": c.Machine, "app": c.App,
+				"regime": c.Regime, "live_zones": c.LiveZones,
+				"base_cycles": c.BaseCycles, "churn_pair_cycles": c.PairCycles,
+				"capacity_rps": c.CapacityRPS, "slo_us": c.SLOMicros,
+				"churn_pairs": c.Churn.Pairs, "zone_id_high_water": c.Churn.ZoneIDHighWater,
+				"ttbrtab_pages": c.Churn.TTBRTabPages, "asid_recycles": c.Churn.ASIDRecycles,
+				"asid_rolls": c.Churn.ASIDRolls,
+			}); err != nil {
+				return err
+			}
+			for _, r := range c.Rows {
+				if err := emitJSON(map[string]any{
+					"kind": "serve", "machine": c.Machine, "app": r.App,
+					"regime": r.Regime, "arrival": string(r.Arrival), "policy": r.Policy,
+					"offered_rps": r.OfferedRPS, "utilization": r.Utilization,
+					"duration_s": r.DurationS, "arrivals": r.Arrivals,
+					"served": r.Served, "shed": r.Shed, "queue_max": r.QueueMax,
+					"p50_us": r.P50us, "p99_us": r.P99us, "p999_us": r.P999us,
+					"slo_us": r.SLOMicros, "goodput_rps": r.GoodputRPS,
+					"slo_attain_pct": r.SLOAttainPct,
+				}); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	fmt.Printf("Service harness: %s arrivals, %gs per operating point\n", cfg.Arrival, cfg.DurationS)
+	for _, c := range cells {
+		fmt.Printf("  %s %s lzid-%d: %d live zones, %.0f base + %.0f churn-pair cycles, capacity %.0f rps, SLO %.0fus\n",
+			c.Machine, c.App, c.Regime, c.LiveZones, c.BaseCycles, c.PairCycles, c.CapacityRPS, c.SLOMicros)
+		fmt.Printf("    churn: %d pairs, id high-water %d, TTBRTab %d page(s), %d ASID recycles, %d rolls\n",
+			c.Churn.Pairs, c.Churn.ZoneIDHighWater, c.Churn.TTBRTabPages, c.Churn.ASIDRecycles, c.Churn.ASIDRolls)
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "    policy\trps\tutil\tserved\tshed\tqmax\tp50us\tp99us\tp999us\tgoodput\tslo%")
+		for _, r := range c.Rows {
+			fmt.Fprintf(w, "    %s\t%.0f\t%.2f\t%d\t%d\t%d\t%d\t%d\t%d\t%.0f\t%.1f\n",
+				r.Policy, r.OfferedRPS, r.Utilization, r.Served, r.Shed, r.QueueMax,
+				r.P50us, r.P99us, r.P999us, r.GoodputRPS, r.SLOAttainPct)
+		}
+		w.Flush()
+	}
+	fmt.Println()
+	return nil
+}
+
+// writeServeOut writes the collected serve cells (calibration, churn
+// pressure, every operating-point row) as indented JSON — the committed
+// BENCH_PR7.json trajectory is one such file.
+func writeServeOut(path string) error {
+	b, err := json.MarshalIndent(serveCells, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
 
 // printBackends measures the cross-backend comparison matrix on the Table 5
 // platforms: domain-switch cycles at every Table 5 domain count, the

@@ -95,7 +95,11 @@ func (granuleBackend) Free(lp *LZProc, zone int) error {
 	}
 	delete(lp.byRoot, d.S1.Root())
 	delete(lp.pgts, zone)
-	lp.kern.CPU.TLB.InvalidateASID(lp.vm.VMID, d.S1.ASID())
+	// Mirror the lightzone teardown: the ASID goes back to the kernel
+	// allocator (scoped shootdown included) and the zone id to the free
+	// list, so realm churn can't exhaust either space.
+	lp.kern.FreeASID(lp.vm.VMID, d.S1.ASID())
+	lp.freePGT = append(lp.freePGT, zone)
 	d.S1.Free()
 	lp.lz.observe("lz_free", lp)
 	return nil

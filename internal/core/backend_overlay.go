@@ -18,9 +18,10 @@ func init() {
 // overlayState is the overlay backend's per-process bookkeeping. It is
 // backend-private: tools/lint confines every access to this file.
 type overlayState struct {
-	granted map[int]bool // allocated domain keys
-	nextKey int
-	pageKey map[mem.VA]int // protected page base -> key tagged in its PTE
+	granted  map[int]bool // allocated domain keys
+	nextKey  int
+	freeKeys []int          // revoked keys, recycled LIFO (see Alloc)
+	pageKey  map[mem.VA]int // protected page base -> key tagged in its PTE
 }
 
 // overlayBackend is a Complets/FEAT_S1POE-style substrate: every domain is
@@ -51,13 +52,22 @@ func (overlayBackend) Install(lp *LZProc) error {
 
 // Alloc implements lz_alloc as overlay-key allocation: no page-table copy,
 // which is the backend's defining cost advantage over per-domain tables.
+// Revoked keys are recycled LIFO — Free's page withdrawal and
+// unmapEverywhere flush guarantee a recycled key reaches its next holder
+// with no page still tagged to it — so churn never exhausts the key byte.
 func (overlayBackend) Alloc(lp *LZProc) (int, error) {
 	st := lp.okeys
-	if st.nextKey > mem.OverlayKeyMax {
-		return -1, fmt.Errorf("lz_alloc: out of overlay keys (max %d)", mem.OverlayKeyMax)
+	var key int
+	if n := len(st.freeKeys); n > 0 {
+		key = st.freeKeys[n-1]
+		st.freeKeys = st.freeKeys[:n-1]
+	} else {
+		if st.nextKey > mem.OverlayKeyMax {
+			return -1, fmt.Errorf("lz_alloc: out of overlay keys (max %d)", mem.OverlayKeyMax)
+		}
+		key = st.nextKey
+		st.nextKey++
 	}
-	key := st.nextKey
-	st.nextKey++
 	st.granted[key] = true
 	lp.kern.CPU.Charge(lp.kern.Prof.HandlerDispatchCost)
 	lp.lz.observe("lz_alloc", lp)
@@ -85,8 +95,19 @@ func (overlayBackend) Free(lp *LZProc, key int) error {
 		delete(lp.exec, base)
 	}
 	delete(st.granted, key)
+	st.freeKeys = append(st.freeKeys, key)
 	lp.lz.observe("lz_free", lp)
 	return nil
+}
+
+// OverlayKeyHighWater returns the number of distinct overlay keys ever
+// handed out (0 for other backends). With free-list recycling this tracks
+// the peak live count, not the cumulative alloc count.
+func (lp *LZProc) OverlayKeyHighWater() int {
+	if lp.okeys == nil {
+		return 0
+	}
+	return lp.okeys.nextKey - 1
 }
 
 // Prot implements lz_prot as an in-place PTE retag: the page stays in the

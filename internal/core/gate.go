@@ -211,8 +211,14 @@ func (lp *LZProc) MapGatePgt(pgt, gate int) error {
 
 // writeTTBRTab stores the TTBR value for a page-table id, allocating and
 // mapping TTBRTab pages on demand (512 ids per page; the 2^16 id space
-// spans 128 pages, allocated sparsely).
+// spans 128 pages, allocated sparsely). Ids outside [0, MaxPageTables) are
+// rejected outright: the table's TTBR1 window is exactly 512KB, and an id
+// past it would silently map frames over whatever the layout places next —
+// the failure mode of the pre-free-list monotonic id allocator.
 func (lp *LZProc) writeTTBRTab(pgtID int, ttbr uint64) error {
+	if pgtID < 0 || pgtID >= MaxPageTables {
+		return fmt.Errorf("ttbrtab: page-table id %d outside the %d-entry window", pgtID, MaxPageTables)
+	}
 	page := pgtID / 512
 	for len(lp.ttbrTabPA) <= page {
 		pa, err := lp.kern.PM.AllocFrame()

@@ -95,11 +95,16 @@ type LZProc struct {
 	policy        SanPolicy
 	fake          *FakePhys
 
-	pgts     map[int]*DomainPGT
-	byRoot   map[mem.PA]*DomainPGT
-	nextPGT  int
-	ttbr1    *mem.Stage1
-	ttbr1Val uint64
+	pgts    map[int]*DomainPGT
+	byRoot  map[mem.PA]*DomainPGT
+	nextPGT int
+	freePGT []int // recycled domain ids, LIFO (see newPGT)
+	// maxDomains caps live domain ids below MaxPageTables when set
+	// (NR_LZID regime knob: the reference lzko module ships 128 where the
+	// paper claims 2^16). 0 means the paper default.
+	maxDomains int
+	ttbr1      *mem.Stage1
+	ttbr1Val   uint64
 
 	// Kernel-managed read-only tables backing the call gate (§6.2).
 	gateTabPA mem.PA
@@ -147,6 +152,41 @@ func (lp *LZProc) PageTable(id int) (*DomainPGT, bool) {
 // NumPageTables returns the number of live domain page tables.
 func (lp *LZProc) NumPageTables() int { return len(lp.pgts) }
 
+// DomainLimit returns the effective cap on live domain page tables.
+func (lp *LZProc) DomainLimit() int {
+	if lp.maxDomains > 0 {
+		return lp.maxDomains
+	}
+	return MaxPageTables
+}
+
+// SetDomainLimit caps the number of domain page tables this process may
+// hold live — the NR_LZID regime knob (128 in the reference lzko module,
+// 2^16 in the paper). 0 restores the paper default. The limit bounds both
+// the live count and the id space, so the TTBRTab footprint of a capped
+// process stays at ceil(limit/512) pages no matter how much churn it sees.
+func (lp *LZProc) SetDomainLimit(n int) error {
+	if n < 0 || n > MaxPageTables {
+		return fmt.Errorf("domain limit %d out of range [0, %d]", n, MaxPageTables)
+	}
+	if n != 0 && len(lp.pgts) > n {
+		return fmt.Errorf("domain limit %d below %d live page tables", n, len(lp.pgts))
+	}
+	lp.maxDomains = n
+	return nil
+}
+
+// PGTIDHighWater returns the number of distinct domain ids ever handed out
+// (the id counter's high-water mark). With free-list recycling this stays
+// within one of the peak live count regardless of alloc/free churn; before
+// the fix it grew monotonically and eventually walked the TTBRTab off its
+// 512KB window.
+func (lp *LZProc) PGTIDHighWater() int { return lp.nextPGT }
+
+// FreePGTIDs returns the number of recycled domain ids currently parked on
+// the free list.
+func (lp *LZProc) FreePGTIDs() int { return len(lp.freePGT) }
+
 // PageTableBytes sums stage-1 and stage-2 table memory for the process —
 // the paper's page-table memory overhead metric.
 func (lp *LZProc) PageTableBytes() uint64 {
@@ -181,10 +221,21 @@ func (lp *LZProc) s2MapData(fake mem.IPA, real mem.PA) error {
 }
 
 // newPGT allocates a stage-1 domain table wired for stage-2 table
-// mirroring.
+// mirroring. Domain ids are recycled LIFO through the free list: a freed
+// id's TTBRTab slot is rewritten in place on reuse, so the table never
+// grows past ceil(limit/512) pages and the gate's PC-relative addressing
+// of a slot stays valid across any amount of alloc/free churn.
 func (lp *LZProc) newPGT() (*DomainPGT, error) {
-	if len(lp.pgts) >= MaxPageTables {
-		return nil, fmt.Errorf("page table limit (%d) reached", MaxPageTables)
+	limit := lp.DomainLimit()
+	if len(lp.pgts) >= limit {
+		return nil, fmt.Errorf("page table limit (%d) reached", limit)
+	}
+	if len(lp.freePGT) == 0 && lp.nextPGT >= limit {
+		// Unreachable while Free recycles every id (live < limit implies
+		// a parked id), but kept as a hard stop against id-space walk-off:
+		// handing out an id ≥ limit would index writeTTBRTab past the
+		// window the regime promised.
+		return nil, fmt.Errorf("page table id space (%d) exhausted with %d live", limit, len(lp.pgts))
 	}
 	s1, err := mem.NewStage1(lp.kern.PM, lp.kern.AllocASID())
 	if err != nil {
@@ -192,8 +243,14 @@ func (lp *LZProc) newPGT() (*DomainPGT, error) {
 	}
 	s1.OnAllocTable = lp.s2MapTable
 	lp.s2MapTable(s1.Root())
-	d := &DomainPGT{ID: lp.nextPGT, S1: s1}
-	lp.nextPGT++
+	id := lp.nextPGT
+	if n := len(lp.freePGT); n > 0 {
+		id = lp.freePGT[n-1]
+		lp.freePGT = lp.freePGT[:n-1]
+	} else {
+		lp.nextPGT++
+	}
+	d := &DomainPGT{ID: id, S1: s1}
 	lp.pgts[d.ID] = d
 	lp.byRoot[s1.Root()] = d
 	return d, nil
@@ -500,7 +557,11 @@ func (lp *LZProc) Free(pgt int) error {
 	}
 	delete(lp.byRoot, d.S1.Root())
 	delete(lp.pgts, pgt)
-	lp.kern.CPU.TLB.InvalidateASID(lp.vm.VMID, d.S1.ASID())
+	// Return the ASID to the kernel allocator (which performs the scoped
+	// TLB shootdown) and the domain id to the free list, so sustained
+	// alloc/free churn can never exhaust either space.
+	lp.kern.FreeASID(lp.vm.VMID, d.S1.ASID())
+	lp.freePGT = append(lp.freePGT, pgt)
 	if err := lp.writeTTBRTab(pgt, 0); err != nil {
 		return err
 	}

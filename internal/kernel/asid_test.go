@@ -1,0 +1,120 @@
+package kernel
+
+import (
+	"testing"
+
+	"lightzone/internal/mem"
+)
+
+// entryFor builds a distinguishable non-global TLB entry.
+func entryFor(pa mem.PA) mem.TLBEntry {
+	return mem.TLBEntry{PABase: pa, S1Desc: mem.AttrNG, BlockShift: mem.PageShift}
+}
+
+// TestASIDRecycleNoStaleTranslation is the isolation regression for the
+// ASID allocator: after FreeASID returns an id, the next holder of that id
+// must never hit a TLB entry the previous holder left behind.
+func TestASIDRecycleNoStaleTranslation(t *testing.T) {
+	k := newTestKernel(t)
+	tlb := k.CPU.TLB
+
+	asid := k.AllocASID()
+	const vmid = 0
+	va := mem.VA(0x4000_0000)
+	tlb.Insert(vmid, asid, va, entryFor(0x1234_000))
+	if _, ok := tlb.Lookup(vmid, asid, va); !ok {
+		t.Fatal("seed translation did not insert")
+	}
+
+	k.FreeASID(vmid, asid)
+	if _, ok := tlb.Lookup(vmid, asid, va); ok {
+		t.Fatal("translation survived FreeASID: stale entry reachable by the id's next holder")
+	}
+
+	// LIFO recycling: the very next alloc reuses the freed id, and the
+	// new holder starts with no reachable translations under it.
+	got := k.AllocASID()
+	if got != asid {
+		t.Fatalf("AllocASID after free = %d, want recycled %d", got, asid)
+	}
+	if _, ok := tlb.Lookup(vmid, got, va); ok {
+		t.Fatal("recycled ASID still resolves the previous holder's translation")
+	}
+	if k.ASIDRecycles != 1 {
+		t.Fatalf("ASIDRecycles = %d, want 1", k.ASIDRecycles)
+	}
+}
+
+// TestASIDFreeIsVMIDScoped pins the shared-TLB subtlety: host and guest
+// kernels draw from independent ASID counters but share one physical TLB,
+// so freeing (vmid=1, asid) must not shoot down the same asid value living
+// under vmid=2.
+func TestASIDFreeIsVMIDScoped(t *testing.T) {
+	k := newTestKernel(t)
+	tlb := k.CPU.TLB
+
+	asid := k.AllocASID()
+	va := mem.VA(0x4000_0000)
+	tlb.Insert(1, asid, va, entryFor(0x1111_000))
+	tlb.Insert(2, asid, va, entryFor(0x2222_000))
+
+	k.FreeASID(1, asid)
+	if _, ok := tlb.Lookup(1, asid, va); ok {
+		t.Fatal("freed (vmid=1, asid) translation survived")
+	}
+	if _, ok := tlb.Lookup(2, asid, va); !ok {
+		t.Fatal("FreeASID(vmid=1) shot down vmid=2's live translation")
+	}
+}
+
+// TestASIDDoubleFreeIgnored: freeing an id twice must not put it on the
+// free list twice (two later holders would share one ASID — the collision
+// the allocator exists to prevent).
+func TestASIDDoubleFreeIgnored(t *testing.T) {
+	k := newTestKernel(t)
+	a := k.AllocASID()
+	k.FreeASID(0, a)
+	k.FreeASID(0, a)
+	first := k.AllocASID()
+	second := k.AllocASID()
+	if first == second {
+		t.Fatalf("double free handed ASID %d to two holders", first)
+	}
+	if first != a {
+		t.Fatalf("first realloc = %d, want recycled %d", first, a)
+	}
+}
+
+// TestASIDWrapRollsGeneration: exhausting the 16-bit space with nothing on
+// the free list must not silently wrap into live ids. The allocator rolls
+// its generation instead — full TLB invalidation, so no translation tagged
+// under any previous holder survives — and restarts from 1.
+func TestASIDWrapRollsGeneration(t *testing.T) {
+	k := newTestKernel(t)
+	tlb := k.CPU.TLB
+
+	first := k.AllocASID() // 1
+	va := mem.VA(0x4000_0000)
+	tlb.Insert(0, first, va, entryFor(0x3333_000))
+
+	// Drain the rest of the 16-bit space (ids 2..65535).
+	for i := 0; i < 65534; i++ {
+		k.AllocASID()
+	}
+
+	rolled := k.AllocASID()
+	if rolled != 1 {
+		t.Fatalf("post-roll ASID = %d, want 1", rolled)
+	}
+	if k.ASIDRolls != 1 {
+		t.Fatalf("ASIDRolls = %d, want 1", k.ASIDRolls)
+	}
+	// The roll reuses id 1 while its previous holder's entry would still
+	// be tagged 1 — the full invalidation is what makes that safe.
+	if _, ok := tlb.Lookup(0, rolled, va); ok {
+		t.Fatal("translation from before the generation roll survived InvalidateAll")
+	}
+	if tlb.Len() != 0 {
+		t.Fatalf("TLB holds %d entries after generation roll, want 0", tlb.Len())
+	}
+}

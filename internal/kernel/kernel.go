@@ -64,6 +64,16 @@ type Kernel struct {
 	nextPID  int
 	nextTID  int
 	nextASID uint16
+	// asidFree holds recycled ASIDs (LIFO); asidFreed guards against
+	// double frees. See AllocASID/FreeASID.
+	asidFree  []uint16
+	asidFreed map[uint16]bool
+
+	// ASIDRecycles counts allocations served from the free list;
+	// ASIDRolls counts 16-bit space exhaustions resolved by a full-TLB
+	// generation roll.
+	ASIDRecycles int64
+	ASIDRolls    int64
 
 	// Cur is the thread currently loaded on the vCPU.
 	Cur *Thread
@@ -104,16 +114,52 @@ func NewKernel(name string, prof *arm64.Profile, pm *mem.PhysMem, c *cpu.VCPU, e
 		nextPID:      1,
 		nextTID:      1,
 		nextASID:     1,
+		asidFreed:    make(map[uint16]bool),
 		QuantumTraps: prof.SchedQuantumTraps,
 	}
 }
 
-// AllocASID hands out a fresh address space identifier. LightZone also
-// draws domain page-table ASIDs from this space (§4.1.2).
+// AllocASID hands out an address space identifier. LightZone also draws
+// domain page-table ASIDs from this space (§4.1.2), so under zone churn it
+// is allocated from far more often than processes are created. Recycled
+// ids (FreeASID) are preferred, LIFO; when the 16-bit space is exhausted
+// with nothing parked on the free list, the allocator rolls its generation
+// instead of silently wrapping: the whole TLB is invalidated — no
+// translation tagged under any previous holder can survive — and the
+// counter restarts from 1.
 func (k *Kernel) AllocASID() uint16 {
+	if n := len(k.asidFree); n > 0 {
+		id := k.asidFree[n-1]
+		k.asidFree = k.asidFree[:n-1]
+		delete(k.asidFreed, id)
+		k.ASIDRecycles++
+		return id
+	}
+	if k.nextASID == 0 { // 65535 ids handed out since the last roll
+		k.ASIDRolls++
+		k.CPU.TLB.InvalidateAll()
+		k.nextASID = 1
+	}
 	id := k.nextASID
 	k.nextASID++
 	return id
+}
+
+// FreeASID returns an id to the allocator. vmid scopes the shootdown:
+// every TLB entry tagged (vmid, asid) is invalidated on the spot, so the
+// id's next holder — which may be a different address space entirely — can
+// never reach the previous holder's mappings through a stale translation.
+// The shootdown must stay VMID-scoped: host and guest kernels share one
+// physical TLB but draw from independent ASID counters, so the same id
+// value may be legitimately live under another VMID. ASID 0 (the reserved
+// kernel/global id) and double frees are ignored.
+func (k *Kernel) FreeASID(vmid, asid uint16) {
+	if asid == 0 || k.asidFreed[asid] {
+		return
+	}
+	k.CPU.TLB.InvalidateASID(vmid, asid)
+	k.asidFreed[asid] = true
+	k.asidFree = append(k.asidFree, asid)
 }
 
 // CreateProcess builds a process from a program image: text at TextBase,

@@ -88,7 +88,11 @@ func (r *chaosRunner) baseline(scn Scenario, slice int64) (Digest, int, error) {
 			return
 		}
 		d := CaptureDigest(env.M.CPU, env.M.PM)
-		d.Measured = env.Measured()
+		d.Measured, err = env.Measured()
+		if err != nil {
+			b.err = fmt.Errorf("baseline measurement: %w", err)
+			return
+		}
 		d.Killed, d.KillMsg = p.Killed, p.KillMsg
 		if d.Killed {
 			b.err = fmt.Errorf("baseline killed: %s", d.KillMsg)
@@ -182,7 +186,14 @@ func (r *chaosRunner) RunCase(plan Plan) ChaosResult {
 	}
 
 	pert := CaptureDigest(env.M.CPU, env.M.PM)
-	pert.Measured = env.Measured()
+	// An enforcement kill can land inside the measurement window; -1
+	// marks the half-open interval (it can never equal a real baseline
+	// measurement, so the digest comparison still catches it).
+	if m, merr := env.Measured(); merr == nil {
+		pert.Measured = m
+	} else {
+		pert.Measured = -1
+	}
 	pert.Killed, pert.KillMsg = p.Killed, p.KillMsg
 	res.Delta = base.Delta(pert)
 

@@ -67,6 +67,14 @@ type RunConfig struct {
 	Invariants  bool     `json:"invariants,omitempty"`
 	Backend     string   `json:"backend,omitempty"`      // isolation-backend matrix scope ("", name, or "all")
 	HostVisible bool     `json:"host_visible,omitempty"` // -hostperf rows present (never recorded)
+
+	// Serve-harness boundary inputs (set only when the suites include
+	// "serve"). The replayer restores them and the keyed inputs cross-check
+	// them, the same belt-and-braces the backend selector uses.
+	Arrival   string  `json:"arrival,omitempty"`
+	RPS       float64 `json:"rps,omitempty"`
+	DurationS float64 `json:"duration_s,omitempty"`
+	SLOMicros float64 `json:"slo_us,omitempty"`
 }
 
 // Input is one keyed nondeterministic draw.

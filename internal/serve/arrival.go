@@ -1,0 +1,78 @@
+// Package serve implements the always-on service harness: seeded open-loop
+// arrival processes drive the figure workloads as long-lived services on
+// emulated machines, with per-request latency histograms, throughput-at-SLO
+// accounting, sustained zone churn against the real lz_alloc/lz_free
+// machinery, and a bounded admission queue with a shed-vs-queue overload
+// policy. Everything is deterministic for a fixed seed: arrival gaps come
+// from per-cell PRNGs, service times from emulated-cycle measurements, and
+// the queue runs in virtual time — so the emitted rows are byte-identical
+// at any fleet width.
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Arrival names an open-loop arrival process.
+type Arrival string
+
+// The two arrival processes of the harness: memoryless offered load, and
+// two-phase modulated bursts that stress the admission queue at the same
+// average rate.
+const (
+	ArrivalPoisson Arrival = "poisson"
+	ArrivalBursty  Arrival = "bursty"
+)
+
+// ParseArrival validates a CLI arrival selector.
+func ParseArrival(s string) (Arrival, error) {
+	switch Arrival(s) {
+	case ArrivalPoisson, ArrivalBursty:
+		return Arrival(s), nil
+	}
+	return "", fmt.Errorf("unknown arrival process %q (have %q, %q)", s, ArrivalPoisson, ArrivalBursty)
+}
+
+// Bursty shape: phases alternate between hot (mean gap burstHotGap/rate)
+// and cold (burstColdGap/rate), with geometric phase lengths of mean
+// burstPhaseLen arrivals. The factors average to 1, so the long-run rate
+// matches the Poisson process — only the variance differs.
+const (
+	burstHotGap   = 0.25
+	burstColdGap  = 1.75
+	burstPhaseLen = 64
+)
+
+// arrivalProc generates inter-arrival gaps in virtual seconds from its own
+// seeded PRNG, so two processes with the same (kind, rate, seed) emit the
+// same stream regardless of what else runs.
+type arrivalProc struct {
+	rng  *rand.Rand
+	kind Arrival
+	rate float64
+	hot  bool
+	left int
+}
+
+func newArrival(kind Arrival, rate float64, seed int64) *arrivalProc {
+	return &arrivalProc{rng: rand.New(rand.NewSource(seed)), kind: kind, rate: rate}
+}
+
+// next returns the gap to the next arrival, in virtual seconds.
+func (p *arrivalProc) next() float64 {
+	mean := 1 / p.rate
+	if p.kind == ArrivalBursty {
+		if p.left <= 0 {
+			p.hot = !p.hot
+			p.left = 1 + int(p.rng.ExpFloat64()*burstPhaseLen)
+		}
+		p.left--
+		if p.hot {
+			mean *= burstHotGap
+		} else {
+			mean *= burstColdGap
+		}
+	}
+	return p.rng.ExpFloat64() * mean
+}

@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"fmt"
+
+	"lightzone/internal/core"
+	"lightzone/internal/kernel"
+	"lightzone/internal/mem"
+	"lightzone/internal/workload"
+)
+
+// churnRegionBase is where the churner's zone pages live (clear of the
+// text/stack/data layout and the workload package's domain region).
+const churnRegionBase = 0x6100_0000
+
+// Churner drives sustained zone churn through the real module machinery on
+// a live emulated machine: a resident set of liveZones protected zones,
+// plus alloc/prot/free pairs on top, all via the kernel-module Go API (the
+// same paths the guest syscalls dispatch into). This is what keeps the
+// harness honest about the id/ASID exhaustion bugs: every simulated run is
+// backed by real gate-table, TTBRTab and TLB state whose bounds Stats
+// exposes.
+type Churner struct {
+	env   *workload.Env
+	lp    *core.LZProc
+	live  int
+	pairs int64
+}
+
+// NewChurner boots a machine, enters a process under the scalable TTBR
+// policy with the given domain-limit regime, and builds the resident set.
+func NewChurner(plat workload.Platform, liveZones, regime int) (*Churner, error) {
+	env, err := workload.NewEnv(plat)
+	if err != nil {
+		return nil, err
+	}
+	region := kernel.VMA{
+		Start: mem.VA(churnRegionBase),
+		End:   mem.VA(churnRegionBase + uint64(liveZones+2)*uint64(mem.PageSize)),
+		Prot:  kernel.ProtRead | kernel.ProtWrite,
+		Name:  "zones",
+	}
+	p, err := env.K.CreateProcess("serve-churn", kernel.Program{Extra: []kernel.VMA{region}})
+	if err != nil {
+		return nil, err
+	}
+	lp, err := env.LZ.EnterProcess(env.K, p, true, core.SanTTBR)
+	if err != nil {
+		return nil, err
+	}
+	if err := lp.SetDomainLimit(regime); err != nil {
+		return nil, err
+	}
+	for i := 0; i < liveZones; i++ {
+		id, err := lp.Alloc()
+		if err != nil {
+			return nil, fmt.Errorf("resident zone %d: %w", i, err)
+		}
+		page := mem.VA(churnRegionBase + uint64(i)*uint64(mem.PageSize))
+		if err := lp.Prot(page, mem.PageSize, id, core.PermRead|core.PermWrite); err != nil {
+			return nil, fmt.Errorf("resident zone %d: %w", i, err)
+		}
+	}
+	return &Churner{env: env, lp: lp, live: liveZones}, nil
+}
+
+// Churn performs n alloc/prot/free pairs on the spare page. With the free
+// lists working, every pair recycles one zone id and one ASID; the pre-fix
+// allocators would instead walk both id spaces monotonically.
+func (c *Churner) Churn(n int) error {
+	spare := mem.VA(churnRegionBase + uint64(c.live)*uint64(mem.PageSize))
+	for i := 0; i < n; i++ {
+		id, err := c.lp.Alloc()
+		if err != nil {
+			return fmt.Errorf("churn pair %d: %w", i, err)
+		}
+		if err := c.lp.Prot(spare, mem.PageSize, id, core.PermRead|core.PermWrite); err != nil {
+			return fmt.Errorf("churn pair %d: %w", i, err)
+		}
+		if err := c.lp.Free(id); err != nil {
+			return fmt.Errorf("churn pair %d: %w", i, err)
+		}
+	}
+	c.pairs += int64(n)
+	return nil
+}
+
+// ChurnStats reports the pressure state after churn: how far the id
+// allocator actually walked, how large the TTBR translation window grew,
+// and how the ASID allocator behaved.
+type ChurnStats struct {
+	LiveZones       int   `json:"live_zones"`
+	Pairs           int64 `json:"pairs"`
+	ZoneIDHighWater int   `json:"zone_id_high_water"`
+	TTBRTabPages    int   `json:"ttbrtab_pages"`
+	ASIDRecycles    int64 `json:"asid_recycles"`
+	ASIDRolls       int64 `json:"asid_rolls"`
+}
+
+// Stats reads the pressure counters off the live machine.
+func (c *Churner) Stats() ChurnStats {
+	return ChurnStats{
+		LiveZones:       c.live,
+		Pairs:           c.pairs,
+		ZoneIDHighWater: c.lp.PGTIDHighWater(),
+		TTBRTabPages:    len(c.lp.TTBRTabPages()),
+		ASIDRecycles:    c.env.K.ASIDRecycles,
+		ASIDRolls:       c.env.K.ASIDRolls,
+	}
+}

@@ -94,7 +94,11 @@ func measureSyscallInEnv(env *Env, lz bool) (float64, error) {
 	if p.Killed {
 		return 0, fmt.Errorf("probe killed: %s", p.KillMsg)
 	}
-	return float64(env.Measured()) / iters, nil
+	m, err := env.Measured()
+	if err != nil {
+		return 0, err
+	}
+	return float64(m) / iters, nil
 }
 
 // measureFaultStorm touches many cold pages from inside LightZone; with
@@ -136,5 +140,9 @@ func measureFaultStorm(prof *arm64.Profile, copts core.Opts) (float64, error) {
 	if p.Killed {
 		return 0, fmt.Errorf("probe killed: %s", p.KillMsg)
 	}
-	return float64(env.Measured()) / pages, nil
+	m, err := env.Measured()
+	if err != nil {
+		return 0, err
+	}
+	return float64(m) / pages, nil
 }

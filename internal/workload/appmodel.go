@@ -301,7 +301,11 @@ func measureSyscall(plat Platform, lz bool) (float64, error) {
 	if p.Killed {
 		return 0, fmt.Errorf("probe killed: %s", p.KillMsg)
 	}
-	return float64(env.Measured()) / iters, nil
+	m, err := env.Measured()
+	if err != nil {
+		return 0, err
+	}
+	return float64(m) / iters, nil
 }
 
 func minInt(a, b int) int {

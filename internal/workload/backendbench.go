@@ -166,7 +166,11 @@ func runBackendSwitch(cfg BackendSwitchConfig) (float64, *Env, error) {
 	if p.Killed {
 		return 0, nil, fmt.Errorf("benchmark killed: %s", p.KillMsg)
 	}
-	return float64(env.Measured()) / float64(cfg.Iters), env, nil
+	m, err := env.Measured()
+	if err != nil {
+		return 0, nil, err
+	}
+	return float64(m) / float64(cfg.Iters), env, nil
 }
 
 // RunBackendSwitch measures one backend's switch cost (exported for the
@@ -208,7 +212,11 @@ func measureBackendProt(plat Platform, backend string) (float64, error) {
 	if p.Killed {
 		return 0, fmt.Errorf("prot probe killed: %s", p.KillMsg)
 	}
-	return float64(env.Measured()) / backendProtPages, nil
+	m, err := env.Measured()
+	if err != nil {
+		return 0, err
+	}
+	return float64(m) / backendProtPages, nil
 }
 
 // measureBackendSyscall measures the Table 4 lz-syscall roundtrip under a
@@ -239,7 +247,11 @@ func measureBackendSyscall(plat Platform, backend string) (float64, error) {
 	if p.Killed {
 		return 0, fmt.Errorf("syscall probe killed: %s", p.KillMsg)
 	}
-	return float64(env.Measured()) / iters, nil
+	m, err := env.Measured()
+	if err != nil {
+		return 0, err
+	}
+	return float64(m) / iters, nil
 }
 
 // BackendSweep measures the comparison matrix on one platform: per listed

@@ -1,0 +1,338 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"lightzone/internal/arm64"
+	"lightzone/internal/core"
+	"lightzone/internal/kernel"
+	"lightzone/internal/mem"
+	"lightzone/internal/verify"
+)
+
+// churnIters is the conformance churn depth: enough alloc/free cycles to
+// blow through the 16-bit id and ASID spaces many times over on pre-fix
+// code, with a single-digit live-zone count throughout.
+const churnIters = 100_000
+
+// buildChurn assembles the churn conformance script: enter, then iters
+// alloc→prot→free cycles in a tight guest loop — asserting in-guest that
+// every allocation returns the recycled id 1 — followed by the lifecycle
+// epilogue (two live domains, one protected page each, switch into domain
+// 1, touch domain 2's page) so the run still ends in the backend's
+// documented fault class. A reuse failure branches to "fail", which
+// executes an undefined instruction: the SIGILL kill message is
+// distinguishable from every backend fault class.
+func buildChurn(a *arm64.Asm, backend string, iters int) []core.GateEntry {
+	page0 := domainRegionBase
+	page1 := domainRegionBase + domainRegionStride
+	scalable, pol := backendEnter(backend)
+	svcCall(a, core.SysLZEnter, scalable, uint64(pol))
+
+	a.MovImm(19, uint64(iters))
+	a.Label("churn")
+	// id = lz_alloc()
+	a.MovImm(8, core.SysLZAlloc)
+	a.Emit(arm64.HVC(core.HVCSyscall))
+	a.Emit(arm64.MOVReg(20, 0))
+	// The freed id/key must be recycled: every iteration sees 1.
+	a.Emit(arm64.CMPImm(20, 1))
+	a.BCond(arm64.CondNE, "fail")
+	// lz_prot(page0, PageSize, id, RW)
+	a.MovImm(0, page0)
+	a.MovImm(1, uint64(mem.PageSize))
+	a.Emit(arm64.MOVReg(2, 20))
+	a.MovImm(3, uint64(core.PermRead|core.PermWrite))
+	a.MovImm(8, core.SysLZProt)
+	a.Emit(arm64.HVC(core.HVCSyscall))
+	// lz_free(id)
+	a.Emit(arm64.MOVReg(0, 20))
+	a.MovImm(8, core.SysLZFree)
+	a.Emit(arm64.HVC(core.HVCSyscall))
+	a.Emit(arm64.SUBImm(19, 19, 1, false))
+	a.CBNZ(19, "churn")
+
+	// Lifecycle epilogue: the machine must still behave post-churn.
+	hvcCall(a, core.SysLZAlloc) // recycled id 1
+	hvcCall(a, core.SysLZAlloc) // fresh id 2
+	if backend == "lightzone" {
+		hvcCall(a, core.SysLZMapGatePgt, 1, 0)
+	}
+	hvcCall(a, core.SysLZProt, page0, uint64(mem.PageSize), 1, core.PermRead|core.PermWrite)
+	hvcCall(a, core.SysLZProt, page1, uint64(mem.PageSize), 2, core.PermRead|core.PermWrite)
+	switch backend {
+	case "lightzone":
+		a.MovImm(13, core.GateCodeBase())
+		a.ADR(30, "in1")
+		a.Emit(arm64.BR(13))
+		a.Label("in1")
+	case "overlay":
+		a.MovImm(14, 1)
+		core.EmitOverlaySwitch(a, 14)
+	case "granule":
+		a.MovImm(0, 1)
+		core.EmitGranuleEnter(a)
+	}
+	// Legal read of domain 1's own page, then the cross-domain violation.
+	a.MovImm(13, page0)
+	a.Emit(arm64.LDRImm(9, 13, 0, 3))
+	a.MovImm(13, page1)
+	a.Emit(arm64.LDRImm(9, 13, 0, 3))
+	hvcCall(a, kernel.SysExit, 0)
+
+	a.Label("fail")
+	a.Emit(0) // UDF: id-reuse assertion failed in-guest -> SIGILL
+
+	if backend == "lightzone" {
+		off, err := a.Offset("in1")
+		if err != nil {
+			return nil
+		}
+		return []core.GateEntry{{GateID: 0, Entry: uint64(off)}}
+	}
+	return nil
+}
+
+// churnEventAt is the expected observer event at stream position i for an
+// iters-deep churn run: lz_enter, then iters (alloc, prot, free) triples,
+// then the epilogue's two allocs and two prots. Computing the expectation
+// per position keeps the test from materialising a 300k-element slice.
+func churnEventAt(i, iters int) string {
+	if i == 0 {
+		return "lz_enter"
+	}
+	i--
+	if i < 3*iters {
+		return []string{"lz_alloc", "lz_prot", "lz_free"}[i%3]
+	}
+	tail := []string{"lz_alloc", "lz_alloc", "lz_prot", "lz_prot"}
+	if i -= 3 * iters; i < len(tail) {
+		return tail[i]
+	}
+	return ""
+}
+
+// TestBackendChurnConformance extends the lifecycle conformance suite with
+// sustained alloc/free churn: 10^5 cycles per backend with a single-digit
+// live-zone count. Pre-fix code fails loudly — monotonic ids break the
+// in-guest id==1 assertion on the second iteration, and 10^5 allocations
+// wrap the uint16 ASID allocator silently. Post-fix, every backend must
+// recycle ids/keys identically, keep its id high-water bounded, land the
+// epilogue violation in its documented fault class, and emit exactly the
+// expected observer-event sequence.
+func TestBackendChurnConformance(t *testing.T) {
+	wantKill := map[string]string{
+		"lightzone": "not mapped by current page table",
+		"overlay":   "overlay key mismatch",
+		"granule":   "granule protection fault",
+	}
+	lifecycle := map[string]bool{
+		"lz_enter": true, "lz_alloc": true, "lz_prot": true, "lz_free": true,
+	}
+	wantCount := 1 + 3*churnIters + 4
+	for _, backend := range core.Backends() {
+		t.Run(backend, func(t *testing.T) {
+			env, err := NewEnvBackend(carmelHost(), backend)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Streaming order check: comparing each event against its
+			// computed expectation as it arrives.
+			seen := 0
+			var seqErr error
+			env.LZ.Observer = func(event string, lp *core.LZProc) {
+				if !lifecycle[event] {
+					return
+				}
+				if want := churnEventAt(seen, churnIters); event != want && seqErr == nil {
+					seqErr = fmt.Errorf("observer event %d is %q, want %q", seen, event, want)
+				}
+				seen++
+			}
+			a := arm64.NewAsm()
+			entries := buildChurn(a, backend, churnIters)
+			p, err := env.NewProcess("churn", a, nil, entries, kernel.VMA{
+				Start: mem.VA(domainRegionBase),
+				End:   mem.VA(domainRegionBase + 2*domainRegionStride),
+				Prot:  kernel.ProtRead | kernel.ProtWrite,
+				Name:  "domains",
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := env.Run(p, 4*churnIters+100_000); err != nil {
+				t.Fatal(err)
+			}
+			if !p.Killed {
+				t.Fatalf("cross-domain access survived under %s after churn", backend)
+			}
+			if !strings.Contains(p.KillMsg, wantKill[backend]) {
+				t.Fatalf("kill message %q does not carry the %s fault class %q (SIGILL here means the in-guest id-reuse assertion fired)",
+					p.KillMsg, backend, wantKill[backend])
+			}
+			if seqErr != nil {
+				t.Fatal(seqErr)
+			}
+			if seen != wantCount {
+				t.Fatalf("observer saw %d lifecycle events, want %d", seen, wantCount)
+			}
+
+			procs := env.LZ.Procs()
+			if len(procs) != 1 {
+				t.Fatalf("want one LZ process, got %d", len(procs))
+			}
+			lp := procs[0]
+			switch backend {
+			case "lightzone", "granule":
+				// ids 0 (base), 1 (recycled throughout), 2 (epilogue).
+				if hw := lp.PGTIDHighWater(); hw != 3 {
+					t.Fatalf("PGT id high-water = %d after %d alloc/free cycles, want 3", hw, churnIters)
+				}
+				if rec := env.K.ASIDRecycles; rec < int64(churnIters)-1 {
+					t.Fatalf("ASIDRecycles = %d, want >= %d", rec, churnIters-1)
+				}
+				if env.K.ASIDRolls != 0 {
+					t.Fatalf("ASID generation rolled %d times with a working free list", env.K.ASIDRolls)
+				}
+			case "overlay":
+				if hw := lp.OverlayKeyHighWater(); hw != 2 {
+					t.Fatalf("overlay key high-water = %d after %d alloc/free cycles, want 2", hw, churnIters)
+				}
+			}
+			if backend == "lightzone" {
+				if pages := len(lp.TTBRTabPages()); pages != 1 {
+					t.Fatalf("TTBRTab grew to %d pages under churn, want 1", pages)
+				}
+			}
+
+			rep, err := verify.RunMachine(env.M, env.LZ)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Clean() {
+				t.Fatalf("post-churn machine not clean under %s registry: %v", backend, rep.Findings)
+			}
+		})
+	}
+}
+
+// TestChurnIDAndASIDRecyclingGoAPI is the direct regression for the PGT-id
+// and ASID exhaustion bugs, driven through the module Go API so it crosses
+// the 2^16 boundary quickly: 70_000 alloc/prot/free cycles (more ids and
+// ASIDs than either 16-bit space holds) with at most 8 zones live. Pre-fix
+// code walks nextPGT past 65536, grows TTBRTab without bound, and wraps
+// nextASID into live ids; post-fix everything stays bounded.
+func TestChurnIDAndASIDRecyclingGoAPI(t *testing.T) {
+	const (
+		iters      = 70_000
+		liveTarget = 8
+	)
+	env, err := NewEnv(carmelHost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := kernel.VMA{
+		Start: mem.VA(domainRegionBase),
+		End:   mem.VA(domainRegionBase + uint64(liveTarget+1)*uint64(mem.PageSize)),
+		Prot:  kernel.ProtRead | kernel.ProtWrite,
+		Name:  "zones",
+	}
+	p, err := env.K.CreateProcess("churn-api", kernel.Program{Extra: []kernel.VMA{region}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := env.LZ.EnterProcess(env.K, p, true, core.SanTTBR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lp.SetDomainLimit(128); err != nil {
+		t.Fatal(err)
+	}
+
+	type zone struct {
+		id   int
+		page mem.VA
+	}
+	var live []zone
+	slot := 0
+	for i := 0; i < iters; i++ {
+		if len(live) >= liveTarget {
+			if err := lp.Free(live[0].id); err != nil {
+				t.Fatalf("iteration %d: free zone %d: %v", i, live[0].id, err)
+			}
+			live = live[1:]
+		}
+		id, err := lp.Alloc()
+		if err != nil {
+			t.Fatalf("iteration %d: alloc: %v", i, err)
+		}
+		if id >= 128 {
+			t.Fatalf("iteration %d: alloc returned id %d beyond the 128-id regime", i, id)
+		}
+		page := mem.VA(domainRegionBase + uint64(slot)*uint64(mem.PageSize))
+		slot = (slot + 1) % liveTarget
+		if err := lp.Prot(page, uint64(mem.PageSize), id, core.PermRead|core.PermWrite); err != nil {
+			t.Fatalf("iteration %d: prot zone %d: %v", i, id, err)
+		}
+		live = append(live, zone{id: id, page: page})
+	}
+
+	if hw := lp.PGTIDHighWater(); hw > liveTarget+1 {
+		t.Fatalf("PGT id high-water = %d after %d cycles, want <= %d", hw, iters, liveTarget+1)
+	}
+	if pages := len(lp.TTBRTabPages()); pages != 1 {
+		t.Fatalf("TTBRTab spans %d pages, want 1 (the pre-fix bug grew it one page per 512 churn cycles)", pages)
+	}
+	if rec := env.K.ASIDRecycles; rec < int64(iters)-int64(liveTarget)-1 {
+		t.Fatalf("ASIDRecycles = %d, want >= %d", rec, iters-liveTarget-1)
+	}
+	if env.K.ASIDRolls != 0 {
+		t.Fatalf("ASID generation rolled %d times despite recycling", env.K.ASIDRolls)
+	}
+	if got := lp.NumPageTables(); got != liveTarget+1 {
+		t.Fatalf("live page tables = %d, want %d (base + %d zones)", got, liveTarget+1, liveTarget)
+	}
+}
+
+// TestDomainLimitRegime pins the NR_LZID=128 regime semantics: the limit
+// rejects the allocation that would exceed it, frees reopen headroom, and
+// the limit cannot be set below the live count.
+func TestDomainLimitRegime(t *testing.T) {
+	env, err := NewEnv(carmelHost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := env.K.CreateProcess("limit", kernel.Program{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := env.LZ.EnterProcess(env.K, p, true, core.SanTTBR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lp.SetDomainLimit(4); err != nil {
+		t.Fatal(err)
+	}
+	var ids []int
+	for i := 0; i < 3; i++ { // base table + 3 = the limit
+		id, err := lp.Alloc()
+		if err != nil {
+			t.Fatalf("alloc %d under limit: %v", i, err)
+		}
+		ids = append(ids, id)
+	}
+	if _, err := lp.Alloc(); err == nil {
+		t.Fatal("allocation beyond the domain limit succeeded")
+	}
+	if err := lp.SetDomainLimit(2); err == nil {
+		t.Fatal("limit below the live count accepted")
+	}
+	if err := lp.Free(ids[len(ids)-1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lp.Alloc(); err != nil {
+		t.Fatalf("alloc after free under limit: %v", err)
+	}
+}

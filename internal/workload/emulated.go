@@ -148,5 +148,9 @@ func RunEmulatedTxnWorker(cfg EmulatedTxnConfig) (float64, error) {
 	if p.Killed {
 		return 0, fmt.Errorf("worker killed: %s", p.KillMsg)
 	}
-	return float64(env.Measured()) / float64(cfg.Txns), nil
+	m, err := env.Measured()
+	if err != nil {
+		return 0, err
+	}
+	return float64(m) / float64(cfg.Txns), nil
 }

@@ -68,12 +68,21 @@ const (
 	SysMarkEnd   = 481
 )
 
-// Marker records vCPU cycle counts at program-selected points.
+// markerUnset is the sentinel for a mark that was never placed. Cycle
+// counts are non-negative, so it can never collide with a real mark.
+const markerUnset int64 = -1
+
+// Marker records vCPU cycle counts at program-selected points. Marks carry
+// the unset sentinel until the program places them; Env.NewProcess resets
+// the marker so one run can never read the previous run's interval.
 type Marker struct {
 	c     *cpu.VCPU
 	Begin int64
 	End   int64
 }
+
+// Reset clears both marks to the unset sentinel.
+func (m *Marker) Reset() { m.Begin, m.End = markerUnset, markerUnset }
 
 var _ kernel.Module = (*Marker)(nil)
 
@@ -126,7 +135,7 @@ func NewEnv(p Platform) (*Env, error) {
 		LZ:       core.New(m.Hyp),
 		WP:       baseline.NewWatchpoint(),
 		LWC:      baseline.NewLwC(),
-		Marks:    &Marker{c: m.CPU},
+		Marks:    &Marker{c: m.CPU, Begin: markerUnset, End: markerUnset},
 	}
 	if p.Guest {
 		vm, err := m.NewGuestVM("guest")
@@ -168,6 +177,11 @@ func (e *Env) NewProcess(name string, a *arm64.Asm, data []byte, entries []core.
 	if err != nil {
 		return nil, err
 	}
+	// Fresh process, fresh measurement window: without this reset an
+	// aborted run would silently report the previous run's interval.
+	// (The reset lives here, not in Run — the chaos engine legitimately
+	// drives one process through many Run slices and reads Measured after.)
+	e.Marks.Reset()
 	resolved := make([]core.GateEntry, len(entries))
 	for i, ge := range entries {
 		resolved[i] = core.GateEntry{GateID: ge.GateID, Entry: uint64(kernel.TextBase) + ge.Entry}
@@ -184,5 +198,22 @@ func (e *Env) Run(p *kernel.Process, maxTraps int64) error {
 	return e.M.RunHostProcess(p, maxTraps)
 }
 
-// Measured returns the cycles between the program's begin/end markers.
-func (e *Env) Measured() int64 { return e.Marks.End - e.Marks.Begin }
+// Measured returns the cycles between the program's begin/end markers. A
+// run that placed no markers at all reads 0 (the documented System.Run
+// contract); a run that aborted between SysMarkBegin and SysMarkEnd — or
+// whose end mark predates its begin, i.e. a stale mark surviving from an
+// earlier run — is an error rather than a silently wrong interval.
+func (e *Env) Measured() (int64, error) {
+	b, n := e.Marks.Begin, e.Marks.End
+	switch {
+	case b == markerUnset && n == markerUnset:
+		return 0, nil
+	case b == markerUnset:
+		return 0, fmt.Errorf("measurement: SysMarkEnd at cycle %d without SysMarkBegin", n)
+	case n == markerUnset:
+		return 0, fmt.Errorf("measurement aborted: SysMarkBegin at cycle %d never closed by SysMarkEnd", b)
+	case n < b:
+		return 0, fmt.Errorf("stale measurement: end mark (cycle %d) predates begin mark (cycle %d)", n, b)
+	}
+	return n - b, nil
+}

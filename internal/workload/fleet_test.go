@@ -178,7 +178,11 @@ func TestCrossMachineIsolationInterleaved(t *testing.T) {
 		if pair.p.Killed {
 			t.Fatalf("machine %s: killed: %s", name, pair.p.KillMsg)
 		}
-		if got := env.Measured(); got != soloRes.TotalCycles {
+		got, err := env.Measured()
+		if err != nil {
+			t.Fatalf("machine %s: %v", name, err)
+		}
+		if got != soloRes.TotalCycles {
 			t.Errorf("machine %s: measured %d cycles, solo %d", name, got, soloRes.TotalCycles)
 		}
 		c, solo := env.M.CPU, soloEnv.M.CPU

@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"lightzone/internal/arm64"
+	"lightzone/internal/kernel"
+)
+
+// TestMarkerResetAndAbortDetection is the regression for the stale-marker
+// bug: a run killed between SysMarkBegin and SysMarkEnd must surface as a
+// measurement error, not silently report the previous run's interval, and
+// a fresh process must start with both marks unset.
+func TestMarkerResetAndAbortDetection(t *testing.T) {
+	env, err := NewEnv(carmelHost())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Run 1: a complete measured window.
+	a := arm64.NewAsm()
+	svcCall(a, SysMarkBegin)
+	a.Emit(arm64.ADDImm(9, 9, 1, false))
+	svcCall(a, SysMarkEnd)
+	svcCall(a, kernel.SysExit, 0)
+	p, err := env.NewProcess("measured", a, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Run(p, 100_000); err != nil {
+		t.Fatal(err)
+	}
+	if p.Killed {
+		t.Fatalf("killed: %s", p.KillMsg)
+	}
+	full, err := env.Measured()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full <= 0 {
+		t.Fatalf("complete window measured %d cycles, want > 0", full)
+	}
+
+	// Run 2: killed inside the window (SIGSEGV on an unmapped page before
+	// SysMarkEnd). Pre-fix code returned run 1's interval here.
+	a = arm64.NewAsm()
+	svcCall(a, SysMarkBegin)
+	a.MovImm(10, 0x10)
+	a.Emit(arm64.LDRImm(11, 10, 0, 3))
+	svcCall(a, SysMarkEnd)
+	svcCall(a, kernel.SysExit, 0)
+	p, err = env.NewProcess("aborted", a, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Run(p, 100_000); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Killed {
+		t.Fatal("unmapped read survived")
+	}
+	if _, err := env.Measured(); err == nil {
+		t.Fatal("aborted window reported a measurement (stale-marker bug)")
+	} else if !strings.Contains(err.Error(), "never closed") {
+		t.Fatalf("aborted window error = %q, want the never-closed diagnosis", err)
+	}
+
+	// Run 3: no markers at all. Both marks must have been reset by
+	// NewProcess — zero cycles, no error, nothing inherited from run 1 or 2.
+	a = arm64.NewAsm()
+	a.Emit(arm64.ADDImm(9, 9, 1, false))
+	svcCall(a, kernel.SysExit, 0)
+	p, err = env.NewProcess("unmeasured", a, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Run(p, 100_000); err != nil {
+		t.Fatal(err)
+	}
+	got, err := env.Measured()
+	if err != nil {
+		t.Fatalf("marker state leaked across NewProcess: %v", err)
+	}
+	if got != 0 {
+		t.Fatalf("unmeasured run reports %d cycles, want 0", got)
+	}
+}

@@ -64,7 +64,10 @@ func TestNVMSearchModelAnchor(t *testing.T) {
 			if p.Killed {
 				t.Fatalf("killed: %s", p.KillMsg)
 			}
-			got := env.Measured()
+			got, err := env.Measured()
+			if err != nil {
+				t.Fatal(err)
+			}
 			// The paper's band with slack for our scan's exact shape.
 			if got < 4_500 || got > 12_000 {
 				t.Errorf("emulated search = %d cycles, paper reports 7,000-8,500", got)

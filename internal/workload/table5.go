@@ -73,7 +73,9 @@ func runDomainSwitch(cfg DomainSwitchConfig, env *Env) (DomainSwitchResult, *Env
 	if p.Killed {
 		return res, nil, fmt.Errorf("benchmark killed: %s", p.KillMsg)
 	}
-	res.TotalCycles = env.Measured()
+	if res.TotalCycles, err = env.Measured(); err != nil {
+		return res, nil, err
+	}
 	res.AvgCycles = float64(res.TotalCycles) / float64(cfg.Iters)
 	return res, env, nil
 }

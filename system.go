@@ -107,8 +107,10 @@ type Result struct {
 	Killed   bool
 	KillMsg  string
 	Stdout   string
-	// Cycles is the simulated cycle count between MarkBegin/MarkEnd, or
-	// 0 when the program placed no markers.
+	// Cycles is the simulated cycle count between MarkBegin/MarkEnd, or 0
+	// when the program placed no markers — including a killed program
+	// that never reached its MarkEnd (a half-open measurement window is
+	// not a valid interval).
 	Cycles int64
 	// Registers holds the final general-purpose register file.
 	Registers [32]uint64
@@ -126,12 +128,18 @@ func (s *System) Run(p *Program) (*Result, error) {
 	if err := s.env.Run(proc, p.maxTraps); err != nil {
 		return nil, err
 	}
+	// A program killed mid-measurement has no valid interval; report 0
+	// cycles rather than failing the whole run.
+	cycles, mErr := s.env.Measured()
+	if mErr != nil {
+		cycles = 0
+	}
 	res := &Result{
 		ExitCode: proc.ExitCode,
 		Killed:   proc.Killed,
 		KillMsg:  proc.KillMsg,
 		Stdout:   proc.Stdout.String(),
-		Cycles:   s.env.Measured(),
+		Cycles:   cycles,
 	}
 	for i := range res.Registers {
 		res.Registers[i] = s.env.M.CPU.R(uint8(i))
