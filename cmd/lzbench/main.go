@@ -65,6 +65,7 @@ func main() {
 		parallel = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for the measurement sweeps (1 = fully sequential)")
 		noFast   = flag.Bool("nofastpath", false, "disable the host-side fastpaths (micro-TLBs, block-resident run loop, batched charging); emitted rows must stay byte-identical")
 		noDecode = flag.Bool("nodecode", false, "disable the decoded-block cache (the seed fetch/decode pipeline); emitted rows must stay byte-identical")
+		proofAud = flag.Bool("proofaudit", false, "cross-check every cached-block replay against its static BlockProof (the abstract-interpretation artifact); summary on stderr, nonzero exit on any divergence, stdout byte-identical")
 		hostPerf = flag.Bool("hostperf", false, "append one host-throughput row per suite (wall seconds, emulated insns/sec); off by default so the emitted rows never depend on the host")
 		benchOut = flag.String("benchout", "", "write a machine-readable per-suite host-performance summary (JSON) to this file")
 		cpuProf  = flag.String("cpuprofile", "", "write a host CPU profile to this file")
@@ -100,6 +101,9 @@ func main() {
 	if *noDecode {
 		cpu.SetDecodeCacheDefault(false)
 	}
+	if *proofAud {
+		cpu.SetProofAuditDefault(true)
+	}
 	fleet = workload.NewFleet(*parallel)
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -126,10 +130,31 @@ func main() {
 	if err == nil && *memProf != "" {
 		err = writeMemProfile(*memProf)
 	}
+	if err == nil && *proofAud {
+		err = reportProofAudit()
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lzbench:", err)
 		os.Exit(1)
 	}
+}
+
+// reportProofAudit summarizes the block-proof oracle on stderr and fails
+// the run when any completed replay contradicted its static proof. The
+// auditor is observation-only, so stdout stays byte-identical to a run
+// without the flag.
+func reportProofAudit() error {
+	st := cpu.ReadProofAudit()
+	fmt.Fprintf(os.Stderr,
+		"lzbench: proofaudit: %d spans (%d finished, %d abandoned), %d divergences\n",
+		st.Spans, st.Finished, st.Abandoned, st.Divergences)
+	for _, d := range st.Details {
+		fmt.Fprintf(os.Stderr, "  %s\n", d)
+	}
+	if st.Divergences > 0 {
+		return fmt.Errorf("proofaudit: %d divergences between static block proofs and execution", st.Divergences)
+	}
+	return nil
 }
 
 // dispatch routes between the measurement path (optionally recorded), a

@@ -32,8 +32,17 @@ func TestInvariantsJSONSchema(t *testing.T) {
 	if err := json.Unmarshal(obj["final"], &final); err != nil {
 		t.Fatalf("final report: %v", err)
 	}
-	if len(final.Checkers) != 5 {
-		t.Errorf("final report lists %d checkers, want 5", len(final.Checkers))
+	if len(final.Checkers) != 6 {
+		t.Errorf("final report lists %d checkers, want 6", len(final.Checkers))
+	}
+	semantics := false
+	for _, c := range final.Checkers {
+		if c.Name == "gate-semantics" {
+			semantics = true
+		}
+	}
+	if !semantics {
+		t.Error("final report is missing the gate-semantics checker")
 	}
 	if final.Procs == 0 {
 		t.Error("final report covers no processes")

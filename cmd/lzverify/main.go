@@ -16,10 +16,19 @@
 //	lzverify -planted -backend all # re-plant the battery under every backend
 //	lzverify -json              # one JSON object per verification cell
 //	lzverify -platform Carmel   # restrict to platforms matching a substring
+//
+// Exit status separates verdicts from breakage: 0 means every cell was
+// verified clean (or every attack caught), 1 means the analysis ran and
+// delivered an adverse verdict — a finding on a clean machine, an uncaught
+// planted attack, a falsely flagged control word — and 2 means the
+// analysis itself failed (snapshot capture error, machine construction
+// failure, bad flags), so no verdict exists. CI lanes key off the
+// distinction: 1 is a security regression, 2 is tooling breakage.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -40,8 +49,21 @@ func main() {
 	flag.Parse()
 	if err := run(*planted, *jsonMode, *platform, *backend, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "lzverify:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// exitCode maps an error to the documented exit status: 1 for verification
+// verdicts (the analysis ran; the machine is bad), 2 for analysis failures
+// (no verdict exists).
+func exitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	if errors.Is(err, workload.ErrFindings) {
+		return 1
+	}
+	return 2
 }
 
 func platforms(filter string) ([]workload.Platform, error) {

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"lightzone/internal/workload"
+)
+
+// Exit status is a contract with the CI lanes: verdicts (findings, missed
+// attacks) are 1, analysis breakage is 2. Wrapping must not launder the
+// classification.
+func TestExitCode(t *testing.T) {
+	verdict := fmt.Errorf("backend lightzone: %w",
+		fmt.Errorf("cell: %w", workload.ErrFindings))
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"clean", nil, 0},
+		{"findings sentinel", workload.ErrFindings, 1},
+		{"wrapped verdict", verdict, 1},
+		{"analysis failure", errors.New("snapshot capture failed"), 2},
+		{"bad flags", fmt.Errorf("no platform matches %q", "zzz"), 2},
+	}
+	for _, c := range cases {
+		if got := exitCode(c.err); got != c.want {
+			t.Errorf("%s: exitCode = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// The sweep errors produced by the workload package must classify as
+// verdicts through errors.Is — the custom error type carries the message,
+// the sentinel carries the class.
+func TestFindingsClassification(t *testing.T) {
+	if !errors.Is(workload.ErrFindings, workload.ErrFindings) {
+		t.Fatal("sentinel does not match itself")
+	}
+	wrapped := fmt.Errorf("plat: %w", workload.ErrFindings)
+	if exitCode(wrapped) != 1 {
+		t.Error("wrapped sentinel must exit 1")
+	}
+}

@@ -1,0 +1,129 @@
+package absint
+
+import (
+	"lightzone/internal/arm64"
+	"lightzone/internal/mem"
+)
+
+// MemClaim is one data access a block proof predicts. Known claims pin the
+// page (the address was a compile-time constant — literal pools and
+// ADR-relative data); unknown claims still pin the access's order, direction
+// and width, which the dynamic oracle can check against real execution.
+type MemClaim struct {
+	Index int  // instruction index within the block
+	Write bool // store vs load
+	Known bool // Page is meaningful
+	Page  uint64
+	Size  int
+}
+
+// BlockProof is the static summary of one decoded straight-line block: what
+// the block can touch and what it must cost. It is derived purely from the
+// decoded instructions (state-free: the entry state is all-⊤), so it stays
+// valid exactly as long as the decoded block itself — the block cache keys
+// both on the same code epoch.
+//
+// ROADMAP item 1 consumes this artifact: a block whose claims are all Known
+// and SysregFree can have its per-instruction translate+permission checks
+// folded into one guarded check per claimed page.
+type BlockProof struct {
+	PC    uint64
+	Insns int
+
+	// Claims lists every data access in program order (Ldp/Stp contribute
+	// two). The terminator's own accesses are included; InteriorClaims
+	// filters them out for pre-terminator auditing.
+	Claims []MemClaim
+
+	// ISBs and DSBs count interior barriers (index < Insns-1); the
+	// terminator cannot be a barrier, but the counts are conservative
+	// anyway. DSBs counts DSB and DMB together (same charge).
+	ISBs int
+	DSBs int
+
+	// SysregFree means no instruction in the block writes a system
+	// register, PSTATE field, or issues a SYS/SYSL op. Decoded blocks end
+	// at any such instruction, so this only excludes a terminator that is
+	// one — a SysregFree block is fusable without sysreg replay.
+	SysregFree bool
+
+	// PANFree means no instruction moves the PAN bit off its entry value.
+	PANFree bool
+
+	// Term is the opcode of the block's final instruction.
+	Term arm64.Op
+}
+
+// ProveBlock derives the proof for one decoded block. The walk is
+// straight-line by construction: the block cache ends blocks at the first
+// terminating instruction, so only Insns[len-1] may branch, and control-flow
+// ops carry no dataflow the claims depend on.
+func ProveBlock(pc uint64, insns []arm64.Insn) *BlockProof {
+	p := &BlockProof{PC: pc, Insns: len(insns), SysregFree: true, PANFree: true}
+	var nid uint32
+	s := NewEntryState(&nid)
+	last := len(insns) - 1
+	for i, in := range insns {
+		p.noteShape(i, last, in)
+		if in.Op.Terminates() {
+			// Branches, exception generation, sysreg ops, undecodable
+			// words: no dataflow claims beyond what noteShape recorded.
+			continue
+		}
+		stepInsn(s, pc+uint64(i)*arm64.InsnBytes, i, in, nil, func(e Effect) {
+			switch e.Kind {
+			case EffMemRead, EffMemWrite:
+				c := MemClaim{Index: i, Write: e.Kind == EffMemWrite, Size: e.Size}
+				if a, ok := e.Addr.IsConst(); ok {
+					c.Known = true
+					c.Page = a >> mem.PageShift
+				}
+				p.Claims = append(p.Claims, c)
+			case EffBarrier:
+				if i < last {
+					if e.Barrier == arm64.OpISB {
+						p.ISBs++
+					} else {
+						p.DSBs++
+					}
+				}
+			}
+		})
+	}
+	return p
+}
+
+// noteShape records the sysreg/PAN classification of one instruction.
+func (p *BlockProof) noteShape(i, last int, in arm64.Insn) {
+	if i == last {
+		p.Term = in.Op
+	}
+	switch in.Op {
+	case arm64.OpMSRReg, arm64.OpSYS, arm64.OpSYSL:
+		p.SysregFree = false
+	case arm64.OpMSRImm:
+		p.SysregFree = false
+		if in.Sys.Op1 == arm64.PStateFieldPANOp1 && in.Sys.Op2 == arm64.PStateFieldPANOp2 {
+			p.PANFree = false
+		}
+	}
+}
+
+// InteriorClaims returns the claims made by instructions before the
+// terminator — the accesses that must all have retired by the time the
+// terminator dispatches.
+func (p *BlockProof) InteriorClaims() []MemClaim {
+	n := 0
+	for _, c := range p.Claims {
+		if c.Index < p.Insns-1 {
+			n++
+		}
+	}
+	return p.Claims[:n]
+}
+
+// InteriorAccesses counts the interior claims (each charges one memory
+// access in the concrete machine).
+func (p *BlockProof) InteriorAccesses() int {
+	return len(p.InteriorClaims())
+}

@@ -1,0 +1,329 @@
+package absint
+
+import "lightzone/internal/arm64"
+
+// ExitKind classifies how a path left the analyzed region.
+type ExitKind uint8
+
+const (
+	// ExitRET leaves through RET; Target is the return address value.
+	ExitRET ExitKind = iota
+	// ExitBR leaves through BR/BLR; Target is the branch target value.
+	ExitBR
+	// ExitBranchOut is a direct branch whose target lies outside the region.
+	ExitBranchOut
+	// ExitFallOff ran past the last word of the region.
+	ExitFallOff
+	// ExitHVC, ExitSVC and ExitSMC are exception generation (imm in ExitImm).
+	ExitHVC
+	ExitSVC
+	ExitSMC
+	// ExitERET is an exception return.
+	ExitERET
+	// ExitUndef reached a non-zero undecodable word: the concrete machine
+	// traps, but the word was planted, so the path is unproven.
+	ExitUndef
+	// ExitUndefZero reached an all-zero word — text padding. Execution
+	// faults closed (undefined-instruction trap), matching the CFG
+	// checker's treatment of zero words.
+	ExitUndefZero
+)
+
+func (k ExitKind) String() string {
+	switch k {
+	case ExitRET:
+		return "ret"
+	case ExitBR:
+		return "br"
+	case ExitBranchOut:
+		return "branch-out"
+	case ExitFallOff:
+		return "fall-off"
+	case ExitHVC:
+		return "hvc"
+	case ExitSVC:
+		return "svc"
+	case ExitSMC:
+		return "smc"
+	case ExitERET:
+		return "eret"
+	case ExitUndef:
+		return "undef"
+	case ExitUndefZero:
+		return "undef-zero"
+	}
+	return "exit?"
+}
+
+// Path is one fully explored execution path through a region.
+type Path struct {
+	Entry   uint64
+	Exit    ExitKind
+	ExitPC  uint64
+	ExitImm int64  // SVC/HVC/SMC immediate
+	Target  AbsVal // RET/BR target value
+	Effects []Effect
+	St      *State
+}
+
+// Region is a small run of code under analysis: Insns[i] decodes Raw[i],
+// the word at Base + 4*i.
+type Region struct {
+	Base  uint64
+	Insns []arm64.Insn
+	Raw   []uint32
+}
+
+// Config bounds one exploration. Budgets exist because the region is
+// attacker-supplied: in-region loops or branch ladders must exhaust the
+// budget and come back unproven (fail closed), not hang the verifier.
+type Config struct {
+	Oracle MemOracle
+	// MaxPaths bounds completed plus pruned paths (default 2048).
+	MaxPaths int
+	// MaxSteps bounds instructions per path (default 512).
+	MaxSteps int
+}
+
+// work is one pending DFS branch: resume at instruction index idx.
+type work struct {
+	idx   int
+	st    *State
+	effs  []Effect
+	steps int
+}
+
+// Explore symbolically executes every path through rg starting at entry.
+// complete=false means a budget was exhausted and the returned paths do not
+// cover the region's behavior — the caller must treat it as unproven.
+// An entry outside the region returns no paths (complete).
+func Explore(rg Region, entry uint64, cfg Config) (paths []*Path, complete bool) {
+	maxPaths := cfg.MaxPaths
+	if maxPaths <= 0 {
+		maxPaths = 2048
+	}
+	maxSteps := cfg.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 512
+	}
+	if entry < rg.Base || entry >= rg.Base+uint64(len(rg.Insns))*arm64.InsnBytes ||
+		(entry-rg.Base)%arm64.InsnBytes != 0 {
+		return nil, true
+	}
+
+	var nid uint32
+	started := 0
+	stack := []work{{idx: int((entry - rg.Base) / arm64.InsnBytes), st: NewEntryState(&nid)}}
+	pcOf := func(idx int) uint64 { return rg.Base + uint64(idx)*arm64.InsnBytes }
+	inRegion := func(idx int) bool { return idx >= 0 && idx < len(rg.Insns) }
+
+	for len(stack) > 0 {
+		w := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		started++
+		if started > maxPaths {
+			return paths, false
+		}
+		done := func(exit ExitKind, pc uint64, imm int64, target AbsVal) {
+			paths = append(paths, &Path{
+				Entry: entry, Exit: exit, ExitPC: pc, ExitImm: imm,
+				Target: target, Effects: w.effs, St: w.st,
+			})
+		}
+		// fork queues the not-taken continuation and keeps walking the
+		// taken one; the clone gets copy-on-write-free deep copies of the
+		// state and the effect list (paths are short).
+		fork := func(idx int, st *State) {
+			effs := append([]Effect(nil), w.effs...)
+			stack = append(stack, work{idx: idx, st: st, effs: effs, steps: w.steps})
+		}
+
+	walk:
+		for {
+			if w.steps >= maxSteps {
+				return paths, false
+			}
+			w.steps++
+			if !inRegion(w.idx) {
+				done(ExitFallOff, pcOf(w.idx), 0, AbsVal{})
+				break walk
+			}
+			idx := w.idx
+			in := rg.Insns[idx]
+			pc := pcOf(idx)
+			s := w.st
+			switch in.Op {
+			case arm64.OpB:
+				tgt := pc + uint64(in.Imm)
+				ti := int(int64(tgt-rg.Base) / arm64.InsnBytes)
+				if tgt < rg.Base || !inRegion(ti) {
+					done(ExitBranchOut, pc, 0, ConstVal(tgt, false))
+					break walk
+				}
+				w.idx = ti
+			case arm64.OpBL:
+				tgt := pc + uint64(in.Imm)
+				s.setReg(30, ConstVal(pc+arm64.InsnBytes, false))
+				ti := int(int64(tgt-rg.Base) / arm64.InsnBytes)
+				if tgt < rg.Base || !inRegion(ti) {
+					done(ExitBranchOut, pc, 0, ConstVal(tgt, false))
+					break walk
+				}
+				w.idx = ti
+			case arm64.OpBCond:
+				w.idx = branchCond(rg, &w, idx, in, fork, done)
+				if w.idx < 0 {
+					break walk
+				}
+			case arm64.OpCBZ, arm64.OpCBNZ:
+				w.idx = branchCompareZero(rg, &w, idx, in, fork, done)
+				if w.idx < 0 {
+					break walk
+				}
+			case arm64.OpBR, arm64.OpBLR:
+				if in.Op == arm64.OpBLR {
+					s.setReg(30, ConstVal(pc+arm64.InsnBytes, false))
+				}
+				done(ExitBR, pc, 0, s.getCell(in.Rn).v)
+				break walk
+			case arm64.OpRET:
+				done(ExitRET, pc, 0, s.getCell(in.Rn).v)
+				break walk
+			case arm64.OpSVC:
+				done(ExitSVC, pc, in.Imm, AbsVal{})
+				break walk
+			case arm64.OpHVC:
+				done(ExitHVC, pc, in.Imm, AbsVal{})
+				break walk
+			case arm64.OpSMC:
+				done(ExitSMC, pc, in.Imm, AbsVal{})
+				break walk
+			case arm64.OpERET:
+				done(ExitERET, pc, 0, AbsVal{})
+				break walk
+			case arm64.OpUnknown:
+				if rg.Raw != nil && rg.Raw[idx] == 0 {
+					done(ExitUndefZero, pc, 0, AbsVal{})
+				} else {
+					done(ExitUndef, pc, 0, AbsVal{})
+				}
+				break walk
+			default:
+				stepInsn(s, pc, idx, in, cfg.Oracle, func(e Effect) {
+					w.effs = append(w.effs, e)
+				})
+				w.idx = idx + 1
+			}
+		}
+	}
+	return paths, true
+}
+
+// branchCond explores both edges of B.cond, refining EQ/NE edges with the
+// recorded compare fact and pruning infeasible ones. Returns the index to
+// continue on, or -1 when this path ended (both edges pruned or exited).
+func branchCond(rg Region, w *work, idx int, in arm64.Insn,
+	fork func(int, *State), done func(ExitKind, uint64, int64, AbsVal)) int {
+	pc := rg.Base + uint64(idx)*arm64.InsnBytes
+	tgt := pc + uint64(in.Imm)
+	ti := int(int64(tgt-rg.Base) / arm64.InsnBytes)
+	tgtIn := tgt >= rg.Base && ti >= 0 && ti < len(rg.Insns)
+	fall := idx + 1
+
+	fact := w.st.cmp
+	takenFeasible, fallFeasible := true, true
+	var takenSt, fallSt *State
+	switch {
+	case fact.valid && in.Cond == arm64.CondEQ:
+		takenSt = w.st.clone()
+		takenFeasible = takenSt.refineEqual(fact.a, fact.b)
+		fallSt = w.st
+		fallFeasible = feasibleNotEqual(fact.a, fact.b)
+	case fact.valid && in.Cond == arm64.CondNE:
+		takenSt = w.st
+		takenFeasible = feasibleNotEqual(fact.a, fact.b)
+		fallSt = w.st.clone()
+		fallFeasible = fallSt.refineEqual(fact.a, fact.b)
+	default:
+		takenSt = w.st
+		fallSt = w.st.clone()
+	}
+
+	if takenFeasible && fallFeasible {
+		// Queue the fall-through, continue on the taken edge.
+		if fallSt == w.st {
+			fallSt = fallSt.clone()
+		}
+		fork(fall, fallSt)
+		w.st = takenSt
+		if !tgtIn {
+			done(ExitBranchOut, pc, 0, ConstVal(tgt, false))
+			return -1
+		}
+		return ti
+	}
+	if takenFeasible {
+		w.st = takenSt
+		if !tgtIn {
+			done(ExitBranchOut, pc, 0, ConstVal(tgt, false))
+			return -1
+		}
+		return ti
+	}
+	if fallFeasible {
+		w.st = fallSt
+		return fall
+	}
+	return -1
+}
+
+// branchCompareZero explores CBZ/CBNZ: the zero edge narrows the tested
+// register (and its aliases) to constant zero; the nonzero edge is pruned
+// when the register is provably zero.
+func branchCompareZero(rg Region, w *work, idx int, in arm64.Insn,
+	fork func(int, *State), done func(ExitKind, uint64, int64, AbsVal)) int {
+	pc := rg.Base + uint64(idx)*arm64.InsnBytes
+	tgt := pc + uint64(in.Imm)
+	ti := int(int64(tgt-rg.Base) / arm64.InsnBytes)
+	tgtIn := tgt >= rg.Base && ti >= 0 && ti < len(rg.Insns)
+	fall := idx + 1
+
+	rt := w.st.getCell(in.Rt)
+	zero := cell{v: ConstVal(0, false)}
+
+	zeroSt := w.st.clone()
+	zeroFeasible := zeroSt.refineEqual(rt, zero)
+	nonzeroSt := w.st
+	nonzeroFeasible := feasibleNotEqual(rt, zero)
+
+	// CBZ takes the zero edge to the target; CBNZ takes the nonzero edge.
+	takenSt, fallSt := zeroSt, nonzeroSt
+	takenFeasible, fallFeasible := zeroFeasible, nonzeroFeasible
+	if in.Op == arm64.OpCBNZ {
+		takenSt, fallSt = nonzeroSt, zeroSt
+		takenFeasible, fallFeasible = nonzeroFeasible, zeroFeasible
+	}
+
+	if takenFeasible && fallFeasible {
+		fork(fall, fallSt)
+		w.st = takenSt
+		if !tgtIn {
+			done(ExitBranchOut, pc, 0, ConstVal(tgt, false))
+			return -1
+		}
+		return ti
+	}
+	if takenFeasible {
+		w.st = takenSt
+		if !tgtIn {
+			done(ExitBranchOut, pc, 0, ConstVal(tgt, false))
+			return -1
+		}
+		return ti
+	}
+	if fallFeasible {
+		w.st = fallSt
+		return fall
+	}
+	return -1
+}

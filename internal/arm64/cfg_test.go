@@ -134,3 +134,81 @@ func TestCFGVisitReachableOrder(t *testing.T) {
 		t.Fatalf("early stop visited %d instructions, want 1", n)
 	}
 }
+
+// TestCFGLiteralPoolAbutsTerminator: a pool parked immediately after a
+// block terminator (no branch over it, nothing falls into it) stays dark —
+// including a pool word that itself decodes as a branch back into the code,
+// which must not fabricate edges from unreachable positions.
+func TestCFGLiteralPoolAbutsTerminator(t *testing.T) {
+	const base = 0x5000
+	g := BuildCFG([]CFGSegment{seg(base,
+		WordNOP,       // 0x5000
+		RET(30),       // 0x5004: terminator; the pool abuts it directly
+		B(-8),         // 0x5008: pool word that decodes as b 0x5000
+		TLBIVMALLE1(), // 0x500c: pool word that decodes as a sensitive op
+	)}, []uint64{base})
+	if !g.Reachable(base) || !g.Reachable(base+4) {
+		t.Fatal("code before the terminator must be reachable")
+	}
+	for _, off := range []uint64{8, 12} {
+		if g.Reachable(base + off) {
+			t.Errorf("pool word at +%#x reachable; nothing flows past a terminator", off)
+		}
+	}
+	// The branch-shaped pool word must not have minted a leader.
+	for _, b := range g.Blocks() {
+		if b != base {
+			t.Errorf("unexpected leader %#x; pool words must not create blocks", b)
+		}
+	}
+}
+
+// TestCFGCondFallthroughChain: a run of conditional branches, each falling
+// through into the next, all converging on one target. Every link of the
+// chain is reachable and the convergence point is the only extra leader.
+func TestCFGCondFallthroughChain(t *testing.T) {
+	const base = 0x6000
+	g := BuildCFG([]CFGSegment{seg(base,
+		BCond(CondEQ, 20), // 0x6000 -> 0x6014 and 0x6004
+		BCond(CondNE, 16), // 0x6004 -> 0x6014 and 0x6008
+		CBZ(0, 12),        // 0x6008 -> 0x6014 and 0x600c
+		CBNZ(1, 8),        // 0x600c -> 0x6014 and 0x6010
+		WordNOP,           // 0x6010
+		RET(30),           // 0x6014: shared target
+	)}, []uint64{base})
+	for off := uint64(0); off <= 20; off += 4 {
+		if !g.Reachable(base + off) {
+			t.Errorf("offset +%#x not reachable through the fallthrough chain", off)
+		}
+	}
+	blocks := g.Blocks()
+	want := []uint64{base, base + 20}
+	if len(blocks) != len(want) || blocks[0] != want[0] || blocks[1] != want[1] {
+		t.Fatalf("Blocks = %#x, want %#x", blocks, want)
+	}
+}
+
+// TestCFGUnknownMidBlock: an undecodable word in the middle of a
+// straight-line run is itself reachable (execution arrives and traps) but
+// must end the path — the builder may not skip it, and nothing below it is
+// reached through it. A zero word (the common padding) behaves the same.
+func TestCFGUnknownMidBlock(t *testing.T) {
+	for _, bad := range []uint32{0xffffffff, 0} {
+		const base = 0x7000
+		g := BuildCFG([]CFGSegment{seg(base,
+			WordNOP,       // 0x7000
+			bad,           // 0x7004: traps; no successors
+			TLBIVMALLE1(), // 0x7008: must stay dark
+			RET(30),       // 0x700c
+		)}, []uint64{base})
+		if !g.Reachable(base + 4) {
+			t.Errorf("bad=%#x: the trapping word itself must be reachable", bad)
+		}
+		if g.Reachable(base+8) || g.Reachable(base+12) {
+			t.Errorf("bad=%#x: words past an undecodable word are reachable", bad)
+		}
+		if n := g.ReachableCount(); n != 2 {
+			t.Errorf("bad=%#x: ReachableCount = %d, want 2", bad, n)
+		}
+	}
+}

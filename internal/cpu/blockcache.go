@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"lightzone/internal/arm64"
+	"lightzone/internal/arm64/absint"
 	"lightzone/internal/mem"
 )
 
@@ -25,6 +26,10 @@ type dblock struct {
 	// moved since, no epoch can have moved either, so enter skips the
 	// per-page Snapshot probes — a pure host-side elision.
 	checkedGen uint64
+	// proof is the lazily derived static block proof (see proofaudit.go;
+	// all access is confined to that file by tools/lint). Its lifetime is
+	// the block's: both are dropped when the page's code epoch moves.
+	proof *absint.BlockProof
 }
 
 // Blocks are addressed by execution context and start address: (VMID, ASID,

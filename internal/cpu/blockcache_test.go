@@ -283,3 +283,116 @@ func BenchmarkStepHot(b *testing.B) {
 		})
 	}
 }
+
+// rawBlocks maps each cached block's starting page offset to its raw words.
+func rawBlocks(c *VCPU) map[uint16][]uint32 {
+	out := make(map[uint16][]uint32)
+	for _, b := range c.DecodedBlocks() {
+		out[b.Off] = b.Raw
+	}
+	return out
+}
+
+// TestBlockBuilderUnknownWordEndsBlock: an undecodable word mid-stream ends
+// the decoded block at the word itself — the builder must not skip it and
+// keep appending, or a replay would sail past the trap point.
+func TestBlockBuilderUnknownWordEndsBlock(t *testing.T) {
+	e := newEnv(t)
+	a := arm64.NewAsm()
+	a.Emit(arm64.ADDReg(0, 0, 1))
+	a.Emit(arm64.ADDReg(0, 0, 1))
+	a.Emit(uint32(0xffffffff)) // undecodable: traps, terminates the block
+	a.Emit(arm64.ADDReg(0, 0, 1))
+	a.Emit(arm64.HVC(0))
+	e.load(t, a)
+	exit := e.run(t, 100)
+	if exit.Syndrome.Class != ECUnknown {
+		t.Fatalf("exit class %v, want ECUnknown from the undecodable word", exit.Syndrome.Class)
+	}
+	blocks := rawBlocks(e.c)
+	blk, ok := blocks[0]
+	if !ok {
+		t.Fatal("no block cached at the entry offset")
+	}
+	if len(blk) != 3 || blk[2] != 0xffffffff {
+		t.Fatalf("entry block raw = %#x, want 3 words ending with the undecodable word", blk)
+	}
+	// Replaying the cached block must trap identically: same instruction
+	// count to the trap, same syndrome, same faulting PC.
+	insns := e.c.Insns
+	trapPC := exit.Syndrome.PC
+	e.c.SetEL(arm64.EL1)
+	e.c.PC = uint64(codeVA)
+	exit2 := e.run(t, 100)
+	if got, want := e.c.Insns-insns, insns; got != want {
+		t.Errorf("replay retired %d insns, first run %d", got, want)
+	}
+	if exit2.Syndrome.Class != ECUnknown || exit2.Syndrome.PC != trapPC {
+		t.Errorf("replay trapped %v at %#x, first run %v at %#x",
+			exit2.Syndrome.Class, exit2.Syndrome.PC, exit.Syndrome.Class, trapPC)
+	}
+}
+
+// TestBlockBuilderPoolAfterTerminator: a literal pool abutting a block's
+// terminating branch is never decoded into any block — the builder stops at
+// the terminator and the next block starts at the branch target, not at the
+// pool word.
+func TestBlockBuilderPoolAfterTerminator(t *testing.T) {
+	e := newEnv(t)
+	a := arm64.NewAsm()
+	a.MovImm(0, 7)
+	a.B("over")                 // terminator; pool abuts it
+	a.Emit(arm64.TLBIVMALLE1()) // pool word parked as data
+	a.Emit(uint32(0xffffffff))  // more pool
+	a.Label("over")
+	a.Emit(arm64.ADDReg(0, 0, 0))
+	a.Emit(arm64.HVC(0))
+	e.load(t, a)
+	e.run(t, 100)
+	if e.c.R(0) != 14 {
+		t.Fatalf("x0 = %d, want 14", e.c.R(0))
+	}
+	pool := []uint32{arm64.TLBIVMALLE1(), 0xffffffff}
+	for off, raw := range rawBlocks(e.c) {
+		for _, w := range raw {
+			for _, p := range pool {
+				if w == p {
+					t.Errorf("block at +%#x decoded pool word %#x", off, w)
+				}
+			}
+		}
+	}
+}
+
+// TestBlockBuilderCondFallthroughChain: each conditional branch terminates
+// its block and the fall-through starts a fresh one, so a chain of
+// conditionals decodes into a chain of blocks whose boundaries sit exactly
+// at the instruction after each branch.
+func TestBlockBuilderCondFallthroughChain(t *testing.T) {
+	e := newEnv(t)
+	a := arm64.NewAsm()
+	a.MovImm(0, 0)               // +0
+	a.MovImm(1, 1)               // +4
+	a.BCond(arm64.CondEQ, "out") // +8: Z clear -> falls through
+	a.Emit(arm64.ADDReg(0, 0, 1))
+	a.BCond(arm64.CondEQ, "out") // +16: falls through again
+	a.Emit(arm64.ADDReg(0, 0, 1))
+	a.Label("out")
+	a.Emit(arm64.HVC(0))
+	e.load(t, a)
+	e.run(t, 100)
+	if e.c.R(0) != 2 {
+		t.Fatalf("x0 = %d, want 2 (both fallthroughs taken)", e.c.R(0))
+	}
+	blocks := rawBlocks(e.c)
+	// Boundaries: entry block [., ., b.eq], then [add, b.eq] at +12, then
+	// [add, hvc] at +20.
+	for _, off := range []uint16{0, 12, 20} {
+		if _, ok := blocks[off]; !ok {
+			t.Errorf("no block starts at +%#x; fallthrough must open a new block", off)
+		}
+	}
+	if raw := blocks[0]; len(raw) != 3 {
+		t.Errorf("entry block has %d words, want 3 (ends at the first b.eq)", len(raw))
+	}
+}

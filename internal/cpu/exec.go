@@ -101,6 +101,9 @@ func (c *VCPU) runBlock(budget int64) (int64, *Exit, error) {
 			// Cycles (exception entry, the TTBR0-write trace hook, TLBI).
 			c.flushBatch()
 		}
+		if c.audit != nil {
+			c.audit.noteDispatch(c, c.PC)
+		}
 		exit := handlers[in.Op](c, in)
 		if c.stepErr != nil {
 			err := c.stepErr
@@ -188,6 +191,9 @@ func (c *VCPU) Step() (*Exit, error) {
 				ab.Syndrome.Class = classifyAbort(mem.AccessExec, c.EL(), ab.Syndrome.Stage)
 				return c.deliver(ab.Syndrome, c.PC), nil
 			}
+			if c.audit != nil {
+				c.audit.noteEnter(c, b, c.PC)
+			}
 			in = b.insns[0]
 			if len(b.insns) > 1 {
 				*cur = blockCursor{blk: b, idx: 1, expect: c.PC + arm64.InsnBytes}
@@ -208,6 +214,9 @@ func (c *VCPU) Step() (*Exit, error) {
 	c.Insns++
 	c.Charge(c.Prof.InsnCost)
 	c.nextPC = c.PC + arm64.InsnBytes
+	if c.audit != nil {
+		c.audit.noteDispatch(c, c.PC)
+	}
 	exit := handlers[in.Op](c, in)
 	if c.stepErr != nil {
 		err := c.stepErr

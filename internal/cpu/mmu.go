@@ -218,6 +218,9 @@ func (c *VCPU) MemRead(va mem.VA, size int, unpriv bool) (uint64, *Abort) {
 	if err := c.Mem.Read(pa, buf[:size]); err != nil {
 		return 0, c.abort(va, 0, mem.AccessRead, mem.FaultAddressSize, 1)
 	}
+	if c.audit != nil {
+		c.audit.noteAccess(false, va, size)
+	}
 	var v uint64
 	for i := size - 1; i >= 0; i-- {
 		v = v<<8 | uint64(buf[i])
@@ -238,6 +241,9 @@ func (c *VCPU) MemWrite(va mem.VA, size int, v uint64, unpriv bool) *Abort {
 	}
 	if err := c.Mem.Write(pa, buf[:size]); err != nil {
 		return c.abort(va, 0, mem.AccessWrite, mem.FaultAddressSize, 1)
+	}
+	if c.audit != nil {
+		c.audit.noteAccess(true, va, size)
 	}
 	c.noteCodeWrite(va, size)
 	return nil

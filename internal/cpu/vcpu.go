@@ -29,6 +29,11 @@ type VCPU struct {
 	mtlb  microTLBs
 	batch int64
 
+	// audit, when non-nil, cross-checks cached-block replays against their
+	// static BlockProof (see proofaudit.go; observation-only, confined to
+	// that file by tools/lint).
+	audit *proofAudit
+
 	// Handler dispatch state for the instruction in flight: the committed
 	// next PC (fall-through, branch target, or exception vector) and a Go
 	// error escaping a handler.
@@ -75,7 +80,7 @@ func New(prof *arm64.Profile, pm *mem.PhysMem) *VCPU {
 	tlb := mem.NewTLB(prof.TLBCapacity)
 	tlb.Stats = stats
 	tlb.Code = epochs
-	return &VCPU{
+	c := &VCPU{
 		Prof:    prof,
 		Mem:     pm,
 		TLB:     tlb,
@@ -84,6 +89,8 @@ func New(prof *arm64.Profile, pm *mem.PhysMem) *VCPU {
 		PState:  arm64.PStateForEL(arm64.EL1) | arm64.PStateI | arm64.PStateF,
 		mtlb:    microTLBs{enabled: hostFastpathDefault.Load()},
 	}
+	c.SetProofAudit(proofAuditDefault.Load())
+	return c
 }
 
 // EL returns the current exception level.

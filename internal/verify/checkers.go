@@ -191,11 +191,15 @@ func checkSanitizer(s *Snapshot) []Finding {
 	return out
 }
 
-// checkGates verifies every registered call-gate slot against the generated
-// gate: byte identity with buildGateCode, structural soundness of the
-// decoded slot (branches confined to the slot, a lone TTBRTab-sourced TTBR0
-// write, terminal RET, violation-only HVC), and consistency of the GateTab
-// and TTBRTab entries the gate consults at run time.
+// checkGates verifies every registered call-gate slot structurally: branches
+// confined to the slot, a lone TTBR0 write, terminal RET, violation-only
+// HVC, and consistency of the GateTab and TTBRTab entries the gate consults
+// at run time. Byte identity with the generated gate is deliberately NOT
+// checked here any more — the load-bearing check is the semantic proof
+// (gate-semantics), which accepts any gate body with the proven properties
+// and rejects byte-plausible ones without them. The slot is audited over its
+// occupied extent (trailing zero words are unreachable padding that faults
+// closed).
 func checkGates(s *Snapshot) []Finding {
 	var out []Finding
 	for pi := range s.Procs {
@@ -205,14 +209,6 @@ func checkGates(s *Snapshot) []Finding {
 			domains[p.Domains[di].ID] = &p.Domains[di]
 		}
 		for _, g := range p.Gates {
-			canonical, err := core.GateCodeWords(g.ID)
-			if err != nil {
-				out = append(out, Finding{
-					Checker: "gate-integrity", PID: p.PID, Proc: p.Name, Domain: -1,
-					Detail: fmt.Sprintf("gate %d: cannot build canonical code: %v", g.ID, err),
-				})
-				continue
-			}
 			slotVA := core.GateCodeBase() + uint64(g.ID)*core.GateSlotLen
 			slotPA, ok := ttbr1Real(p, slotVA)
 			if !ok {
@@ -223,7 +219,7 @@ func checkGates(s *Snapshot) []Finding {
 				})
 				continue
 			}
-			raw := make([]byte, len(canonical)*arm64.InsnBytes)
+			raw := make([]byte, core.GateSlotLen)
 			if err := s.M.PM.Read(slotPA, raw); err != nil {
 				out = append(out, Finding{
 					Checker: "gate-integrity", PID: p.PID, Proc: p.Name, Domain: -1,
@@ -233,18 +229,11 @@ func checkGates(s *Snapshot) []Finding {
 				continue
 			}
 			words := arm64.BytesToWords(raw)
-			for i, w := range words {
-				if w != canonical[i] {
-					out = append(out, Finding{
-						Checker: "gate-integrity", PID: p.PID, Proc: p.Name, Domain: -1,
-						VA: slotVA + uint64(i)*arm64.InsnBytes, PA: uint64(slotPA) + uint64(i)*arm64.InsnBytes,
-						Word: w, Disasm: arm64.Disassemble(w),
-						Detail: fmt.Sprintf("gate %d: slot word %d is %#08x, generated gate has %#08x (%s)",
-							g.ID, i, w, canonical[i], arm64.Disassemble(canonical[i])),
-					})
-				}
+			extent := len(words)
+			for extent > 0 && words[extent-1] == 0 {
+				extent--
 			}
-			out = append(out, gateStructure(p, g, slotVA, words)...)
+			out = append(out, gateStructure(p, g, slotVA, words[:extent])...)
 			out = append(out, gateTables(s, p, g, domains)...)
 		}
 	}

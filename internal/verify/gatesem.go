@@ -1,0 +1,373 @@
+package verify
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/maphash"
+	"sync"
+
+	"lightzone/internal/arm64"
+	"lightzone/internal/arm64/absint"
+	"lightzone/internal/core"
+	"lightzone/internal/mem"
+)
+
+// checkGateSemantics is the semantic gate proof (§6.2 strengthened): it
+// symbolically executes every installed gate slot from every instruction
+// offset — the attacker chooses the entry point, not the gate author — and
+// proves, on every feasible path, that
+//
+//   - a path that installs a TTBR0 can only exit through RET, with the
+//     installed value proven equal to the target page table's registered
+//     base and the return target proven equal to the registered entry;
+//   - PAN leaves every exit at its entry value;
+//   - no memory write, no system-register write other than TTBR0_EL1, no
+//     SPSel write and no TLBI/cache-maintenance op lies on any feasible path.
+//
+// Unlike the structural audit this accepts any instruction sequence with
+// these properties, and rejects byte-plausible gates that lack them: the
+// load-bearing check is the proof, not byte identity. The only facts
+// admitted from memory are 8-byte reads of the gate's own GateTab entry and
+// the TTBRTab, and only while those are mapped read-only and non-user in
+// TTBR1 — everything else the gate may read is attacker-controlled ⊤.
+//
+// Exits that trap to a handler (HVC/SVC/SMC, zero words, running into the
+// zero tail) are semantically benign here — they fault closed before any
+// unproven state becomes architecturally visible; the structural audit owns
+// immediate discipline. Exploration budgets fail closed as findings.
+func checkGateSemantics(s *Snapshot) []Finding {
+	var out []Finding
+	for pi := range s.Procs {
+		p := &s.Procs[pi]
+		domains := make(map[int]*DomainSnap)
+		for di := range p.Domains {
+			domains[p.Domains[di].ID] = &p.Domains[di]
+		}
+		for _, g := range p.Gates {
+			for _, f := range gateSemantics(s, p, g, domains) {
+				f.Checker = "gate-semantics"
+				f.PID = p.PID
+				f.Proc = p.Name
+				f.Domain = -1
+				out = append(out, f)
+			}
+		}
+	}
+	return out
+}
+
+// gateSemantics proves one gate slot, returning finding templates (Checker,
+// PID, Proc and Domain are stamped by the caller — templates must stay
+// process-agnostic so the content memo can share them).
+func gateSemantics(s *Snapshot, p *ProcSnap, g core.GateInfo, domains map[int]*DomainSnap) []Finding {
+	slotVA := core.GateCodeBase() + uint64(g.ID)*core.GateSlotLen
+	slotPA, ok := ttbr1Real(p, slotVA)
+	if !ok {
+		return []Finding{{VA: slotVA,
+			Detail: fmt.Sprintf("gate %d: slot not mapped in TTBR1; nothing to prove", g.ID)}}
+	}
+	raw := make([]byte, core.GateSlotLen)
+	if err := s.M.PM.Read(slotPA, raw); err != nil {
+		return []Finding{{VA: slotVA, PA: uint64(slotPA),
+			Detail: fmt.Sprintf("gate %d: slot unreadable: %v", g.ID, err)}}
+	}
+	words := arm64.BytesToWords(raw)
+	extent := len(words)
+	for extent > 0 && words[extent-1] == 0 {
+		extent--
+	}
+	if extent == 0 {
+		// An empty slot faults closed at every entry; the structural audit
+		// reports the missing switch/RET.
+		return nil
+	}
+
+	want, haveDomain := uint64(0), false
+	if d, ok := domains[g.PGTID]; ok {
+		want, haveDomain = d.TTBR, true
+	}
+
+	key, haveKey := gatesemKey(s, p, g, slotVA, words[:extent], want, haveDomain)
+	if haveKey {
+		if cached, ok := gatesemLookup(key); ok {
+			return cached
+		}
+	}
+	fs := proveGateSlot(s, p, g, slotVA, words[:extent], extent == len(words), want, haveDomain)
+	if haveKey {
+		gatesemStore(key, fs)
+	}
+	return fs
+}
+
+// proveGateSlot runs the exploration from every instruction offset and
+// applies the per-path rules. Findings are deduplicated on (VA, Detail):
+// most violations are reachable from many entries but have one culprit
+// instruction.
+func proveGateSlot(s *Snapshot, p *ProcSnap, g core.GateInfo, slotVA uint64,
+	words []uint32, fullSlot bool, want uint64, haveDomain bool) []Finding {
+	insns := make([]arm64.Insn, len(words))
+	for i, w := range words {
+		insns[i] = arm64.Decode(w)
+	}
+	rg := absint.Region{Base: slotVA, Insns: insns, Raw: words}
+	cfg := absint.Config{Oracle: &gateOracle{
+		s: s, p: p,
+		gateTabLo: core.GateTabBase() + uint64(g.ID)*16,
+		ttbrTabLo: core.TTBRTabBase(),
+		ttbrTabHi: core.TTBRTabBase() + uint64(len(p.TTBRTabPAs))*mem.PageSize,
+	}}
+
+	var fs []Finding
+	type vaDetail struct {
+		va     uint64
+		detail string
+	}
+	seen := make(map[vaDetail]bool)
+	emit := func(va uint64, detail string) {
+		d := fmt.Sprintf("gate %d: %s", g.ID, detail)
+		if seen[vaDetail{va, d}] {
+			return
+		}
+		seen[vaDetail{va, d}] = true
+		f := Finding{VA: va, Detail: d}
+		if i := int(va-slotVA) / arm64.InsnBytes; va >= slotVA && i < len(words) {
+			f.Word = words[i]
+			f.Disasm = arm64.Disassemble(words[i])
+		}
+		fs = append(fs, f)
+	}
+
+	for e := 0; e < len(words); e++ {
+		entry := slotVA + uint64(e)*arm64.InsnBytes
+		paths, complete := absint.Explore(rg, entry, cfg)
+		if !complete {
+			emit(entry, fmt.Sprintf("exploration budget exceeded from entry +%#x; gate not proven",
+				uint64(e)*arm64.InsnBytes))
+			continue
+		}
+		for _, pt := range paths {
+			checkGatePath(pt, g, want, haveDomain, fullSlot, emit)
+		}
+	}
+	return fs
+}
+
+// checkGatePath applies the semantic rules to one explored path.
+func checkGatePath(pt *absint.Path, g core.GateInfo, want uint64, haveDomain, fullSlot bool,
+	emit func(uint64, string)) {
+	for _, eff := range pt.Effects {
+		switch eff.Kind {
+		case absint.EffMemWrite:
+			emit(eff.PC, "memory write on an executable gate path")
+		case absint.EffSys:
+			emit(eff.PC, "TLBI/cache-maintenance op escapes the gate's proven set")
+		case absint.EffSysRegWrite:
+			if eff.Sys.Key() != arm64.TTBR0EL1.Enc().Key() {
+				emit(eff.PC, "system-register write other than TTBR0_EL1 on an executable gate path")
+			}
+		case absint.EffPStateWrite:
+			if eff.Sys.Op1 == arm64.PStateFieldSPSel1 && eff.Sys.Op2 == arm64.PStateFieldSPSel2 {
+				emit(eff.PC, "SPSel write on an executable gate path")
+			}
+		}
+	}
+
+	ttbr, written, wva := pt.St.TTBR0()
+	switch pt.Exit {
+	case absint.ExitRET:
+		if written {
+			if v, ok := ttbr.IsConst(); !ok || ttbr.Taint || !haveDomain || v != want {
+				if !haveDomain {
+					emit(wva, fmt.Sprintf("TTBR0 switched but target page table %d is not registered", g.PGTID))
+				} else {
+					emit(wva, fmt.Sprintf("TTBR0 switched to a value not proven to be page table %d's base %#x (got %v)",
+						g.PGTID, want, ttbr))
+				}
+			}
+			if v, ok := pt.Target.IsConst(); !ok || pt.Target.Taint || v != g.Entry {
+				emit(pt.ExitPC, fmt.Sprintf("exit target not proven to be the recorded return site %#x (got %v)",
+					g.Entry, pt.Target))
+			}
+		}
+		checkGatePAN(pt, emit)
+	case absint.ExitBR:
+		if written {
+			emit(pt.ExitPC, "computed branch leaves the gate after the TTBR0 switch")
+		}
+		checkGatePAN(pt, emit)
+	case absint.ExitBranchOut:
+		if written {
+			emit(pt.ExitPC, "direct branch leaves the gate slot after the TTBR0 switch")
+		}
+		checkGatePAN(pt, emit)
+	case absint.ExitFallOff:
+		if fullSlot {
+			// With a zero tail the fall-off lands on a zero word and faults
+			// closed; a full slot falls into the next gate's code.
+			emit(pt.ExitPC, "execution runs off the end of a full gate slot")
+		}
+	case absint.ExitUndef:
+		emit(pt.ExitPC, "reachable undecodable word inside the gate")
+	}
+	// ExitUndefZero, ExitHVC, ExitSVC, ExitSMC, ExitERET: trap before any
+	// unproven state escapes the gate; nothing to prove on these paths.
+}
+
+// checkGatePAN enforces the PAN-restoration leg on one architecturally
+// escaping exit. Applied regardless of the TTBR0 switch: entering mid-gate
+// to toggle PAN and return is exactly the leak the paper's argument forbids.
+func checkGatePAN(pt *absint.Path, emit func(uint64, string)) {
+	if b, va := pt.St.PAN(); b != absint.BitEntry {
+		emit(va, fmt.Sprintf("PAN not restored to its entry value on a gate exit path (left %v)", b))
+	}
+}
+
+// gateOracle admits constant loads only from the gate's own GateTab entry
+// and the TTBRTab, and only while the backing TTBR1 mapping is read-only and
+// non-user — the preconditions under which those bytes are immutable to the
+// process and the loaded constants deserve trust. Restricting the domain
+// also makes the proof a pure function of hashable inputs (the memo).
+type gateOracle struct {
+	s         *Snapshot
+	p         *ProcSnap
+	gateTabLo uint64 // this gate's 16-byte GateTab entry
+	ttbrTabLo uint64
+	ttbrTabHi uint64
+}
+
+func (o *gateOracle) ReadConst(va uint64, size int) (uint64, bool) {
+	if size != 8 {
+		return 0, false
+	}
+	inGateTab := va >= o.gateTabLo && va+8 <= o.gateTabLo+16
+	inTTBRTab := va >= o.ttbrTabLo && va+8 <= o.ttbrTabHi
+	if !inGateTab && !inTTBRTab {
+		return 0, false
+	}
+	return readTTBR1RO(o.s, o.p, va)
+}
+
+// readTTBR1RO reads 8 bytes behind a TTBR1 VA iff its mapping is present,
+// read-only and kernel-only.
+func readTTBR1RO(s *Snapshot, p *ProcSnap, va uint64) (uint64, bool) {
+	res, err := p.TTBR1Table().Walk(mem.VA(va))
+	if err != nil || !res.Found {
+		return 0, false
+	}
+	if res.Desc&mem.AttrAPRO == 0 || res.Desc&mem.AttrAPUser != 0 {
+		return 0, false
+	}
+	real, ok := p.RealOf(mem.IPA(res.Desc & mem.OAMask))
+	if !ok {
+		return 0, false
+	}
+	v, err := s.M.PM.ReadU64(real + mem.PA(va&mem.PageMask))
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// The gate-semantics memo. The chokepoint observer re-verifies the machine
+// after every security mutation; a gate proof is a pure function of the slot
+// words, the oracle-visible bytes (GateTab entry + TTBRTab), the gate
+// registration and the expected table base, so identical inputs can return
+// the cached finding templates verbatim. Unlike the Memo type this cache is
+// content-addressed and global: every process with an identical gate shares
+// one proof.
+var (
+	gatesemMu    sync.Mutex
+	gatesemSeed  = maphash.MakeSeed()
+	gatesemCache = make(map[uint64][]Finding)
+)
+
+// gatesemCacheMax bounds the cache; churn workloads register thousands of
+// distinct gates over a run and the templates are small, so a flush (rather
+// than eviction bookkeeping) keeps the fast path trivial.
+const gatesemCacheMax = 4096
+
+// gatesemKey hashes every input the proof reads. ok=false (no caching) when
+// an oracle-visible byte is unreadable — error findings are then recomputed.
+func gatesemKey(s *Snapshot, p *ProcSnap, g core.GateInfo, slotVA uint64,
+	words []uint32, want uint64, haveDomain bool) (uint64, bool) {
+	var h maphash.Hash
+	h.SetSeed(gatesemSeed)
+	var b [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	u64(slotVA)
+	u64(uint64(len(words)))
+	for _, w := range words {
+		u64(uint64(w))
+	}
+	u64(uint64(g.ID))
+	u64(g.Entry)
+	u64(uint64(g.PGTID))
+	u64(want)
+	if haveDomain {
+		u64(1)
+	} else {
+		u64(0)
+	}
+	// Oracle-visible memory: the gate's GateTab entry and the whole TTBRTab
+	// (the gate may index any slot). Read through the same attribute-checked
+	// path the oracle uses, so a mapping flipped writable changes the key
+	// (the read fails and caching is skipped).
+	gtBase := core.GateTabBase() + uint64(g.ID)*16
+	for off := uint64(0); off < 16; off += 8 {
+		v, ok := readTTBR1RO(s, p, gtBase+off)
+		if !ok {
+			return 0, false
+		}
+		u64(v)
+	}
+	ttBase := core.TTBRTabBase()
+	for pg := 0; pg < len(p.TTBRTabPAs); pg++ {
+		buf, ok := readTTBR1ROPage(s, p, ttBase+uint64(pg)*mem.PageSize)
+		if !ok {
+			return 0, false
+		}
+		h.Write(buf)
+	}
+	return h.Sum64(), true
+}
+
+// readTTBR1ROPage reads one whole page behind a TTBR1 VA under the same
+// read-only, kernel-only preconditions as readTTBR1RO.
+func readTTBR1ROPage(s *Snapshot, p *ProcSnap, va uint64) ([]byte, bool) {
+	res, err := p.TTBR1Table().Walk(mem.VA(va))
+	if err != nil || !res.Found {
+		return nil, false
+	}
+	if res.Desc&mem.AttrAPRO == 0 || res.Desc&mem.AttrAPUser != 0 {
+		return nil, false
+	}
+	real, ok := p.RealOf(mem.IPA(res.Desc & mem.OAMask))
+	if !ok {
+		return nil, false
+	}
+	buf := make([]byte, mem.PageSize)
+	if err := s.M.PM.Read(real, buf); err != nil {
+		return nil, false
+	}
+	return buf, true
+}
+
+func gatesemLookup(key uint64) ([]Finding, bool) {
+	gatesemMu.Lock()
+	defer gatesemMu.Unlock()
+	fs, ok := gatesemCache[key]
+	return fs, ok
+}
+
+func gatesemStore(key uint64, fs []Finding) {
+	gatesemMu.Lock()
+	defer gatesemMu.Unlock()
+	if len(gatesemCache) >= gatesemCacheMax {
+		gatesemCache = make(map[uint64][]Finding)
+	}
+	gatesemCache[key] = fs
+}

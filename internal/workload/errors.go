@@ -1,0 +1,27 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrFindings classifies verification verdicts: a checker reported a
+// finding on a machine that must be clean, a planted attack went uncaught,
+// or an unreachable control word was falsely flagged. Callers (lzverify)
+// separate these — the analysis ran and delivered a verdict — from
+// analysis failures (snapshot capture errors, machine construction
+// errors), which mean no verdict exists at all.
+var ErrFindings = errors.New("verification findings")
+
+// findingsError carries a verdict message while matching ErrFindings under
+// errors.Is, keeping the message free of sentinel boilerplate.
+type findingsError struct{ msg string }
+
+func (e *findingsError) Error() string { return e.msg }
+
+func (e *findingsError) Is(target error) bool { return target == ErrFindings }
+
+// findingsf builds a verdict-class error.
+func findingsf(format string, args ...any) error {
+	return &findingsError{msg: fmt.Sprintf(format, args...)}
+}

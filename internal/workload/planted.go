@@ -124,6 +124,140 @@ func plantedCFGMachine(plat Platform) (*Env, map[string]uint64, error) {
 	return env, labels, nil
 }
 
+// buildSemanticGate mirrors core's generated gate for gate 0 with one
+// byte-plausible semantic mutation — every instruction is individually
+// legal in a gate (the structural audit accepts it) and the dynamic path
+// never misbehaves, so only the gate-semantics proof can reject it. It
+// returns the assembled words and the VA where the proof must report.
+func buildSemanticGate(variant string) ([]uint32, uint64, error) {
+	a := arm64.NewAsm()
+	base := core.GateCodeBase() // gate 0
+	adrTo := func(rd uint8, target uint64) {
+		a.Emit(arm64.ADR(rd, int64(target)-int64(base)-int64(a.Len())))
+	}
+	gateTabEntry := core.GateTabBase() // GateTab[0]
+	ttbrTab := core.TTBRTabBase()
+
+	// ① switch phase (identical to the generated gate).
+	adrTo(16, gateTabEntry)
+	a.Emit(arm64.LDRImm(17, 16, 8, 3))
+	adrTo(18, ttbrTab)
+	a.Emit(arm64.ADDShifted(18, 18, 17, 3))
+	a.Emit(arm64.LDRImm(17, 18, 0, 3))
+	a.Label("msr")
+	a.Emit(arm64.MSR(arm64.TTBR0EL1, 17))
+	a.Emit(arm64.WordISB)
+	// ② check phase.
+	adrTo(16, gateTabEntry)
+	a.Emit(arm64.LDRImm(19, 16, 0, 3))
+	a.Emit(arm64.CMPReg(30, 19))
+	a.BCond(arm64.CondNE, "fail")
+	a.Emit(arm64.LDRImm(17, 16, 8, 3))
+	adrTo(18, ttbrTab)
+	a.Emit(arm64.ADDShifted(18, 18, 17, 3))
+	a.Emit(arm64.MRS(19, arm64.TTBR0EL1))
+	if variant == "ttbr-unproven" {
+		// The re-read of TTBRTab[PGTID] becomes a copy of the in-register
+		// TTBR0: the compare below degenerates to x19 == x19. Dynamically
+		// the check "passes" with the honest value every time; statically
+		// the installed table is no longer derived from the TTBRTab.
+		a.Emit(arm64.MOVReg(20, 19))
+	} else {
+		a.Emit(arm64.LDRImm(20, 18, 0, 3))
+	}
+	a.Emit(arm64.CMPReg(19, 20))
+	a.BCond(arm64.CondNE, "fail")
+	switch variant {
+	case "pan-elide":
+		// Cold path: x19 holds the live TTBR0 here, which is never zero,
+		// so the CBNZ always skips the PAN clear at run time — but an
+		// attacker entering at the compare above arrives with x19 free.
+		a.CBNZ(19, "ret")
+		a.Label("pan")
+		core.EmitSetPAN(a, 0)
+		a.Label("ret")
+		a.Emit(arm64.RET(30))
+	case "exit-redirect":
+		// Exit through x17 (the PGTID scratch register) instead of the
+		// validated link register: a computed exit the check phase never
+		// re-validates. rets==1 still holds structurally.
+		a.Label("ret")
+		a.Emit(arm64.RET(17))
+	default:
+		a.Label("ret")
+		a.Emit(arm64.RET(30))
+	}
+	a.Label("fail")
+	a.Emit(arm64.HVC(core.HVCViolation))
+
+	words, err := a.Assemble()
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(words)*arm64.InsnBytes > core.GateSlotLen {
+		return nil, 0, fmt.Errorf("variant gate exceeds slot: %d bytes", len(words)*arm64.InsnBytes)
+	}
+	flagLabel := map[string]string{
+		"pan-elide":     "pan", // the elidable PAN write
+		"ttbr-unproven": "msr", // the switch whose value is unproven
+		"exit-redirect": "ret", // the computed exit
+	}[variant]
+	off, err := a.Offset(flagLabel)
+	if err != nil {
+		return nil, 0, err
+	}
+	return words, base + uint64(off), nil
+}
+
+// plantedSemanticGate rebuilds gate 0's slot with a semantic variant and
+// installs it. The slot write is followed by a decode-cache invalidation —
+// the same host-side hook a legitimate gate (re)install performs — so the
+// cache-coherence checker stays quiet and the catch is attributable to
+// gate-semantics alone.
+func plantedSemanticGate(plat Platform, variant string) (*Env, uint64, error) {
+	env, lp, err := plantedCleanTTBR(plat)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(lp.Gates()) == 0 {
+		return nil, 0, fmt.Errorf("no gates registered")
+	}
+	words, flagVA, err := buildSemanticGate(variant)
+	if err != nil {
+		return nil, 0, err
+	}
+	slotVA := core.GateCodeBase()
+	res, err := lp.TTBR1Table().Walk(mem.VA(slotVA))
+	if err != nil || !res.Found {
+		return nil, 0, fmt.Errorf("gate slot not mapped: %v", err)
+	}
+	real, ok := lp.Fake().RealOf(mem.IPA(res.Desc & mem.OAMask))
+	if !ok {
+		return nil, 0, fmt.Errorf("no real frame behind gate slot")
+	}
+	buf := make([]byte, core.GateSlotLen) // zero tail clears the old gate
+	copy(buf, arm64.WordsToBytes(words))
+	if err := env.M.PM.Write(real+mem.PA(slotVA&mem.PageMask), buf); err != nil {
+		return nil, 0, err
+	}
+	env.M.CPU.InvalidateCode(mem.VA(slotVA))
+	return env, flagVA, nil
+}
+
+// attackSemanticGate wraps one buildSemanticGate variant as a battery cell.
+func attackSemanticGate(name, variant string) plantedAttack {
+	return plantedAttack{
+		name: name, checker: "gate-semantics",
+		build: func(plat Platform) (*Env, uint64, uint64, error) {
+			env, va, err := plantedSemanticGate(plat, variant)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			return env, va, 0, nil
+		},
+	}
+}
+
 // plantedAttacks is the battery: one cell per attack from the paper's threat
 // model, each paired with the checker that must catch it.
 func plantedAttacks() []plantedAttack {
@@ -267,6 +401,9 @@ func plantedAttacks() []plantedAttack {
 				return env, uint64(va), 0, nil
 			},
 		},
+		attackSemanticGate("gate-pan-elide", "pan-elide"),
+		attackSemanticGate("gate-ttbr-unproven", "ttbr-unproven"),
+		attackSemanticGate("gate-exit-redirect", "exit-redirect"),
 	}
 }
 

@@ -406,14 +406,14 @@ func (f *Fleet) plantedSweep(plat Platform, attacks []plantedAttack) ([]PlantedR
 		res := PlantedResult{Name: pa.name, Checker: pa.checker, VA: va, Total: len(rep.Findings)}
 		for _, fd := range rep.Findings {
 			if absent != 0 && fd.VA == absent {
-				return fmt.Errorf("%s: unreachable word at %#x falsely flagged: %s", pa.name, absent, fd.Detail)
+				return findingsf("%s: unreachable word at %#x falsely flagged: %s", pa.name, absent, fd.Detail)
 			}
 			if !res.Caught && fd.Checker == pa.checker && fd.VA == va {
 				res.Caught, res.Detail = true, fd.Detail
 			}
 		}
 		if !res.Caught {
-			return fmt.Errorf("%s: expected %s finding at %#x; verifier reported %d findings",
+			return findingsf("%s: expected %s finding at %#x; verifier reported %d findings",
 				pa.name, pa.checker, va, len(rep.Findings))
 		}
 		out[i] = res

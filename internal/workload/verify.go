@@ -153,7 +153,7 @@ func (f *Fleet) VerifySweep(plat Platform) ([]VerifyResult, error) {
 		}
 		if res.Findings > 0 {
 			for _, fd := range append(mon.Last.Findings, final.Findings...) {
-				return fmt.Errorf("%s: clean machine reported finding: %s", c.name, fd)
+				return findingsf("%s: clean machine reported finding: %s", c.name, fd)
 			}
 		}
 		out[i] = res

@@ -187,3 +187,62 @@ func f(m *memo) int { return len(m.entries) }
 		t.Fatalf("non-mem entries must be ignored, got %v", probs)
 	}
 }
+
+func TestBlockProofConfinedToAbsint(t *testing.T) {
+	// A BlockProof literal outside the abstract interpreter is an unproven
+	// claim wearing a proof's type — only ProveBlock may mint one.
+	probs := lintNamed(t, "blockcache.go", `package cpu
+func forge() *absint.BlockProof { return &absint.BlockProof{SysregFree: true} }
+`)
+	if len(probs) != 1 || !strings.Contains(probs[0], "ProveBlock") {
+		t.Fatalf("want one BlockProof violation, got %v", probs)
+	}
+	// The bare-identifier form is caught too.
+	probs = lintNamed(t, "anything.go", `package verify
+func forge() BlockProof { return BlockProof{} }
+`)
+	if len(probs) != 1 {
+		t.Fatalf("want one BlockProof violation, got %v", probs)
+	}
+}
+
+func TestBlockProofAllowedInAbsint(t *testing.T) {
+	probs := lintNamed(t, "blockproof.go", `package absint
+func ProveBlock() *BlockProof { return &BlockProof{SysregFree: true} }
+`)
+	if len(probs) != 0 {
+		t.Fatalf("absint must mint proofs, got %v", probs)
+	}
+}
+
+func TestProofSlotConfinedToProofAudit(t *testing.T) {
+	probs := lintNamed(t, "exec.go", `package cpu
+func peek(b *dblock) bool { return b.proof != nil }
+`)
+	if len(probs) != 1 || !strings.Contains(probs[0], "proofaudit.go") {
+		t.Fatalf("want one confinement violation, got %v", probs)
+	}
+	probs = lintNamed(t, "proofaudit.go", `package cpu
+func peek(b *dblock) bool { return b.proof != nil }
+`)
+	if len(probs) != 0 {
+		t.Fatalf("proofaudit.go must own .proof, got %v", probs)
+	}
+}
+
+func TestEpochsConfinedToBlockCache(t *testing.T) {
+	// Epoch bumps are the proof/block invalidation chokepoint; touching the
+	// tracker from another cpu file would add an unaudited chokepoint.
+	probs := lintNamed(t, "mmu.go", `package cpu
+func bump(d *BlockCache) { d.epochs.BumpVA(0) }
+`)
+	if len(probs) != 1 || !strings.Contains(probs[0], "blockcache.go") {
+		t.Fatalf("want one confinement violation, got %v", probs)
+	}
+	probs = lintNamed(t, "blockcache.go", `package cpu
+func bump(d *BlockCache) { d.epochs.BumpVA(0) }
+`)
+	if len(probs) != 0 {
+		t.Fatalf("blockcache.go must own .epochs, got %v", probs)
+	}
+}

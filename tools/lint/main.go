@@ -25,6 +25,14 @@
 //     surface; state reaching across it would let one backend's semantics
 //     leak into another's.
 //
+//  5. block-proof confinement: a BlockProof is constructed only inside
+//     internal/arm64/absint (ProveBlock is the sole factory — a literal
+//     built elsewhere would be an unproven claim wearing a proof's type),
+//     the cached proof slot (`.proof` in package cpu) is touched only by
+//     proofaudit.go, and the code-epoch tracker (`.epochs` in package cpu)
+//     only by blockcache.go — epoch bumps are the proof/block invalidation
+//     chokepoint, so the soundness audit is those two files.
+//
 // Usage: go run ./tools/lint [root]   (root defaults to ".")
 //
 // Exits non-zero and prints one line per violation. Test files are skipped:
@@ -88,7 +96,11 @@ var chargers = map[string]bool{"Charge": true, "ChargeInsns": true}
 // file per package: package -> selector -> the only file allowed to use it.
 var confined = map[string]map[string]string{
 	"mem": {"entries": "tlb.go"},
-	"cpu": {"mtlb": "microtlb.go"},
+	"cpu": {
+		"mtlb":   "microtlb.go",
+		"proof":  "proofaudit.go",
+		"epochs": "blockcache.go",
+	},
 	"core": {
 		"gateTabPA": "gate.go",
 		"ttbrTabPA": "gate.go",
@@ -115,6 +127,27 @@ func lintFile(fset *token.FileSet, f *ast.File) []string {
 				problems = append(problems, fmt.Sprintf(
 					"%s: .%s accessed outside %s; this state is confined to its owning file",
 					fset.Position(sel.Pos()), sel.Sel.Name, owner))
+			}
+			return true
+		})
+	}
+	if f.Name.Name != "absint" {
+		ast.Inspect(f, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			name := ""
+			switch t := cl.Type.(type) {
+			case *ast.Ident:
+				name = t.Name
+			case *ast.SelectorExpr:
+				name = t.Sel.Name
+			}
+			if name == "BlockProof" {
+				problems = append(problems, fmt.Sprintf(
+					"%s: BlockProof constructed outside internal/arm64/absint; only ProveBlock may mint proofs",
+					fset.Position(cl.Pos())))
 			}
 			return true
 		})
