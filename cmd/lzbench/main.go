@@ -65,6 +65,7 @@ func main() {
 		parallel = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for the measurement sweeps (1 = fully sequential)")
 		noFast   = flag.Bool("nofastpath", false, "disable the host-side fastpaths (micro-TLBs, block-resident run loop, batched charging); emitted rows must stay byte-identical")
 		noDecode = flag.Bool("nodecode", false, "disable the decoded-block cache (the seed fetch/decode pipeline); emitted rows must stay byte-identical")
+		noTrace  = flag.Bool("notrace", false, "disable the trace compiler (no superblock stitching; the PR 4 block-resident pipeline); emitted rows must stay byte-identical")
 		proofAud = flag.Bool("proofaudit", false, "cross-check every cached-block replay against its static BlockProof (the abstract-interpretation artifact); summary on stderr, nonzero exit on any divergence, stdout byte-identical")
 		hostPerf = flag.Bool("hostperf", false, "append one host-throughput row per suite (wall seconds, emulated insns/sec); off by default so the emitted rows never depend on the host")
 		benchOut = flag.String("benchout", "", "write a machine-readable per-suite host-performance summary (JSON) to this file")
@@ -101,6 +102,9 @@ func main() {
 	if *noDecode {
 		cpu.SetDecodeCacheDefault(false)
 	}
+	if *noTrace {
+		cpu.SetTraceDefault(false)
+	}
 	if *proofAud {
 		cpu.SetProofAuditDefault(true)
 	}
@@ -117,7 +121,7 @@ func main() {
 		}
 	}
 	err := dispatch(*table, *figure, *mem, *pentest, *ablation, *all, *iters,
-		*parallel, *noFast, *noDecode, *record, *replayP, *chaosN, *chaosSd, *chaosOut)
+		*parallel, *noFast, *noDecode, *noTrace, *record, *replayP, *chaosN, *chaosSd, *chaosOut)
 	if *cpuProf != "" {
 		pprof.StopCPUProfile()
 	}
@@ -160,7 +164,7 @@ func reportProofAudit() error {
 // dispatch routes between the measurement path (optionally recorded), a
 // journal replay, and a chaos sweep.
 func dispatch(table, figure int, mem, pentest, ablation, all bool, iters,
-	parallel int, noFast, noDecode bool, record, replayPath string,
+	parallel int, noFast, noDecode, noTrace bool, record, replayPath string,
 	chaosN int, chaosSeed int64, chaosOut string) error {
 	modes := 0
 	for _, on := range []bool{record != "", replayPath != "", chaosN > 0} {
@@ -186,14 +190,14 @@ func dispatch(table, figure int, mem, pentest, ablation, all bool, iters,
 		mem:    mem || all,
 	}
 	if record != "" {
-		return runRecord(record, spec, parallel, noFast, noDecode)
+		return runRecord(record, spec, parallel, noFast, noDecode, noTrace)
 	}
 	return run(spec)
 }
 
 // runRecord executes the run with row capture and input recording on, then
 // seals everything into a journal.
-func runRecord(path string, spec runSpec, parallel int, noFast, noDecode bool) error {
+func runRecord(path string, spec runSpec, parallel int, noFast, noDecode, noTrace bool) error {
 	if len(spec.suites) == 0 {
 		return fmt.Errorf("-record needs at least one suite (e.g. -all)")
 	}
@@ -217,6 +221,7 @@ func runRecord(path string, spec runSpec, parallel int, noFast, noDecode bool) e
 			Parallel:   parallel,
 			NoFastpath: noFast,
 			NoDecode:   noDecode,
+			NoTrace:    noTrace,
 			Invariants: invariants,
 			Backend:    backendSel,
 		},
@@ -268,6 +273,9 @@ func runReplay(path string) error {
 	}
 	if j.Config.NoDecode {
 		cpu.SetDecodeCacheDefault(false)
+	}
+	if j.Config.NoTrace {
+		cpu.SetTraceDefault(false)
 	}
 	capture = []string{}
 	source = replay.NewReplaying(j.Inputs)
@@ -505,6 +513,15 @@ type suitePerf struct {
 	EmulatedMIPS  float64 `json:"emulated_mips"`
 	TLBHitRate    float64 `json:"tlb_hit_rate"`
 	DecodeHitRate float64 `json:"decode_hit_rate"`
+
+	// Trace-compiler counters for the suite's window: the fraction of
+	// emulated instructions retired inside stitched traces, plus the
+	// stitch/invalidation churn behind that rate.
+	TraceHitRate     float64 `json:"trace_hit_rate"`
+	TraceStitched    uint64  `json:"trace_stitched"`
+	TraceSideExits   uint64  `json:"trace_side_exits"`
+	TraceInvalidated uint64  `json:"trace_invalidated"`
+	TraceFused       uint64  `json:"trace_fused"`
 }
 
 func rate(hits, misses int64) float64 {
@@ -521,12 +538,14 @@ func measure(name string, fn func() error) error {
 		return fn()
 	}
 	before := cpu.ReadHostPerf()
+	beforeT := cpu.ReadTraceStats()
 	start := time.Now()
 	if err := fn(); err != nil {
 		return err
 	}
 	wall := time.Since(start).Seconds()
 	d := cpu.ReadHostPerf().Sub(before)
+	dt := cpu.ReadTraceStats().Sub(beforeT)
 	sp := suitePerf{
 		Suite:         name,
 		WallSeconds:   wall,
@@ -535,6 +554,13 @@ func measure(name string, fn func() error) error {
 		TLBHitRate:    rate(d.TLBHits, d.TLBMisses),
 		DecodeHitRate: rate(d.CodeHits, d.CodeMisses),
 	}
+	if d.Insns > 0 {
+		sp.TraceHitRate = float64(dt.InsnsRun) / float64(d.Insns)
+	}
+	sp.TraceStitched = dt.Stitched
+	sp.TraceSideExits = dt.SideExits
+	sp.TraceInvalidated = dt.Invalidated
+	sp.TraceFused = dt.Fused
 	suitePerfs = append(suitePerfs, sp)
 	if hostPerfOn {
 		if jsonOut {
@@ -542,11 +568,14 @@ func measure(name string, fn func() error) error {
 				"kind": "hostperf", "suite": sp.Suite, "wall_seconds": sp.WallSeconds,
 				"emulated_insns": sp.EmulatedInsns, "emulated_mips": sp.EmulatedMIPS,
 				"tlb_hit_rate": sp.TLBHitRate, "decode_hit_rate": sp.DecodeHitRate,
+				"trace_hit_rate": sp.TraceHitRate, "trace_stitched": sp.TraceStitched,
+				"trace_side_exits": sp.TraceSideExits, "trace_invalidated": sp.TraceInvalidated,
+				"trace_fused": sp.TraceFused,
 			})
 		}
-		fmt.Printf("host: %s in %.3fs — %d emulated insns, %.1f MIPS, TLB hit %.1f%%, decode hit %.1f%%\n\n",
+		fmt.Printf("host: %s in %.3fs — %d emulated insns, %.1f MIPS, TLB hit %.1f%%, decode hit %.1f%%, trace hit %.1f%%\n\n",
 			sp.Suite, sp.WallSeconds, sp.EmulatedInsns, sp.EmulatedMIPS,
-			100*sp.TLBHitRate, 100*sp.DecodeHitRate)
+			100*sp.TLBHitRate, 100*sp.DecodeHitRate, 100*sp.TraceHitRate)
 	}
 	return nil
 }
@@ -564,17 +593,29 @@ func writeBenchOut(path string) error {
 	agg := cpu.ReadHostPerf()
 	total.TLBHitRate = rate(agg.TLBHits, agg.TLBMisses)
 	total.DecodeHitRate = rate(agg.CodeHits, agg.CodeMisses)
+	aggT := cpu.ReadTraceStats()
+	if agg.Insns > 0 {
+		total.TraceHitRate = float64(aggT.InsnsRun) / float64(agg.Insns)
+	}
+	total.TraceStitched = aggT.Stitched
+	total.TraceSideExits = aggT.SideExits
+	total.TraceInvalidated = aggT.Invalidated
+	total.TraceFused = aggT.Fused
 	out := struct {
 		Fastpaths   bool                     `json:"fastpaths"`
 		DecodeCache bool                     `json:"decode_cache"`
+		Traces      bool                     `json:"traces"`
 		Suites      []suitePerf              `json:"suites"`
 		Total       suitePerf                `json:"total"`
+		TraceTotals cpu.TraceStats           `json:"trace_totals"`
 		Backends    []workload.BackendMatrix `json:"backends,omitempty"`
 	}{
 		Fastpaths:   cpu.HostFastpathDefault(),
 		DecodeCache: cpu.DecodeCacheDefault(),
+		Traces:      cpu.TraceDefault(),
 		Suites:      suitePerfs,
 		Total:       total,
+		TraceTotals: aggT,
 		Backends:    backendMatrices,
 	}
 	b, err := json.MarshalIndent(out, "", "  ")

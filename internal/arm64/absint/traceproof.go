@@ -1,0 +1,140 @@
+package absint
+
+import (
+	"lightzone/internal/arm64"
+)
+
+// TraceProof is the composition of consecutive BlockProofs along one
+// predicted control-flow path — the static summary of a stitched superblock
+// (the "per-trace proof" the BlockProof doc promised). It merges the member
+// blocks' ordered access claims (rebased to trace-global instruction
+// indices), intersects their sysreg/PAN freedom, and sums the charge-bearing
+// shape counts, so a trace runner can validate one proof instead of one per
+// block and derive a single minimum-charge bound for the whole run.
+//
+// ComposeTrace is the sole factory (enforced by tools/lint, mirroring
+// ProveBlock for BlockProof): a TraceProof built anywhere else would be an
+// unproven claim wearing a proof's type.
+type TraceProof struct {
+	EntryPC uint64
+	Blocks  int
+	Insns   int
+
+	// PCs lists the predicted program counter of every instruction in trace
+	// order — the audit oracle walks it to cross-check a fused replay
+	// against the stitched path.
+	PCs []uint64
+
+	// Claims lists every data access in predicted program order, with
+	// MemClaim.Index rebased to the trace-global instruction index. Interior
+	// edges' terminator claims are impossible (branch ops carry no dataflow),
+	// so all claims come from straight-line instructions.
+	Claims []MemClaim
+
+	// ISBs and DSBs sum the member blocks' interior barrier counts. Every
+	// barrier in a stitched trace is interior by construction: barriers do
+	// not terminate blocks, and only terminators sit on stitch edges.
+	ISBs int
+	DSBs int
+
+	// SysregFree/PANFree hold only when every member block is free — the
+	// conjunction, since any member writing state breaks the trace-wide
+	// invariant.
+	SysregFree bool
+	PANFree    bool
+
+	// Branches counts stitch edges that charge BranchCost when the
+	// prediction holds: unconditional B/BL/RET always, conditional edges
+	// only when the predicted direction is the taken one. A conditional
+	// whose taken target equals its fall-through is conservatively not
+	// counted — the minimum-charge bound must never exceed reality.
+	Branches int
+
+	// PanToggles counts MSR PAN, #imm edges fused into the trace (each
+	// charges PanToggleCost).
+	PanToggles int
+}
+
+// TraceEdge describes how control leaves one member block for the next
+// during composition: the terminator's opcode and, for conditional forms,
+// whether the predicted direction is the taken branch.
+type TraceEdge struct {
+	Term       arm64.Op
+	TakenPred  bool // conditional edge predicted taken (target != fall-through)
+	FusedPAN   bool // MSRImm PAN edge fused into the trace
+	ChargeFree bool // edge dispatch charges nothing (e.g. MRS fall-through)
+}
+
+// ComposeTrace composes the proofs of a stitched trace's member blocks.
+// proofs[i] is the i-th block in predicted order; edges[i] describes the
+// terminator edge from block i to block i+1 (len(edges) == len(proofs)-1;
+// the final block's terminator is the trace's own exit and contributes no
+// edge). Returns nil if the inputs are malformed.
+func ComposeTrace(entryPC uint64, proofs []*BlockProof, edges []TraceEdge) *TraceProof {
+	if len(proofs) < 2 || len(edges) != len(proofs)-1 {
+		return nil
+	}
+	tp := &TraceProof{
+		EntryPC:    entryPC,
+		Blocks:     len(proofs),
+		SysregFree: true,
+		PANFree:    true,
+	}
+	base := 0
+	pc := entryPC
+	for bi, p := range proofs {
+		if p == nil {
+			return nil
+		}
+		tp.Insns += p.Insns
+		tp.ISBs += p.ISBs
+		tp.DSBs += p.DSBs
+		tp.SysregFree = tp.SysregFree && p.SysregFree
+		tp.PANFree = tp.PANFree && p.PANFree
+		for i := 0; i < p.Insns; i++ {
+			tp.PCs = append(tp.PCs, pc+uint64(i)*arm64.InsnBytes)
+		}
+		for _, cl := range p.Claims {
+			cl.Index += base
+			tp.Claims = append(tp.Claims, cl)
+		}
+		base += p.Insns
+		if bi < len(edges) {
+			e := edges[bi]
+			switch e.Term {
+			case arm64.OpB, arm64.OpBL, arm64.OpRET:
+				tp.Branches++
+			case arm64.OpBCond, arm64.OpCBZ, arm64.OpCBNZ:
+				if e.TakenPred {
+					tp.Branches++
+				}
+			case arm64.OpMSRImm:
+				if e.FusedPAN {
+					tp.PanToggles++
+				}
+			}
+			// Successor PC is supplied by the stitcher via the next proof's
+			// own PC; trust but verify.
+			pc = proofs[bi+1].PC
+		}
+	}
+	return tp
+}
+
+// MinCharge returns the proof's minimum cycle charge for a completed fused
+// replay under the given per-event costs. The trace runner and the audit
+// oracle share this one formula so they can never disagree.
+func (tp *TraceProof) MinCharge(insnCost, memCost, isbCost, dsbCost, branchCost, panCost int64) int64 {
+	interior := 0
+	for _, cl := range tp.Claims {
+		if cl.Index < tp.Insns-1 {
+			interior++
+		}
+	}
+	return int64(tp.Insns)*insnCost +
+		int64(interior)*memCost +
+		int64(tp.ISBs)*isbCost +
+		int64(tp.DSBs)*dsbCost +
+		int64(tp.Branches)*branchCost +
+		int64(tp.PanToggles)*panCost
+}

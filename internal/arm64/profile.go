@@ -1,5 +1,7 @@
 package arm64
 
+import "sync"
+
 // Profile is a per-platform cycle cost model. The two shipped profiles are
 // calibrated so that the trap and system-register costs composed from these
 // constituents land on the paper's directly measured values (Table 4), which
@@ -63,36 +65,54 @@ type Profile struct {
 	// pt_regs pointer. It produces the 29,020~32,881 fluctuation band of
 	// Table 4.
 	SchedQuantumTraps int
+
+	// Dense per-register cost tables derived lazily from the class defaults
+	// and override maps (see buildSysCostTabs). Profiles are shared across
+	// vCPUs by pointer, never copied.
+	sysCostOnce sync.Once
+	sysReadTab  []int64
+	sysWriteTab []int64
+}
+
+// buildSysCostTabs flattens the override maps and EL-class defaults into
+// dense per-register tables, so the hot MRS/MSR path is one array load
+// instead of a map probe. Built once on first use; the constructors below
+// fully populate a Profile before it is shared, so the tables never observe
+// a half-built override map.
+func (p *Profile) buildSysCostTabs() {
+	p.sysReadTab = make([]int64, NumSysRegs)
+	p.sysWriteTab = make([]int64, NumSysRegs)
+	for r := SysReg(0); r < SysReg(NumSysRegs); r++ {
+		var rd, wr int64
+		switch r.MinEL() {
+		case EL0:
+			rd, wr = p.SysRegReadEL0, p.SysRegWriteEL0
+		case EL1:
+			rd, wr = p.SysRegReadEL1, p.SysRegWriteEL1
+		default:
+			rd, wr = p.SysRegReadEL2, p.SysRegWriteEL2
+		}
+		if c, ok := p.SysRegReadOverride[r]; ok {
+			rd = c
+		}
+		if c, ok := p.SysRegWriteOverride[r]; ok {
+			wr = c
+		}
+		p.sysReadTab[r] = rd
+		p.sysWriteTab[r] = wr
+	}
 }
 
 // SysRegReadCost returns the modelled cost of an MRS of r.
 func (p *Profile) SysRegReadCost(r SysReg) int64 {
-	if c, ok := p.SysRegReadOverride[r]; ok {
-		return c
-	}
-	switch r.MinEL() {
-	case EL0:
-		return p.SysRegReadEL0
-	case EL1:
-		return p.SysRegReadEL1
-	default:
-		return p.SysRegReadEL2
-	}
+	p.sysCostOnce.Do(p.buildSysCostTabs)
+	return p.sysReadTab[r]
 }
 
 // SysRegWriteCost returns the modelled cost of an MSR to r.
 func (p *Profile) SysRegWriteCost(r SysReg) int64 {
-	if c, ok := p.SysRegWriteOverride[r]; ok {
-		return c
-	}
-	switch r.MinEL() {
-	case EL0:
-		return p.SysRegWriteEL0
-	case EL1:
-		return p.SysRegWriteEL1
-	default:
-		return p.SysRegWriteEL2
-	}
+	p.sysCostOnce.Do(p.buildSysCostTabs)
+	return p.sysWriteTab[r]
 }
 
 // ProfileCarmel models the NVIDIA Jetson AGX Xavier's Carmel ARMv8.2 CPU

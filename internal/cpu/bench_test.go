@@ -42,6 +42,50 @@ func BenchmarkBlockReplay(b *testing.B) {
 	b.ReportMetric(float64(b.N)*benchLoopInsns/b.Elapsed().Seconds(), "insns/s")
 }
 
+// chainInsns is the emulated instruction count of one chainProgram pass.
+const chainInsns = 10
+
+// benchStitchedEnv boots an env on chainProgram and runs it until the chain
+// is stitched and replaying as a trace (threshold 2: stitch on the third
+// pass, traced entry from the fourth).
+func benchStitchedEnv(b *testing.B, traces bool) *env {
+	e := newEnv(b)
+	e.c.SetTraces(traces)
+	e.c.SetTraceHotThreshold(2)
+	e.load(b, chainProgram())
+	e.run(b, 1000)
+	for i := 0; i < 3; i++ {
+		e.rerun(b, 1000)
+	}
+	return e
+}
+
+// BenchmarkTraceReplay measures the stitched superblock runner on a hot
+// multi-block chain: one guard per entry, fused step dispatch, one batched
+// stats/charge flush — the PR 9 tier above BenchmarkBlockReplay.
+func BenchmarkTraceReplay(b *testing.B) {
+	e := benchStitchedEnv(b, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.rerun(b, 1000)
+	}
+	b.ReportMetric(float64(b.N)*chainInsns/b.Elapsed().Seconds(), "insns/s")
+}
+
+// BenchmarkTraceDispatch runs the same hot chain with tracing off: every
+// pass crosses five block boundaries through the generic block-resident
+// dispatcher. The delta against BenchmarkTraceReplay is what stitching buys.
+func BenchmarkTraceDispatch(b *testing.B) {
+	e := benchStitchedEnv(b, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.rerun(b, 1000)
+	}
+	b.ReportMetric(float64(b.N)*chainInsns/b.Elapsed().Seconds(), "insns/s")
+}
+
 // BenchmarkTranslateHit measures Translate on a warm data page: with the
 // fastpaths on this is a D-side micro-TLB hit, the cost every load and
 // store in the emulator pays.

@@ -30,6 +30,10 @@ type dblock struct {
 	// all access is confined to that file by tools/lint). Its lifetime is
 	// the block's: both are dropped when the page's code epoch moves.
 	proof *absint.BlockProof
+	// hot counts validated entries toward the trace-stitch threshold (see
+	// trace.go). Saturates at the threshold; reset when a transient stitch
+	// failure or trace invalidation makes a retry worthwhile.
+	hot uint32
 }
 
 // Blocks are addressed by execution context and start address: (VMID, ASID,
@@ -92,9 +96,16 @@ type BlockCache struct {
 	// context id, with a one-entry cache for the common same-context run.
 	ctxIDs  map[blockCtx]uint64
 	ctxList []blockCtx // index = context id, for key decoding
-	lastCtx blockCtx
-	lastID  uint64
-	lastOK  bool
+	// Small direct-mapped intern memo, indexed by the ASID's low bits:
+	// gate-heavy workloads alternate between a few domain ASIDs every
+	// crossing, and a single-slot memo would miss on every one of them.
+	ctxMemo [4]blockCtxMemo
+
+	// Invalidation hooks for dependents (the trace cache): onReset fires
+	// after the whole cache is dropped (interned context ids dangle, so any
+	// key derived from them does too); onEvict fires per cohort-evicted key.
+	onReset func()
+	onEvict func(blockKey)
 
 	// In-progress block builder. The build is abandoned (never inserted)
 	// if the page's epoch moves between build start and finalize.
@@ -137,8 +148,9 @@ func newBlockCache(epochs *mem.CodeEpochs, stats *mem.Stats) *BlockCache {
 // cap, the whole cache is dropped and interning restarts — costing only
 // re-decodes.
 func (d *BlockCache) ctxFor(c blockCtx) uint64 {
-	if d.lastOK && c == d.lastCtx {
-		return d.lastID
+	m := &d.ctxMemo[c.asid&uint16(len(d.ctxMemo)-1)]
+	if m.ok && c == m.ctx {
+		return m.id
 	}
 	id, ok := d.ctxIDs[c]
 	if !ok {
@@ -149,8 +161,15 @@ func (d *BlockCache) ctxFor(c blockCtx) uint64 {
 		d.ctxIDs[c] = id
 		d.ctxList = append(d.ctxList, c)
 	}
-	d.lastCtx, d.lastID, d.lastOK = c, id, true
+	*m = blockCtxMemo{ctx: c, id: id, ok: true}
 	return id
+}
+
+// blockCtxMemo caches one interned block-translation context.
+type blockCtxMemo struct {
+	ctx blockCtx
+	id  uint64
+	ok  bool
 }
 
 // SetEnabled turns the cache on or off (off: every instruction is fetched
@@ -229,9 +248,12 @@ func (d *BlockCache) reset() {
 	clear(d.codePages)
 	clear(d.ctxIDs)
 	d.ctxList = d.ctxList[:0]
-	d.lastOK = false
+	d.ctxMemo = [4]blockCtxMemo{}
 	d.order = d.order[:0]
 	d.building = false
+	if d.onReset != nil {
+		d.onReset()
+	}
 }
 
 // evictCohort drops the oldest half of the cached blocks by insertion
@@ -249,6 +271,9 @@ func (d *BlockCache) evictCohort() {
 		}
 		delete(d.blocks, k)
 		d.dropPageRef(b.page)
+		if d.onEvict != nil {
+			d.onEvict(k)
+		}
 		evicted++
 	}
 	d.order = append(d.order[:0], d.order[i:]...)
@@ -313,6 +338,7 @@ func (d *BlockCache) enter(c *VCPU, pc uint64) *dblock {
 	if b.checkedGen == gen {
 		// No epoch of any granularity moved since the last validation, so
 		// the per-page Snapshot cannot have changed either.
+		c.noteBlockHot(b, key, pc)
 		return b
 	}
 	if d.epochs.Snapshot(b.page) != b.snap {
@@ -322,6 +348,7 @@ func (d *BlockCache) enter(c *VCPU, pc uint64) *dblock {
 		return nil
 	}
 	b.checkedGen = gen
+	c.noteBlockHot(b, key, pc)
 	return b
 }
 

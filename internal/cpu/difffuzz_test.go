@@ -2,11 +2,13 @@ package cpu_test
 
 // Differential-fuzz conformance suite: seeded random A64 instruction
 // streams run through the execution engine twice — once with the host
-// fastpaths and decoded-block cache on, once with both off — and the two
-// pipelines must agree bit for bit on registers, PSTATE, memory, cycle
-// accounting and TLB statistics. Faulting and undefined streams are
-// legitimate inputs: every exception is an architectural event both
-// pipelines must deliver identically.
+// fastpaths, decoded-block cache and trace compiler on, once with all of
+// them off — and the two pipelines must agree bit for bit on registers,
+// PSTATE, memory, cycle accounting and TLB statistics. Each dual run makes
+// several passes over the stream, so the fast side exercises decode,
+// cached-block dispatch and stitched-trace replay in one comparison.
+// Faulting and undefined streams are legitimate inputs: every exception is
+// an architectural event both pipelines must deliver identically.
 //
 // A divergence is auto-minimized (NOP substitution to fixpoint) and written
 // as a replayable journal; `lzreplay -run` replays it standalone.
@@ -19,6 +21,7 @@ import (
 	"strings"
 	"testing"
 
+	"lightzone/internal/cpu"
 	"lightzone/internal/replay"
 )
 
@@ -72,8 +75,11 @@ func reportDivergence(t *testing.T, seed int64, words []uint32, divergence strin
 }
 
 // TestDiffFuzzCorpus runs every committed corpus seed through both
-// pipelines at two stream lengths.
+// pipelines at two stream lengths, and checks that the corpus as a whole
+// actually reaches the trace tier — a corpus whose streams never stitch
+// would silently stop testing the trace compiler.
 func TestDiffFuzzCorpus(t *testing.T) {
+	before := cpu.ReadTraceStats()
 	for _, n := range []int{64, 400} {
 		for _, seed := range corpusSeeds(t) {
 			words := replay.GenWords(seed, n)
@@ -88,6 +94,10 @@ func TestDiffFuzzCorpus(t *testing.T) {
 				t.Errorf("seed %d n=%d: stream executed nothing", seed, n)
 			}
 		}
+	}
+	d := cpu.ReadTraceStats().Sub(before)
+	if d.Stitched == 0 || d.Entered == 0 {
+		t.Errorf("fuzz corpus never exercised the trace compiler (stitched %d, entered %d)", d.Stitched, d.Entered)
 	}
 }
 

@@ -25,6 +25,7 @@ func (c *VCPU) Run(maxInsns int64) (Exit, error) {
 	tlbH, tlbM := c.Stats.TLBHits, c.Stats.TLBMisses
 	codeH, codeM := c.Stats.CodeHits, c.Stats.CodeMisses
 	exit, err := c.runLoop(maxInsns)
+	c.flushTraceStats()
 	notePerf(c.Insns-insns,
 		int64(c.Stats.TLBHits-tlbH), int64(c.Stats.TLBMisses-tlbM),
 		int64(c.Stats.CodeHits-codeH), int64(c.Stats.CodeMisses-codeM))
@@ -34,20 +35,34 @@ func (c *VCPU) Run(maxInsns int64) (Exit, error) {
 func (c *VCPU) runLoop(maxInsns int64) (Exit, error) {
 	resident := c.HostFastpathsEnabled()
 	for done := int64(0); done < maxInsns; {
-		if resident && c.cur.blk != nil && c.PC == c.cur.expect && c.EL() != arm64.EL2 {
-			n, exit, err := c.runBlock(maxInsns - done)
-			done += n
-			if err != nil {
-				return Exit{}, err
+		// Deliverable IRQs go through Step, whatever the cursor or trace
+		// cache says — hoisting the check keeps the resident paths free to
+		// `continue` without starving delivery.
+		if resident && c.EL() != arm64.EL2 &&
+			!(c.PendingIRQ && c.PState&arm64.PStateI == 0) {
+			if c.cur.blk != nil && c.PC == c.cur.expect {
+				n, exit, err := c.runBlock(maxInsns - done)
+				done += n
+				if err != nil {
+					return Exit{}, err
+				}
+				if exit != nil {
+					return *exit, nil
+				}
+				continue
 			}
-			if exit != nil {
-				return *exit, nil
+			// Dead cursor: a stitched trace may start at this PC.
+			if t := c.pickTrace(maxInsns - done); t != nil {
+				n, exit, err := c.runTrace(t)
+				done += n
+				if err != nil {
+					return Exit{}, err
+				}
+				if exit != nil {
+					return *exit, nil
+				}
+				continue
 			}
-			if done >= maxInsns {
-				break
-			}
-			// The cursor died (block end, discontinuity, emulated-EL1
-			// delivery) or an unmasked IRQ is pending: take one Step.
 		}
 		exit, err := c.Step()
 		done++
@@ -131,6 +146,7 @@ func (c *VCPU) deliver(s Syndrome, preferReturn uint64) *Exit {
 	// An exception hands control to a handler that may change mappings or
 	// rewrite code before returning; never resume a block across it.
 	c.cur.blk = nil
+	c.excSeq++
 	target := c.routeSyncException(s)
 	c.TakeException(target, s, preferReturn)
 	if target == arm64.EL2 || !c.EmulatedEL1 {

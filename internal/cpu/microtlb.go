@@ -55,20 +55,23 @@ type microEntry struct {
 // Micro-TLB geometry: small direct-mapped arrays. The I side covers the
 // handful of code pages alternating across a domain switch (user code,
 // kernel vectors, gate trampolines); the D side covers the interleaved
-// stack/heap/global data pages. Must be powers of two.
+// stack/heap/global data pages of every resident domain. Must be powers of
+// two.
 const (
-	iMicroWays = 4
-	dMicroWays = 8
+	iMicroWays = 8
+	dMicroWays = 16
 )
 
-// microIdx picks the way for a page under a privilege state. Page-number
+// microIdx picks the way for a page under a translation context. Page-number
 // bits above bit 6 are folded in because natural mapping bases (0x40000,
 // 0x80000, …) agree in their low page bits and would otherwise all collide
 // in way 0; priv flips the low index bit so the EL0 and EL1 translations of
-// one page — alternating on every domain switch — occupy different ways
-// instead of evicting each other through the context gate.
-func microIdx(page uint64, priv bool, ways uint64) uint64 {
-	h := page ^ page>>6
+// one page occupy different ways. The ASID is folded in for the same reason
+// at domain granularity: a call-gate switch retags TTBR0, and without the
+// fold the same stack/heap page under alternating domains evicts itself on
+// every crossing — precisely the access pattern of a gate-heavy workload.
+func microIdx(page uint64, priv bool, asid uint16, ways uint64) uint64 {
+	h := page ^ page>>6 ^ uint64(asid) ^ uint64(asid)>>4
 	if priv {
 		h ^= 1
 	}
@@ -140,11 +143,16 @@ func (c *VCPU) microLookup(va mem.VA, acc mem.AccessType, unpriv bool) (mem.PA, 
 	}
 	page := uint64(va) >> mem.PageShift
 	priv := c.EL() != arm64.EL0
+	ttbr := c.sys[arm64.TTBR0EL1]
+	if mem.IsTTBR1(va) {
+		ttbr = c.sys[arm64.TTBR1EL1]
+	}
+	asid := TTBRASID(ttbr)
 	var e *microEntry
 	if acc == mem.AccessExec {
-		e = &m.i[microIdx(page, priv, iMicroWays)]
+		e = &m.i[microIdx(page, priv, asid, iMicroWays)]
 	} else {
-		e = &m.d[microIdx(page, priv, dMicroWays)]
+		e = &m.d[microIdx(page, priv, asid, dMicroWays)]
 	}
 	ok := e.valid && e.page == page
 	if ok {
@@ -167,12 +175,11 @@ func (c *VCPU) microLookup(va mem.VA, acc mem.AccessType, unpriv bool) (mem.PA, 
 			e.pan == c.PAN() &&
 			e.vmid == c.CurrentVMID()
 	}
+	// Colliding ASIDs can still share a way; the tag check keeps the hit
+	// honest — the index fold only decides who gets evicted, never what a
+	// hit proves.
 	if ok {
-		ttbr := c.sys[arm64.TTBR0EL1]
-		if mem.IsTTBR1(va) {
-			ttbr = c.sys[arm64.TTBR1EL1]
-		}
-		ok = e.asid == TTBRASID(ttbr)
+		ok = e.asid == asid
 	}
 	if !ok {
 		if acc == mem.AccessExec {
@@ -203,21 +210,21 @@ func (c *VCPU) microFill(va mem.VA, acc mem.AccessType, unpriv bool, pa mem.PA) 
 	}
 	page := uint64(va) >> mem.PageShift
 	priv := c.EL() != arm64.EL0
-	var e *microEntry
-	if acc == mem.AccessExec {
-		e = &m.i[microIdx(page, priv, iMicroWays)]
-	} else {
-		e = &m.d[microIdx(page, priv, dMicroWays)]
-	}
-	tlbGen := c.TLB.Gen()
-	codeGen := c.TLB.Code.Gen()
-	pan := c.PAN()
-	vmid := c.CurrentVMID()
 	ttbr := c.sys[arm64.TTBR0EL1]
 	if mem.IsTTBR1(va) {
 		ttbr = c.sys[arm64.TTBR1EL1]
 	}
 	asid := TTBRASID(ttbr)
+	var e *microEntry
+	if acc == mem.AccessExec {
+		e = &m.i[microIdx(page, priv, asid, iMicroWays)]
+	} else {
+		e = &m.d[microIdx(page, priv, asid, dMicroWays)]
+	}
+	tlbGen := c.TLB.Gen()
+	codeGen := c.TLB.Code.Gen()
+	pan := c.PAN()
+	vmid := c.CurrentVMID()
 	if !(e.valid && e.page == page && e.tlbGen == tlbGen && e.codeGen == codeGen &&
 		e.vmid == vmid && e.asid == asid && e.priv == priv && e.pan == pan) {
 		*e = microEntry{

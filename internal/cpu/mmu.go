@@ -214,16 +214,23 @@ func (c *VCPU) MemRead(va mem.VA, size int, unpriv bool) (uint64, *Abort) {
 		return 0, ab
 	}
 	c.Charge(c.Prof.MemAccessCost)
-	var buf [8]byte
-	if err := c.Mem.Read(pa, buf[:size]); err != nil {
-		return 0, c.abort(va, 0, mem.AccessRead, mem.FaultAddressSize, 1)
+	var v uint64
+	if uint64(pa)&mem.PageMask+uint64(size) <= mem.PageSize {
+		var err error
+		if v, err = c.Mem.ReadUint(pa, size); err != nil {
+			return 0, c.abort(va, 0, mem.AccessRead, mem.FaultAddressSize, 1)
+		}
+	} else {
+		var buf [8]byte
+		if err := c.Mem.Read(pa, buf[:size]); err != nil {
+			return 0, c.abort(va, 0, mem.AccessRead, mem.FaultAddressSize, 1)
+		}
+		for i := size - 1; i >= 0; i-- {
+			v = v<<8 | uint64(buf[i])
+		}
 	}
 	if c.audit != nil {
 		c.audit.noteAccess(false, va, size)
-	}
-	var v uint64
-	for i := size - 1; i >= 0; i-- {
-		v = v<<8 | uint64(buf[i])
 	}
 	return v, nil
 }
@@ -235,12 +242,18 @@ func (c *VCPU) MemWrite(va mem.VA, size int, v uint64, unpriv bool) *Abort {
 		return ab
 	}
 	c.Charge(c.Prof.MemAccessCost)
-	var buf [8]byte
-	for i := 0; i < size; i++ {
-		buf[i] = byte(v >> (8 * i))
-	}
-	if err := c.Mem.Write(pa, buf[:size]); err != nil {
-		return c.abort(va, 0, mem.AccessWrite, mem.FaultAddressSize, 1)
+	if uint64(pa)&mem.PageMask+uint64(size) <= mem.PageSize {
+		if err := c.Mem.WriteUint(pa, size, v); err != nil {
+			return c.abort(va, 0, mem.AccessWrite, mem.FaultAddressSize, 1)
+		}
+	} else {
+		var buf [8]byte
+		for i := 0; i < size; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		if err := c.Mem.Write(pa, buf[:size]); err != nil {
+			return c.abort(va, 0, mem.AccessWrite, mem.FaultAddressSize, 1)
+		}
 	}
 	if c.audit != nil {
 		c.audit.noteAccess(true, va, size)

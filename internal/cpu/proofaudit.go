@@ -116,6 +116,18 @@ type proofAudit struct {
 	panSnap bool
 
 	seen []seenAccess
+
+	// Trace-span state: one composed-trace replay audited end to end
+	// against its TraceProof. Mutually exclusive with a block span —
+	// noteTraceEnter abandons any active block span, and block spans only
+	// open from Step, never mid-trace.
+	tActive bool
+	tProof  *absint.TraceProof
+	tIdx    int
+	tStart  int64
+	tSys    [4]uint64
+	tPan    bool
+	tSeen   []seenAccess
 }
 
 // SetProofAudit attaches or detaches the audit oracle on this vCPU.
@@ -185,8 +197,15 @@ func (a *proofAudit) noteDispatch(c *VCPU, pc uint64) {
 	a.expect += arm64.InsnBytes
 }
 
-// noteAccess observes one successful charged data access.
+// noteAccess observes one successful charged data access, feeding whichever
+// span is live (at most one is, by construction).
 func (a *proofAudit) noteAccess(write bool, va mem.VA, size int) {
+	if a.tActive {
+		if len(a.tSeen) < len(a.tProof.Claims)+4 {
+			a.tSeen = append(a.tSeen, seenAccess{write: write, page: uint64(va) >> mem.PageShift, size: size})
+		}
+		return
+	}
 	if !a.active {
 		return
 	}
@@ -257,4 +276,140 @@ func rw(write bool) string {
 		return "write"
 	}
 	return "read"
+}
+
+// buildTraceProof lazily proves each member block and composes the results
+// into the trace's TraceProof via the absint factory. This file owns every
+// `.proof` slot (tools/lint), so composition lives here rather than in the
+// stitcher. Returns false if composition rejected the inputs — the stitch
+// is then abandoned, since an unproven trace has no audit oracle and no
+// minimum-charge bound.
+func (c *VCPU) buildTraceProof(t *trace, edges []absint.TraceEdge) bool {
+	proofs := make([]*absint.BlockProof, len(t.blocks))
+	for i, b := range t.blocks {
+		if b.proof == nil {
+			b.proof = absint.ProveBlock(t.starts[i], b.insns)
+		}
+		proofs[i] = b.proof
+	}
+	t.proof = absint.ComposeTrace(t.starts[0], proofs, edges)
+	return t.proof != nil
+}
+
+// noteTraceEnter opens a span over a guarded trace replay. Any active block
+// span is abandoned first: the trace replaces the block-pipeline replay the
+// span was watching.
+func (a *proofAudit) noteTraceEnter(c *VCPU, t *trace) {
+	if a.active {
+		a.abandon()
+	}
+	if a.tActive {
+		a.abandonTraceSpan()
+	}
+	if t.proof == nil {
+		return
+	}
+	a.tActive = true
+	a.tProof = t.proof
+	a.tIdx = 0
+	a.tStart = c.Cycles + c.batch
+	a.tSys = [4]uint64{
+		c.sys[arm64.TTBR0EL1], c.sys[arm64.TTBR1EL1],
+		c.sys[arm64.SCTLREL1], c.sys[arm64.VBAREL1],
+	}
+	a.tPan = c.PAN()
+	a.tSeen = a.tSeen[:0]
+	paSpans.Add(1)
+}
+
+// noteTraceStep observes trace step i about to dispatch. The final step
+// closes the span before its handler runs, mirroring noteDispatch: interior
+// effects are complete and the trace's own exit is out of scope. A PC
+// disagreeing with the composed proof's prediction is a real divergence —
+// the stitcher and the composer derived the same path independently.
+func (a *proofAudit) noteTraceStep(c *VCPU, i int) {
+	if !a.tActive {
+		return
+	}
+	tp := a.tProof
+	if a.tIdx != i || i >= len(tp.PCs) || c.PC != tp.PCs[i] {
+		paDiverge("trace %#x step %d: pc %#x, composed proof predicts %#x",
+			tp.EntryPC, i, c.PC, tp.PCs[min(i, len(tp.PCs)-1)])
+		a.tActive = false
+		return
+	}
+	if i == tp.Insns-1 {
+		a.finishTrace(c)
+		return
+	}
+	a.tIdx = i + 1
+}
+
+// abandonTraceSpan drops the live trace span on a side-exit (misprediction,
+// generation movement, exception delivery). No-op when no span is live —
+// the finished/abandoned paths may both fire on one exit.
+func (a *proofAudit) abandonTraceSpan() {
+	if !a.tActive {
+		return
+	}
+	a.tActive = false
+	paAbandoned.Add(1)
+}
+
+// finishTrace closes a completed trace span: every interior composed claim
+// consumed in order, trace-wide freedom invariants held, and the cycle
+// delta covered the composed minimum charge.
+func (a *proofAudit) finishTrace(c *VCPU) {
+	a.tActive = false
+	paFinished.Add(1)
+	tp := a.tProof
+
+	interior := 0
+	for _, cl := range tp.Claims {
+		if cl.Index >= tp.Insns-1 {
+			continue
+		}
+		if interior >= len(a.tSeen) {
+			paDiverge("trace %#x: %d interior accesses observed, composed proof claims more",
+				tp.EntryPC, len(a.tSeen))
+			return
+		}
+		got := a.tSeen[interior]
+		if got.write != cl.Write || got.size != cl.Size {
+			paDiverge("trace %#x claim %d: observed %s/%d, proof claims %s/%d",
+				tp.EntryPC, interior, rw(got.write), got.size, rw(cl.Write), cl.Size)
+			return
+		}
+		if cl.Known && got.page != cl.Page {
+			paDiverge("trace %#x claim %d: observed page %#x, proof pins %#x",
+				tp.EntryPC, interior, got.page, cl.Page)
+			return
+		}
+		interior++
+	}
+	if interior != len(a.tSeen) {
+		paDiverge("trace %#x: %d interior accesses observed, composed proof claims %d",
+			tp.EntryPC, len(a.tSeen), interior)
+		return
+	}
+	if tp.SysregFree {
+		now := [4]uint64{
+			c.sys[arm64.TTBR0EL1], c.sys[arm64.TTBR1EL1],
+			c.sys[arm64.SCTLREL1], c.sys[arm64.VBAREL1],
+		}
+		if now != a.tSys {
+			paDiverge("trace %#x: sysreg state moved across a SysregFree trace", tp.EntryPC)
+			return
+		}
+	}
+	if tp.PANFree && c.PAN() != a.tPan {
+		paDiverge("trace %#x: PAN moved across a PANFree trace", tp.EntryPC)
+		return
+	}
+	min := tp.MinCharge(c.Prof.InsnCost, c.Prof.MemAccessCost,
+		c.Prof.ISBCost, c.Prof.DSBCost, c.Prof.BranchCost, c.Prof.PanToggleCost)
+	if got := c.Cycles + c.batch - a.tStart; got < min {
+		paDiverge("trace %#x: charged %d cycles, composed proof minimum %d",
+			tp.EntryPC, got, min)
+	}
 }

@@ -1,0 +1,958 @@
+// Trace/superblock compilation: stitching hot decoded blocks across direct
+// branches into superblocks that replay with one generation check per touched
+// page and one batched Charge flush, instead of per-instruction
+// translate/permission/dispatch work.
+//
+// This file owns every trace-cache field and all code that reads or writes
+// them — tools/lint rejects `.tcache` selectors anywhere else in package cpu,
+// mirroring the `.mtlb` confinement — so the identity argument below is an
+// audit of this one file (plus the trace-span oracle in proofaudit.go, which
+// owns the composed proof slot).
+//
+// The identity argument (DESIGN.md §13): a trace is a memoised sequence of
+// cached-block replays along one predicted control-flow path. Entering it
+// elides, per instruction, exactly one architectural fetch translation and
+// the block-cache entry/cursor machinery. The elision is sound because the
+// entry guard proves the elided work would have been free and hit-only:
+//
+//   - the block-cache key probe (keyFor) proves the executing context —
+//     (VMID, ASID, SCTLR.M) — equals the trace's stitch-time context, so the
+//     TTBR half and TLB tagging are unchanged;
+//   - per member page, the code-epoch Snapshot equals the stitch-time value,
+//     so every member block is still cached and byte-valid (the same check
+//     enter() would run), and — MMU on — a TLB Peek finds an exec-permitted,
+//     non-overlay entry for the page under the current privilege, so the
+//     per-instruction Translate would be a TLB hit: zero cycles, one TLB hit
+//     counted, no fault. The replay mirrors that hit count batched through
+//     TLB.NoteFastHits.
+//
+// Mid-trace, generations can only move at instructions dispatched through
+// the generic path (loads/stores, terminators): every such step re-checks
+// TLB gen + code-epoch gen and the predicted next PC, and side-exits —
+// with the block cursor, PC, flushed cycles and flushed stats exactly as an
+// untraced replay would have them — on any movement, misprediction, or
+// exception delivery (detected by the host-side excSeq counter). Pure ALU
+// steps cannot move generations, deliver, observe Cycles, or branch, so
+// they skip the checks entirely. Recognized stitch edges — the gate-switch
+// MRS reads and MSR PAN toggles of the lz_switch_* sequences — run fused
+// handlers that skip generic dispatch when no audit oracle is attached.
+//
+// A trace dies eagerly when any member page's code epoch bumps (the
+// CodeEpochs.OnBump hook), when a member block is evicted (BlockCache
+// onEvict/onReset hooks), or lazily at the entry guard when a sibling-page
+// region bump moved a Snapshot without firing the page hook.
+package cpu
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"lightzone/internal/arm64"
+	"lightzone/internal/arm64/absint"
+	"lightzone/internal/mem"
+)
+
+// Trace cache geometry. Traces are small (a handful of blocks); the caps
+// bound guard cost (pages) and stitch-time work (blocks, insns).
+const (
+	maxTraces      = 512
+	maxTraceBlocks = 16
+	maxTraceInsns  = 256
+	maxTracePages  = 8
+)
+
+// defaultTraceHot is the execution count at which a cached block triggers
+// stitching. Low enough that the gate-switch sequences fuse early in a
+// benchmark, high enough that one-shot boot code never stitches.
+const defaultTraceHot = 16
+
+// Step kinds classify how runTrace dispatches each instruction.
+const (
+	kPure uint8 = iota // pure ALU/barrier: no deliver, no gen movement, no branch
+	kMem               // may access memory or deliver: full post-dispatch checks
+	kTerm              // terminator via generic dispatch: flush + PC prediction
+	kPAN               // stitch edge: MSR PAN, #imm — fusable
+	kMRS               // stitch edge: MRS of a known EL1-readable register — fusable
+)
+
+// traceStep is one pre-flattened instruction of a trace: the decoded insn,
+// its predicted PC and successor, and the block cursor untraced execution
+// would hold at its dispatch (so side-exits resume bit-identically).
+type traceStep struct {
+	in     arm64.Insn
+	pc     uint64
+	next   uint64  // predicted PC after this step
+	curBlk *dblock // member block if the cursor would still be live, else nil
+	bIdx   int     // index of this insn within its member block
+	kind   uint8
+	end    bool // final instruction of the trace
+
+	// Fused-MRS specialization (kind == kMRS).
+	mrsS1     bool // register is stage-1: honour the HCR_EL2.TRVM trap
+	fusedReg  arm64.SysReg
+	fusedCost int64
+}
+
+// tracePage is one virtual page a trace fetches from, with the code-epoch
+// snapshot all its member blocks on that page were built under.
+type tracePage struct {
+	page uint64 // VA >> PageShift (canonical bits preserved)
+	snap uint64
+}
+
+// trace is one stitched superblock, keyed by its entry block's cache key.
+type trace struct {
+	key    blockKey
+	insns  int
+	mmuOff bool
+	ttbr1  bool // MMU on: all member PCs in the TTBR1 half
+	gate   bool // contains a recognized gate-switch MRS TTBR0_EL1 edge
+
+	blocks []*dblock
+	keys   []blockKey
+	starts []uint64 // entry PC of each member block
+	pages  []tracePage
+	steps  []traceStep
+
+	// proof is the composed TraceProof (see proofaudit.go; all access is
+	// confined to that file by tools/lint, like dblock.proof).
+	proof *absint.TraceProof
+
+	// Entry-guard memo: when gValid and neither generation nor privilege
+	// moved since the last full validation, the guard is a three-compare.
+	gValid   bool
+	gTLBGen  uint64
+	gCodeGen uint64
+	gPriv    bool
+}
+
+// traceCache is the per-vCPU trace state: the stitched traces, insertion
+// order for cap eviction, dependency indexes for eager invalidation, and
+// host-side counters (flushed to the package aggregates by flushTraceStats).
+type traceCache struct {
+	enabled   bool
+	threshold uint32
+	traces    map[blockKey]*trace
+	order     []blockKey
+	blockDeps map[blockKey][]blockKey // member block key -> trace keys
+	pageDeps  map[uint64][]blockKey   // page -> trace keys
+
+	stitched     uint64
+	stitchFailed uint64
+	entered      uint64
+	completed    uint64
+	sideExits    uint64
+	fused        uint64
+	invalidated  uint64
+	gateRuns     uint64
+	insnsRun     uint64
+}
+
+func newTraceCache() traceCache {
+	return traceCache{
+		enabled:   traceDefault.Load(),
+		threshold: uint32(traceHotDefault.Load()),
+		traces:    make(map[blockKey]*trace),
+		blockDeps: make(map[blockKey][]blockKey),
+		pageDeps:  make(map[uint64][]blockKey),
+	}
+}
+
+// traceDefault seeds the enabled state of newly created trace caches, so
+// tools (lzbench -notrace) can configure machines booted deep inside sweeps.
+var traceDefault atomic.Bool
+
+// traceHotDefault seeds the stitch threshold of newly created trace caches.
+var traceHotDefault atomic.Int64
+
+func init() {
+	traceDefault.Store(true)
+	traceHotDefault.Store(defaultTraceHot)
+}
+
+// SetTraceDefault sets whether new vCPUs start with trace compilation on.
+func SetTraceDefault(on bool) { traceDefault.Store(on) }
+
+// TraceDefault reports the current default for new vCPUs.
+func TraceDefault() bool { return traceDefault.Load() }
+
+// SetTraceHotDefault sets the stitch threshold for new vCPUs (minimum 1).
+func SetTraceHotDefault(n int) {
+	if n < 1 {
+		n = 1
+	}
+	traceHotDefault.Store(int64(n))
+}
+
+// TraceHotDefault reports the stitch threshold for new vCPUs.
+func TraceHotDefault() int { return int(traceHotDefault.Load()) }
+
+// SetTraces enables or disables trace compilation on this vCPU. All stitched
+// traces are dropped either way, so the toggle is safe mid-run: "off" leaves
+// the PR 4 block-resident pipeline bit-identical.
+func (c *VCPU) SetTraces(on bool) {
+	c.dropAllTraces()
+	c.tcache.enabled = on
+}
+
+// TracesEnabled reports whether trace compilation is active on this vCPU.
+func (c *VCPU) TracesEnabled() bool { return c.tcache.enabled }
+
+// SetTraceHotThreshold sets this vCPU's stitch threshold (minimum 1) and
+// drops existing traces so tests observe fresh stitching behaviour.
+func (c *VCPU) SetTraceHotThreshold(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.dropAllTraces()
+	c.tcache.threshold = uint32(n)
+}
+
+// TraceCacheLen returns the number of live stitched traces.
+func (c *VCPU) TraceCacheLen() int { return len(c.tcache.traces) }
+
+// TraceStats aggregates host-side trace-compiler counters across all vCPUs
+// since the last reset. Host observability only — never part of the
+// emulated identity surface.
+type TraceStats struct {
+	Stitched     uint64 // traces successfully composed
+	StitchFailed uint64 // stitch attempts abandoned (transient or permanent)
+	Entered      uint64 // guarded trace entries taken
+	Completed    uint64 // traces that ran to their final instruction
+	SideExits    uint64 // traces abandoned mid-run (misprediction, gen move, exception)
+	Fused        uint64 // gate-switch/PAN edges executed via fused handlers
+	Invalidated  uint64 // traces dropped (epoch bump, eviction, reset, guard)
+	GateRuns     uint64 // entries into traces containing a gate-switch edge
+	InsnsRun     uint64 // instructions retired inside traces
+}
+
+// Sub returns the counter delta s-o, for windowed measurement.
+func (s TraceStats) Sub(o TraceStats) TraceStats {
+	return TraceStats{
+		Stitched:     s.Stitched - o.Stitched,
+		StitchFailed: s.StitchFailed - o.StitchFailed,
+		Entered:      s.Entered - o.Entered,
+		Completed:    s.Completed - o.Completed,
+		SideExits:    s.SideExits - o.SideExits,
+		Fused:        s.Fused - o.Fused,
+		Invalidated:  s.Invalidated - o.Invalidated,
+		GateRuns:     s.GateRuns - o.GateRuns,
+		InsnsRun:     s.InsnsRun - o.InsnsRun,
+	}
+}
+
+var (
+	tStitched     atomic.Uint64
+	tStitchFailed atomic.Uint64
+	tEntered      atomic.Uint64
+	tCompleted    atomic.Uint64
+	tSideExits    atomic.Uint64
+	tFused        atomic.Uint64
+	tInvalidated  atomic.Uint64
+	tGateRuns     atomic.Uint64
+	tInsnsRun     atomic.Uint64
+)
+
+// ReadTraceStats snapshots the global trace counters.
+func ReadTraceStats() TraceStats {
+	return TraceStats{
+		Stitched:     tStitched.Load(),
+		StitchFailed: tStitchFailed.Load(),
+		Entered:      tEntered.Load(),
+		Completed:    tCompleted.Load(),
+		SideExits:    tSideExits.Load(),
+		Fused:        tFused.Load(),
+		Invalidated:  tInvalidated.Load(),
+		GateRuns:     tGateRuns.Load(),
+		InsnsRun:     tInsnsRun.Load(),
+	}
+}
+
+// ResetTraceStats zeroes the global trace counters.
+func ResetTraceStats() {
+	tStitched.Store(0)
+	tStitchFailed.Store(0)
+	tEntered.Store(0)
+	tCompleted.Store(0)
+	tSideExits.Store(0)
+	tFused.Store(0)
+	tInvalidated.Store(0)
+	tGateRuns.Store(0)
+	tInsnsRun.Store(0)
+}
+
+// flushTraceStats folds this vCPU's trace counters into the package
+// aggregates (called at the end of every Run, like notePerf).
+func (c *VCPU) flushTraceStats() {
+	tc := &c.tcache
+	if tc.stitched|tc.stitchFailed|tc.entered|tc.completed|tc.sideExits|
+		tc.fused|tc.invalidated|tc.gateRuns|tc.insnsRun == 0 {
+		return
+	}
+	// Per-counter guards: a Run typically moves only the entry/completion
+	// counters, and uncontended atomic adds still dominate this path.
+	if tc.stitched != 0 {
+		tStitched.Add(tc.stitched)
+	}
+	if tc.stitchFailed != 0 {
+		tStitchFailed.Add(tc.stitchFailed)
+	}
+	if tc.entered != 0 {
+		tEntered.Add(tc.entered)
+	}
+	if tc.completed != 0 {
+		tCompleted.Add(tc.completed)
+	}
+	if tc.sideExits != 0 {
+		tSideExits.Add(tc.sideExits)
+	}
+	if tc.fused != 0 {
+		tFused.Add(tc.fused)
+	}
+	if tc.invalidated != 0 {
+		tInvalidated.Add(tc.invalidated)
+	}
+	if tc.gateRuns != 0 {
+		tGateRuns.Add(tc.gateRuns)
+	}
+	if tc.insnsRun != 0 {
+		tInsnsRun.Add(tc.insnsRun)
+	}
+	tc.stitched, tc.stitchFailed, tc.entered, tc.completed = 0, 0, 0, 0
+	tc.sideExits, tc.fused, tc.invalidated, tc.gateRuns, tc.insnsRun = 0, 0, 0, 0, 0
+}
+
+// pureOp reports whether the op's handler is a pure register/PSTATE
+// computation (or a charge-only barrier): it cannot access memory, deliver
+// an exception, observe Cycles, branch, or move any generation. These steps
+// skip cursor maintenance and all post-dispatch checks inside a trace.
+func pureOp(op arm64.Op) bool {
+	switch op {
+	case arm64.OpNOP, arm64.OpMOVZ, arm64.OpMOVK, arm64.OpMOVN, arm64.OpADR,
+		arm64.OpAddImm, arm64.OpSubImm, arm64.OpAddReg, arm64.OpSubReg,
+		arm64.OpAndReg, arm64.OpOrrReg, arm64.OpEorReg,
+		arm64.OpLSLV, arm64.OpLSRV, arm64.OpMAdd, arm64.OpUDiv,
+		arm64.OpUBFM, arm64.OpCSel, arm64.OpCSInc,
+		arm64.OpISB, arm64.OpDSB, arm64.OpDMB:
+		return true
+	}
+	return false
+}
+
+// noteBlockHot is called by BlockCache.enter on every validated block entry.
+// The counter saturates at the stitch threshold: a successful stitch keys
+// the trace here, a permanent failure pins the counter so the walk never
+// re-runs, and a transient failure (successor not cached yet) resets it so
+// a warmer pass retries.
+func (c *VCPU) noteBlockHot(b *dblock, key blockKey, pc uint64) {
+	tc := &c.tcache
+	if !tc.enabled || b.hot >= tc.threshold {
+		return
+	}
+	b.hot++
+	if b.hot == tc.threshold {
+		c.maybeStitch(b, key, pc)
+	}
+}
+
+// maybeStitch walks forward from a newly hot block across direct edges —
+// B, BL into a leaf whose RET matches the call, predicted-direction
+// conditionals, fused MSR-PAN / MRS fall-throughs, and page-boundary
+// fall-throughs — collecting cached, epoch-valid successor blocks into a
+// superblock. The walk never touches emulated state or stats: successors
+// are probed directly in the block map (not via enter, which mutates
+// CodeStale), and context interning cannot reset mid-walk because the
+// same-half constraint keeps every keyFor on the one-entry context cache.
+func (c *VCPU) maybeStitch(b *dblock, key blockKey, pc uint64) {
+	tc := &c.tcache
+	if _, dup := tc.traces[key]; dup {
+		return
+	}
+	d := c.Decoded
+	mmuOff := c.sys[arm64.SCTLREL1]&SCTLRM == 0
+	ttbr1 := !mmuOff && mem.IsTTBR1(mem.VA(pc))
+
+	blocks := []*dblock{b}
+	keys := []blockKey{key}
+	starts := []uint64{pc}
+	isStart := map[uint64]bool{pc: true}
+	pages := []tracePage{{page: b.page, snap: b.snap}}
+	pageSeen := map[uint64]bool{b.page: true}
+	var edges []absint.TraceEdge
+	var retStack []uint64
+	gate := false
+	insns := len(b.insns)
+
+	cur, curStart := b, pc
+walk:
+	for len(blocks) < maxTraceBlocks && insns < maxTraceInsns {
+		last := cur.insns[len(cur.insns)-1]
+		termPC := curStart + uint64(len(cur.insns)-1)*arm64.InsnBytes
+		edge := absint.TraceEdge{Term: last.Op}
+		var next uint64
+		switch last.Op {
+		case arm64.OpB:
+			next = termPC + uint64(last.Imm)
+		case arm64.OpBL:
+			next = termPC + uint64(last.Imm)
+			retStack = append(retStack, termPC+arm64.InsnBytes)
+		case arm64.OpRET:
+			// Only a RET through x30 balancing an in-trace BL is predictable.
+			if last.Rn != 30 || len(retStack) == 0 {
+				break walk
+			}
+			next = retStack[len(retStack)-1]
+			retStack = retStack[:len(retStack)-1]
+		case arm64.OpBCond, arm64.OpCBZ, arm64.OpCBNZ:
+			if last.Imm < 0 {
+				// Backward conditional: predict taken (loop shape). A target
+				// equal to the fall-through cannot be backward, so the
+				// prediction charges BranchCost iff it holds.
+				edge.TakenPred = true
+				next = termPC + uint64(last.Imm)
+			} else {
+				next = termPC + arm64.InsnBytes
+			}
+		case arm64.OpMSRImm:
+			switch {
+			case last.Sys.Op1 == arm64.PStateFieldPANOp1 && last.Sys.Op2 == arm64.PStateFieldPANOp2:
+				edge.FusedPAN = true
+			case last.Sys.Op1 == arm64.PStateFieldSPSel1 && last.Sys.Op2 == arm64.PStateFieldSPSel2:
+				// SPSel flip: plain fall-through edge via generic dispatch.
+			default:
+				break walk // undecoded pstate field would deliver
+			}
+			next = termPC + arm64.InsnBytes
+		case arm64.OpMRS:
+			r, known := arm64.LookupSysReg(last.Sys)
+			if !known || r.MinEL() > arm64.EL1 {
+				break walk
+			}
+			edge.ChargeFree = true
+			if r == arm64.TTBR0EL1 {
+				gate = true // the gate check-phase reads TTBR0_EL1
+			}
+			next = termPC + arm64.InsnBytes
+		default:
+			if last.Op.Terminates() {
+				// Indirect branches, exception generators, sysreg writes,
+				// SYS space, undecodable words: never stitch across.
+				break walk
+			}
+			// Page-boundary block: the last instruction falls through.
+			next = termPC + arm64.InsnBytes
+		}
+		if isStart[next] {
+			break // loop closure: end the trace at the back edge
+		}
+		if !mmuOff && mem.IsTTBR1(mem.VA(next)) != ttbr1 {
+			break // one TTBR/ASID must cover the whole trace
+		}
+		skey := d.keyFor(c, next)
+		sb := d.blocks[skey]
+		if sb == nil || c.TLB.Code.Snapshot(sb.page) != sb.snap {
+			// Successor not (validly) cached yet: transient. Reset the hot
+			// counter so a later, warmer pass retries the stitch.
+			b.hot = 0
+			tc.stitchFailed++
+			return
+		}
+		if insns+len(sb.insns) > maxTraceInsns ||
+			(!pageSeen[sb.page] && len(pages) >= maxTracePages) {
+			break
+		}
+		if !pageSeen[sb.page] {
+			pageSeen[sb.page] = true
+			pages = append(pages, tracePage{page: sb.page, snap: sb.snap})
+		}
+		edges = append(edges, edge)
+		blocks = append(blocks, sb)
+		keys = append(keys, skey)
+		starts = append(starts, next)
+		isStart[next] = true
+		insns += len(sb.insns)
+		cur, curStart = sb, next
+	}
+	if len(blocks) < 2 {
+		tc.stitchFailed++ // permanent: hot stays pinned, no re-walk
+		return
+	}
+
+	t := &trace{
+		key: key, insns: insns, mmuOff: mmuOff, ttbr1: ttbr1, gate: gate,
+		blocks: blocks, keys: keys, starts: starts, pages: pages,
+	}
+	t.steps = c.flattenSteps(blocks, starts, edges)
+	if !c.buildTraceProof(t, edges) {
+		tc.stitchFailed++
+		return
+	}
+	if len(tc.traces) >= maxTraces {
+		c.evictTraces()
+	}
+	tc.traces[key] = t
+	tc.order = append(tc.order, key)
+	for _, k := range keys {
+		tc.blockDeps[k] = append(tc.blockDeps[k], key)
+	}
+	for _, pg := range pages {
+		tc.pageDeps[pg.page] = append(tc.pageDeps[pg.page], key)
+	}
+	tc.stitched++
+}
+
+// flattenSteps lowers the member blocks into the per-instruction step list,
+// classifying each step's dispatch kind and recording the block cursor an
+// untraced replay would hold at its dispatch.
+func (c *VCPU) flattenSteps(blocks []*dblock, starts []uint64, edges []absint.TraceEdge) []traceStep {
+	var steps []traceStep
+	for mi, blk := range blocks {
+		n := len(blk.insns)
+		for i, in := range blk.insns {
+			st := traceStep{
+				in:   in,
+				pc:   starts[mi] + uint64(i)*arm64.InsnBytes,
+				bIdx: i,
+			}
+			st.next = st.pc + arm64.InsnBytes
+			if i+1 < n {
+				st.curBlk = blk
+			}
+			switch {
+			case i < n-1: // interior instruction
+				if pureOp(in.Op) {
+					st.kind = kPure
+				} else {
+					st.kind = kMem
+				}
+			case mi < len(blocks)-1: // stitch edge
+				st.next = starts[mi+1]
+				e := edges[mi]
+				switch {
+				case e.FusedPAN:
+					st.kind = kPAN
+				case in.Op == arm64.OpMRS:
+					st.kind = kMRS
+					r, _ := arm64.LookupSysReg(in.Sys)
+					st.fusedReg = r
+					st.mrsS1 = arm64.IsStage1Reg(r)
+					st.fusedCost = c.Prof.SysRegReadCost(r)
+				case in.Op.Terminates():
+					st.kind = kTerm
+				case pureOp(in.Op):
+					st.kind = kPure // pure page-boundary fall-through
+				default:
+					st.kind = kMem
+				}
+			default: // final instruction of the trace
+				st.end = true
+				switch {
+				case in.Op.Terminates():
+					st.kind = kTerm
+				case pureOp(in.Op):
+					st.kind = kPure
+				default:
+					st.kind = kMem
+				}
+			}
+			steps = append(steps, st)
+		}
+	}
+	return steps
+}
+
+// pickTrace returns the guarded trace starting at the current PC, or nil.
+// Called only with a dead block cursor, at EL0/EL1, with host fastpaths on.
+func (c *VCPU) pickTrace(remaining int64) *trace {
+	tc := &c.tcache
+	if !tc.enabled || len(tc.traces) == 0 {
+		return nil
+	}
+	if c.PendingIRQ && c.PState&arm64.PStateI == 0 {
+		return nil // the IRQ delivers first, on Step's budget unit
+	}
+	// keyFor proves the executing context (VMID, ASID, SCTLR.M, TTBR half)
+	// equals the stitch-time context; it may intern a new context and reset
+	// the block cache — which drops all traces — so the lookup runs after.
+	key := c.Decoded.keyFor(c, c.PC)
+	t := tc.traces[key]
+	if t == nil || int64(t.insns) > remaining {
+		return nil
+	}
+	if !c.traceGuard(t) {
+		return nil
+	}
+	return t
+}
+
+// traceGuard proves the trace's elided per-instruction fetches would all be
+// free TLB hits (or free flat fetches, MMU off) right now. Epoch mismatch is
+// a hard failure — the member blocks are stale, so the trace is dropped;
+// TLB pressure (Peek miss) or a permission/overlay change is soft — the
+// trace stays cached and this entry falls back to the block pipeline, which
+// performs exactly the untraced work.
+func (c *VCPU) traceGuard(t *trace) bool {
+	if t.mmuOff {
+		// Flat fetches never touch the TLB; stage-2 must still be off, or
+		// each fetch would charge a stage-2 walk the trace elides.
+		if c.stage2Enabled() {
+			return false
+		}
+		if t.gValid && c.TLB.Code.Gen() == t.gCodeGen {
+			return true
+		}
+		for i := range t.pages {
+			pg := &t.pages[i]
+			if c.TLB.Code.Snapshot(pg.page) != pg.snap {
+				c.dropTrace(t)
+				return false
+			}
+		}
+		t.gValid = true
+		t.gCodeGen = c.TLB.Code.Gen()
+		return true
+	}
+	priv := c.EL() != arm64.EL0
+	if t.gValid && c.TLB.Gen() == t.gTLBGen &&
+		c.TLB.Code.Gen() == t.gCodeGen && priv == t.gPriv {
+		return true
+	}
+	vmid := c.CurrentVMID()
+	ttbr := c.sys[arm64.TTBR0EL1]
+	if t.ttbr1 {
+		ttbr = c.sys[arm64.TTBR1EL1]
+	}
+	asid := TTBRASID(ttbr)
+	for i := range t.pages {
+		pg := &t.pages[i]
+		if c.TLB.Code.Snapshot(pg.page) != pg.snap {
+			c.dropTrace(t)
+			return false
+		}
+		e, ok := c.TLB.Peek(vmid, asid, mem.VA(pg.page<<mem.PageShift))
+		if !ok {
+			return false // would walk: fall back to the block pipeline
+		}
+		if mem.OverlayKey(e.S1Desc) != 0 {
+			return false // overlay verdicts move without a generation bump
+		}
+		// PAN never restricts execution, so it is deliberately absent here.
+		if mem.CheckStage1(e.S1Desc, mem.AccessExec, priv, false, false) != mem.FaultNone {
+			return false
+		}
+		if e.HasS2 && mem.CheckStage2(e.S2Desc, mem.AccessExec) != mem.FaultNone {
+			return false
+		}
+	}
+	t.gValid = true
+	t.gTLBGen = c.TLB.Gen()
+	t.gCodeGen = c.TLB.Code.Gen()
+	t.gPriv = priv
+	return true
+}
+
+// runTrace replays a guarded trace. Per instruction it performs exactly the
+// emulated-surface work the block pipeline would — Insns, CodeHits, one TLB
+// hit (batched), InsnCost (batched), handler dispatch — while eliding the
+// per-instruction Translate and cursor machinery the guard proved free.
+// Every exit path leaves PC, the block cursor, Cycles and Stats bit-equal
+// to an untraced replay of the same instructions.
+func (c *VCPU) runTrace(t *trace) (int64, *Exit, error) {
+	tc := &c.tcache
+	tc.entered++
+	if t.gate {
+		tc.gateRuns++
+	}
+	aud := c.audit
+	if aud != nil {
+		aud.noteTraceEnter(c, t)
+	}
+	tlbGen0 := c.TLB.Gen()
+	codeGen0 := c.TLB.Code.Gen()
+	seq0 := c.excSeq
+	mmuOn := !t.mmuOff
+	var pendHits uint64
+	var done int64
+	finish := func() {
+		if pendHits != 0 {
+			c.TLB.NoteFastHits(pendHits)
+		}
+		c.flushBatch()
+		tc.insnsRun += uint64(done)
+	}
+	for i := range t.steps {
+		st := &t.steps[i]
+		c.Insns++
+		done++
+		c.batch += c.Prof.InsnCost
+		c.Stats.CodeHits++
+		if mmuOn {
+			pendHits++
+		}
+		c.nextPC = st.pc + arm64.InsnBytes
+		if aud != nil {
+			aud.noteTraceStep(c, i)
+		}
+		switch st.kind {
+		case kPure:
+			handlers[st.in.Op](c, st.in)
+			c.PC = c.nextPC
+			if st.end {
+				// A stale mid-trace cursor must never survive the trace: a
+				// coincidental expect match would replay instead of enter.
+				c.cur = blockCursor{}
+				tc.completed++
+				finish()
+				return done, nil, nil
+			}
+			continue
+		case kPAN:
+			if aud == nil && c.EL() != arm64.EL0 {
+				c.batch += c.Prof.PanToggleCost
+				c.SetPAN(st.in.Sys.CRm&1 != 0)
+				tc.fused++
+				c.PC = c.nextPC
+				continue
+			}
+		case kMRS:
+			if aud == nil && c.EL() == arm64.EL1 &&
+				(!st.mrsS1 || c.sys[arm64.HCREL2]&HCRTRVM == 0) {
+				c.batch += st.fusedCost
+				c.SetR(st.in.Rt, c.sys[st.fusedReg])
+				tc.fused++
+				c.PC = c.nextPC
+				continue
+			}
+		}
+		// Generic dispatch: runBlock's exact per-instruction sequence. The
+		// cursor is set first so exception delivery, self-modifying-code
+		// cursor kills, and side-exit resumption all see the state an
+		// untraced replay would have at this point.
+		c.cur = blockCursor{blk: st.curBlk, idx: st.bIdx + 1, expect: st.pc + arm64.InsnBytes}
+		if st.in.Op.Terminates() {
+			c.flushBatch()
+		}
+		exit := handlers[st.in.Op](c, st.in)
+		if c.stepErr != nil {
+			err := c.stepErr
+			c.stepErr = nil
+			if aud != nil {
+				aud.abandonTraceSpan()
+			}
+			tc.sideExits++
+			finish()
+			return done, nil, err
+		}
+		if exit != nil {
+			if st.end {
+				// An exit on the final step (HVC and friends as the trace
+				// terminator) is a completion, not an abandonment.
+				tc.completed++
+			}
+			if aud != nil {
+				aud.abandonTraceSpan()
+			}
+			finish()
+			return done, exit, nil
+		}
+		c.PC = c.nextPC
+		if st.end {
+			tc.completed++
+			finish()
+			return done, nil, nil
+		}
+		if c.excSeq != seq0 || c.PC != st.next ||
+			(st.kind == kMem && (c.TLB.Gen() != tlbGen0 || c.TLB.Code.Gen() != codeGen0)) {
+			// Exception delivered, branch mispredicted, or a memory effect
+			// moved a generation the entry guard froze: resume untraced.
+			if aud != nil {
+				aud.abandonTraceSpan()
+			}
+			tc.sideExits++
+			finish()
+			return done, nil, nil
+		}
+	}
+	// Unreachable: the final step always has end set.
+	finish()
+	return done, nil, nil
+}
+
+// dropTrace removes one trace and unpins its entry block's hot counter so
+// the block can re-trigger stitching after the world settles.
+func (c *VCPU) dropTrace(t *trace) {
+	tc := &c.tcache
+	if tc.traces[t.key] != t {
+		return
+	}
+	delete(tc.traces, t.key)
+	t.blocks[0].hot = 0
+	t.gValid = false
+	tc.invalidated++
+}
+
+// dropTracesForPage drops every trace with a member block on the page.
+// Stale dependency entries (traces already dropped through another index)
+// are skipped.
+func (c *VCPU) dropTracesForPage(page uint64) {
+	tc := &c.tcache
+	deps := tc.pageDeps[page]
+	if deps == nil {
+		return
+	}
+	for _, k := range deps {
+		if t := tc.traces[k]; t != nil {
+			c.dropTrace(t)
+		}
+	}
+	delete(tc.pageDeps, page)
+}
+
+// dropTracesForBlockKey drops every trace referencing the evicted block —
+// the BlockCache cohort-eviction hook. A dangling trace would otherwise
+// keep replaying (and re-validating) a block the cache no longer owns.
+func (c *VCPU) dropTracesForBlockKey(key blockKey) {
+	tc := &c.tcache
+	deps := tc.blockDeps[key]
+	if deps == nil {
+		return
+	}
+	for _, k := range deps {
+		if t := tc.traces[k]; t != nil {
+			c.dropTrace(t)
+		}
+	}
+	delete(tc.blockDeps, key)
+}
+
+// dropAllTraces empties the trace cache (wholesale epoch bump, block-cache
+// reset — interned context ids dangle after a reset, so every key does too).
+func (c *VCPU) dropAllTraces() {
+	tc := &c.tcache
+	if len(tc.traces) == 0 {
+		return
+	}
+	for _, t := range tc.traces {
+		t.blocks[0].hot = 0
+		tc.invalidated++
+	}
+	clear(tc.traces)
+	clear(tc.blockDeps)
+	clear(tc.pageDeps)
+	tc.order = tc.order[:0]
+}
+
+// evictTraces drops the oldest half of the traces (cap pressure), then
+// rebuilds the dependency indexes from the survivors.
+func (c *VCPU) evictTraces() {
+	tc := &c.tcache
+	target := len(tc.traces) / 2
+	evicted := 0
+	i := 0
+	for ; i < len(tc.order) && evicted < target; i++ {
+		if t := tc.traces[tc.order[i]]; t != nil {
+			c.dropTrace(t)
+			evicted++
+		}
+	}
+	tc.order = append(tc.order[:0], tc.order[i:]...)
+	clear(tc.blockDeps)
+	clear(tc.pageDeps)
+	for key, t := range tc.traces {
+		for _, k := range t.keys {
+			tc.blockDeps[k] = append(tc.blockDeps[k], key)
+		}
+		for _, pg := range t.pages {
+			tc.pageDeps[pg.page] = append(tc.pageDeps[pg.page], key)
+		}
+	}
+}
+
+// onCodeEpochBump is the CodeEpochs.OnBump hook: eager trace invalidation
+// on the page (or wholesale) granularity. Region-granular side effects on
+// sibling pages are caught lazily by the guard's Snapshot check.
+func (c *VCPU) onCodeEpochBump(va mem.VA, wholesale bool) {
+	if len(c.tcache.traces) == 0 {
+		return
+	}
+	if wholesale {
+		c.dropAllTraces()
+		return
+	}
+	c.dropTracesForPage(uint64(va) >> mem.PageShift)
+}
+
+// TraceInfo describes one stitched trace for verifiers and tests:
+// its keying context, shape, member identity, and whether its guard state
+// still holds. Observation-only.
+type TraceInfo struct {
+	EntryPC    uint64
+	VMID       uint16
+	ASID       uint16
+	MMUOff     bool
+	Blocks     int
+	Insns      int
+	Pages      int
+	GateSwitch bool
+	// EpochOK: every member page's code epoch still matches the stitch-time
+	// snapshot. DepsOK: every member block is still the cached block under
+	// its key. A live (replayable) trace has both.
+	EpochOK bool
+	DepsOK  bool
+	PCs     []uint64 // predicted PC of every instruction, trace order
+	Raw     []uint32 // raw words, trace order
+}
+
+// TraceSnapshot returns a deterministic snapshot of the trace cache (sorted
+// by context then entry PC). Observation-only: no stats or epochs move.
+func (c *VCPU) TraceSnapshot() []TraceInfo {
+	tc := &c.tcache
+	d := c.Decoded
+	out := make([]TraceInfo, 0, len(tc.traces))
+	for key, t := range tc.traces {
+		ctx := d.ctxList[key>>blockCtxShift]
+		info := TraceInfo{
+			EntryPC:    t.starts[0],
+			VMID:       ctx.vmid,
+			ASID:       ctx.asid,
+			MMUOff:     ctx.mmuOff,
+			Blocks:     len(t.blocks),
+			Insns:      t.insns,
+			Pages:      len(t.pages),
+			GateSwitch: t.gate,
+			EpochOK:    true,
+			DepsOK:     true,
+			PCs:        make([]uint64, 0, len(t.steps)),
+			Raw:        make([]uint32, 0, len(t.steps)),
+		}
+		for i := range t.pages {
+			if c.TLB.Code.Snapshot(t.pages[i].page) != t.pages[i].snap {
+				info.EpochOK = false
+			}
+		}
+		for i, k := range t.keys {
+			if d.blocks[k] != t.blocks[i] {
+				info.DepsOK = false
+			}
+		}
+		for i := range t.steps {
+			info.PCs = append(info.PCs, t.steps[i].pc)
+			info.Raw = append(info.Raw, t.steps[i].in.Raw)
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.VMID != b.VMID {
+			return a.VMID < b.VMID
+		}
+		if a.ASID != b.ASID {
+			return a.ASID < b.ASID
+		}
+		if a.MMUOff != b.MMUOff {
+			return !a.MMUOff
+		}
+		return a.EntryPC < b.EntryPC
+	})
+	return out
+}

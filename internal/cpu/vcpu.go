@@ -29,6 +29,14 @@ type VCPU struct {
 	mtlb  microTLBs
 	batch int64
 
+	// tcache holds the stitched superblocks of the trace compiler (see
+	// trace.go; all access is confined to that file by tools/lint). excSeq
+	// counts synchronous exception deliveries — a host-side sequence the
+	// trace runner compares to detect delivery exactly, even when the
+	// vector happens to equal the predicted next PC.
+	tcache traceCache
+	excSeq uint64
+
 	// audit, when non-nil, cross-checks cached-block replays against their
 	// static BlockProof (see proofaudit.go; observation-only, confined to
 	// that file by tools/lint).
@@ -88,8 +96,14 @@ func New(prof *arm64.Profile, pm *mem.PhysMem) *VCPU {
 		Decoded: newBlockCache(epochs, stats),
 		PState:  arm64.PStateForEL(arm64.EL1) | arm64.PStateI | arm64.PStateF,
 		mtlb:    microTLBs{enabled: hostFastpathDefault.Load()},
+		tcache:  newTraceCache(),
 	}
 	c.SetProofAudit(proofAuditDefault.Load())
+	// Trace invalidation chokepoints: any code-epoch bump, block-cache
+	// reset, or cohort eviction drops the traces it could dangle.
+	epochs.OnBump = c.onCodeEpochBump
+	c.Decoded.onReset = c.dropAllTraces
+	c.Decoded.onEvict = c.dropTracesForBlockKey
 	return c
 }
 

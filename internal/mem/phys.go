@@ -183,6 +183,49 @@ func (m *PhysMem) Write(pa PA, buf []byte) error {
 	return nil
 }
 
+// ReadUint reads a size-byte (1, 2, 4, 8) little-endian value that does not
+// cross a frame boundary — the emulated load/store fast path. Callers must
+// check the bound; crossing accesses go through Read.
+func (m *PhysMem) ReadUint(pa PA, size int) (uint64, error) {
+	f, err := m.frame(pa)
+	if err != nil {
+		return 0, err
+	}
+	off := uint64(pa) & PageMask
+	switch size {
+	case 8:
+		return binary.LittleEndian.Uint64(f[off : off+8]), nil
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(f[off : off+4])), nil
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(f[off : off+2])), nil
+	default:
+		return uint64(f[off]), nil
+	}
+}
+
+// WriteUint writes a size-byte little-endian value that does not cross a
+// frame boundary. Callers must check the bound; crossing accesses go
+// through Write.
+func (m *PhysMem) WriteUint(pa PA, size int, v uint64) error {
+	f, err := m.frame(pa)
+	if err != nil {
+		return err
+	}
+	off := uint64(pa) & PageMask
+	switch size {
+	case 8:
+		binary.LittleEndian.PutUint64(f[off:off+8], v)
+	case 4:
+		binary.LittleEndian.PutUint32(f[off:off+4], uint32(v))
+	case 2:
+		binary.LittleEndian.PutUint16(f[off:off+2], uint16(v))
+	default:
+		f[off] = byte(v)
+	}
+	return nil
+}
+
 // ReadU64 reads a little-endian 64-bit word (page-table descriptors).
 func (m *PhysMem) ReadU64(pa PA) (uint64, error) {
 	if off := uint64(pa) & PageMask; off+8 <= PageSize {

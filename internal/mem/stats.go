@@ -50,6 +50,13 @@ type CodeEpochs struct {
 	// the only direction that matters for soundness.
 	gen uint64
 
+	// OnBump, when set, observes every epoch bump: the 4KB page's VA for a
+	// page-granular bump, or wholesale==true for a global one. The trace
+	// cache hooks here to eagerly drop stitched traces whose member pages
+	// were invalidated; the hook must be host-side only (no stats, no
+	// cycles).
+	OnBump func(va VA, wholesale bool)
+
 	stats *Stats
 }
 
@@ -83,6 +90,9 @@ func (e *CodeEpochs) BumpVA(va VA) {
 	if e.stats != nil {
 		e.stats.CodeInvalidations++
 	}
+	if e.OnBump != nil {
+		e.OnBump(va, false)
+	}
 }
 
 // BumpAll invalidates every cached block (wholesale TLB invalidations,
@@ -92,5 +102,8 @@ func (e *CodeEpochs) BumpAll() {
 	e.global++
 	if e.stats != nil {
 		e.stats.CodeInvalidations++
+	}
+	if e.OnBump != nil {
+		e.OnBump(0, true)
 	}
 }

@@ -40,13 +40,11 @@ type TLB struct {
 	// Context interning: (vmid, asid, global) -> pre-shifted context id.
 	ctxIDs  map[ctxKey]uint64
 	ctxList []ctxKey // index = context id, for invalidation predicates
-	// One-entry context cache: domain switches change the ASID at most
-	// once per gate transit, so consecutive lookups share the interned ids.
-	lastVmid   uint16
-	lastAsid   uint16
-	lastValid  bool
-	lastTagged uint64
-	lastGlobal uint64
+	// Small direct-mapped context memo, indexed by the ASID's low bits so
+	// the handful of domains alternating across call-gate switches keep
+	// their interned ids resident instead of evicting each other through a
+	// single slot.
+	ctxMemo [4]tlbCtxMemo
 
 	Hits   uint64
 	Misses uint64
@@ -102,14 +100,24 @@ func (t *TLB) ctxFor(k ctxKey) uint64 {
 	return id
 }
 
+// tlbCtxMemo caches one (vmid, asid) pair's interned context ids.
+type tlbCtxMemo struct {
+	vmid   uint16
+	asid   uint16
+	valid  bool
+	tagged uint64
+	global uint64
+}
+
 // contexts refreshes the cached interned ids for (vmid, asid).
 func (t *TLB) contexts(vmid, asid uint16) (tagged, global uint64) {
-	if !t.lastValid || vmid != t.lastVmid || asid != t.lastAsid {
-		t.lastTagged = t.ctxFor(ctxKey{vmid: vmid, asid: asid})
-		t.lastGlobal = t.ctxFor(ctxKey{vmid: vmid, global: true})
-		t.lastVmid, t.lastAsid, t.lastValid = vmid, asid, true
+	m := &t.ctxMemo[asid&uint16(len(t.ctxMemo)-1)]
+	if !m.valid || vmid != m.vmid || asid != m.asid {
+		m.tagged = t.ctxFor(ctxKey{vmid: vmid, asid: asid})
+		m.global = t.ctxFor(ctxKey{vmid: vmid, global: true})
+		m.vmid, m.asid, m.valid = vmid, asid, true
 	}
-	return t.lastTagged, t.lastGlobal
+	return m.tagged, m.global
 }
 
 // Lookup finds a cached translation for va under (vmid, asid).
@@ -163,6 +171,50 @@ func (t *TLB) NoteFastHit() {
 	}
 }
 
+// NoteFastHits records n hits at once — the bulk form used by the trace
+// runner, which batches its per-instruction fetch hits and flushes them
+// before any observation point. Identical to n NoteFastHit calls.
+func (t *TLB) NoteFastHits(n uint64) {
+	t.Hits += n
+	if t.Stats != nil {
+		t.Stats.TLBHits += n
+	}
+}
+
+// Peek finds a cached translation for va under (vmid, asid) without
+// touching hit/miss counters, the mirrored Stats, or the context intern
+// tables — pure observation for trace guards that must prove "Lookup would
+// hit" without perturbing the emulated surface. The probe order mirrors
+// Lookup exactly: tagged 4KB, global 4KB, tagged 2MB block, global 2MB
+// block.
+func (t *TLB) Peek(vmid, asid uint16, va VA) (TLBEntry, bool) {
+	tagged, tok := t.ctxIDs[ctxKey{vmid: vmid, asid: asid}]
+	global, gok := t.ctxIDs[ctxKey{vmid: vmid, global: true}]
+	pg := pageOf(va)
+	if tok {
+		if e, ok := t.entries[tagged|pg]; ok {
+			return e, true
+		}
+	}
+	if gok {
+		if e, ok := t.entries[global|pg]; ok {
+			return e, true
+		}
+	}
+	bpg := pageOf(VA(uint64(va) &^ uint64(HugePageMask)))
+	if tok {
+		if e, ok := t.entries[tagged|bpg]; ok && e.BlockShift == HugePageShift {
+			return e, true
+		}
+	}
+	if gok {
+		if e, ok := t.entries[global|bpg]; ok && e.BlockShift == HugePageShift {
+			return e, true
+		}
+	}
+	return TLBEntry{}, false
+}
+
 // Insert caches a translation. Stage-1 global mappings (nG clear) are
 // inserted ASID-agnostic.
 //
@@ -208,7 +260,7 @@ func (t *TLB) InvalidateAll() {
 	t.order = t.order[:0]
 	clear(t.ctxIDs)
 	t.ctxList = t.ctxList[:0]
-	t.lastValid = false
+	t.ctxMemo = [4]tlbCtxMemo{}
 	if t.Code != nil {
 		t.Code.BumpAll()
 	}
@@ -244,7 +296,7 @@ func (t *TLB) compactContexts(drop func(ctxKey) bool) {
 		kept = append(kept, c)
 	}
 	t.ctxList = kept
-	t.lastValid = false
+	t.ctxMemo = [4]tlbCtxMemo{}
 	// Two-phase rewrite: a kept context's new id can equal another kept
 	// context's old id, so moving entries in place while scanning can clobber
 	// a live entry that shares the page bits. Pull every moving entry out of

@@ -11,11 +11,14 @@ import (
 
 // Differential fuzzing: the same seeded A64 instruction stream runs on two
 // freshly booted bare vCPUs — one with every host fastpath enabled
-// (micro-TLBs, block-resident run loop, batched charging, decode cache),
-// one with all of them off (the per-Step reference pipeline) — and the
-// final registers, PSTATE, memory, cycle accounting, TLB statistics and
-// exit syndrome must be bit-identical. Any difference is a fastpath
-// soundness bug, minimized to a committed journal.
+// (micro-TLBs, block-resident run loop, batched charging, decode cache,
+// trace compiler), one with all of them off (the per-Step reference
+// pipeline) — and the final registers, PSTATE, memory, cycle accounting,
+// TLB statistics and exit syndrome must be bit-identical. Any difference is
+// a fastpath soundness bug, minimized to a committed journal. Each side runs
+// the stream several times from the same entry point so the fast side climbs
+// the whole cache hierarchy: decode misses, cached-block hits, and stitched
+// trace replay.
 
 // Fuzz address space: one executable code page, a kernel RW data page, a
 // user RW page and a stack page — the cpu package's canonical test layout.
@@ -63,6 +66,10 @@ func newFuzzEnv(fastpaths bool) (*cpu.VCPU, *mem.PhysMem, mem.PA, error) {
 	c := cpu.New(arm64.ProfileCortexA55(), pm)
 	c.SetHostFastpaths(fastpaths)
 	c.SetDecodeCache(fastpaths)
+	c.SetTraces(fastpaths)
+	// Threshold 1 stitches on the second pass and replays on the third, so
+	// FuzzPasses runs land one pass in each tier of the cache hierarchy.
+	c.SetTraceHotThreshold(1)
 	c.SetSys(arm64.SCTLREL1, cpu.SCTLRM)
 	c.SetSys(arm64.TTBR0EL1, cpu.MakeTTBR(uint64(s1.Root()), s1.ASID()))
 	c.PC = uint64(fuzzCodeVA)
@@ -92,10 +99,16 @@ func loadWords(pm *mem.PhysMem, codePA mem.PA, words []uint32) error {
 	return pm.Write(codePA, buf)
 }
 
+// FuzzPasses is how many times each side executes the stream from the entry
+// point. Pass 1 decodes, pass 2 runs from cached blocks and stitches (hot
+// threshold 1), pass 3 replays the stitched trace — so a single dual run
+// covers every execution tier with the same architectural state trajectory.
+const FuzzPasses = 3
+
 // DualResult is the outcome of one differential run.
 type DualResult struct {
 	Fast, Slow         Digest
-	FastExit, SlowExit cpu.Exit
+	FastExit, SlowExit cpu.Exit // final-pass exits
 	// Divergence is empty when the two pipelines were bit-identical.
 	Divergence string
 }
@@ -104,37 +117,49 @@ type DualResult struct {
 // compares every architectural observable. The stream need not be
 // well-formed: undefined words, faulting accesses and early exits are all
 // legitimate outcomes — they just must be the SAME outcome on both sides.
+// Each side runs FuzzPasses passes, re-entering at the stream head with the
+// carried-over register file; per-pass exits must match pairwise and the
+// cumulative digest must be bit-identical.
 func DualRun(words []uint32) (DualResult, error) {
 	var res DualResult
 	if len(words) > MaxFuzzWords {
 		return res, fmt.Errorf("stream of %d words exceeds the %d-word code page", len(words), MaxFuzzWords)
 	}
-	run := func(fast bool) (Digest, cpu.Exit, error) {
+	run := func(fast bool) (Digest, [FuzzPasses]cpu.Exit, error) {
+		var exits [FuzzPasses]cpu.Exit
 		c, pm, codePA, err := newFuzzEnv(fast)
 		if err != nil {
-			return Digest{}, cpu.Exit{}, err
+			return Digest{}, exits, err
 		}
 		if err := loadWords(pm, codePA, words); err != nil {
-			return Digest{}, cpu.Exit{}, err
+			return Digest{}, exits, err
 		}
-		// Forward-only control flow bounds execution by the stream length;
-		// the slack covers the terminator and delivered aborts.
-		exit, err := c.Run(int64(len(words)) + 64)
-		if err != nil {
-			return Digest{}, cpu.Exit{}, err
+		for p := 0; p < FuzzPasses; p++ {
+			c.SetEL(arm64.EL1)
+			c.PC = uint64(fuzzCodeVA)
+			// Forward-only control flow bounds each pass by the stream
+			// length; the slack covers the terminator and delivered aborts.
+			exit, err := c.Run(int64(len(words)) + 64)
+			if err != nil {
+				return Digest{}, exits, err
+			}
+			exits[p] = exit
 		}
-		return CaptureDigest(c, pm), exit, nil
+		return CaptureDigest(c, pm), exits, nil
 	}
 	var err error
-	if res.Fast, res.FastExit, err = run(true); err != nil {
+	var fastExits, slowExits [FuzzPasses]cpu.Exit
+	if res.Fast, fastExits, err = run(true); err != nil {
 		return res, err
 	}
-	if res.Slow, res.SlowExit, err = run(false); err != nil {
+	if res.Slow, slowExits, err = run(false); err != nil {
 		return res, err
 	}
+	res.FastExit = fastExits[FuzzPasses-1]
+	res.SlowExit = slowExits[FuzzPasses-1]
 	switch {
-	case res.FastExit != res.SlowExit:
-		res.Divergence = fmt.Sprintf("exit diverged: fast %+v, slow %+v", res.FastExit, res.SlowExit)
+	case fastExits != slowExits:
+		res.Divergence = fmt.Sprintf("exit diverged: fast %+v, slow %+v", fastExits, slowExits)
 	case !res.Fast.Equal(res.Slow):
 		res.Divergence = "digest diverged: " + res.Slow.Delta(res.Fast)
 	}

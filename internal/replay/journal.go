@@ -64,6 +64,7 @@ type RunConfig struct {
 	Parallel    int      `json:"parallel"`
 	NoFastpath  bool     `json:"nofastpath,omitempty"`
 	NoDecode    bool     `json:"nodecode,omitempty"`
+	NoTrace     bool     `json:"notrace,omitempty"`
 	Invariants  bool     `json:"invariants,omitempty"`
 	Backend     string   `json:"backend,omitempty"`      // isolation-backend matrix scope ("", name, or "all")
 	HostVisible bool     `json:"host_visible,omitempty"` // -hostperf rows present (never recorded)

@@ -5,6 +5,7 @@ import (
 
 	"lightzone/internal/arm64"
 	"lightzone/internal/core"
+	"lightzone/internal/cpu"
 	"lightzone/internal/kernel"
 	"lightzone/internal/mem"
 )
@@ -474,6 +475,7 @@ func checkCaches(s *Snapshot) []Finding {
 		return true
 	})
 	out = append(out, blockCacheCheck(s, byVMID)...)
+	out = append(out, traceCacheCheck(s, byVMID)...)
 	out = append(out, checkMicroTLBs(s, byVMID)...)
 	return out
 }
@@ -543,48 +545,10 @@ func blockCacheCheck(s *Snapshot, byVMID map[uint16]*ProcSnap) []Finding {
 				VA: va, Detail: detail,
 			})
 		}
-		var pa mem.PA
-		if b.MMUOff {
-			pa = mem.PA(va)
-		} else {
-			var s1 *mem.Stage1
-			if mem.IsTTBR1(mem.VA(va)) {
-				s1 = p.TTBR1Table()
-			} else {
-				for _, d := range p.Domains {
-					if d.ASID == b.ASID {
-						s1 = d.S1
-						break
-					}
-				}
-				// Global-page blocks carry the ASID that was live at decode
-				// time; any domain view must yield the same bytes, so the
-				// base table stands in when the ASID is gone.
-				if s1 == nil && len(p.Domains) > 0 {
-					s1 = p.Domains[0].S1
-				}
-			}
-			if s1 == nil {
-				bad(fmt.Sprintf("decoded block tagged with ASID %d which no table uses", b.ASID))
-				continue
-			}
-			res, err := s1.Walk(mem.VA(va))
-			if err != nil || !res.Found {
-				bad("decoded block for a VA the page table no longer maps")
-				continue
-			}
-			fk := mem.IPA(res.Desc & mem.OAMask)
-			off := uint64(va) & mem.PageMask
-			if res.BlockShift == mem.HugePageShift {
-				fk &^= mem.IPA(mem.HugePageMask)
-				off = uint64(va) & uint64(mem.HugePageMask)
-			}
-			real, ok := p.RealOf(fk)
-			if !ok {
-				bad(fmt.Sprintf("no real frame behind fake OA %#x of the block's page", uint64(fk)))
-				continue
-			}
-			pa = real + mem.PA(off)
+		pa, detail := codeFramePA(p, b.MMUOff, b.ASID, va)
+		if detail != "" {
+			bad("decoded block " + detail)
+			continue
 		}
 		raw := make([]byte, len(b.Raw)*arm64.InsnBytes)
 		if err := s.M.PM.Read(pa, raw); err != nil {
@@ -600,4 +564,100 @@ func blockCacheCheck(s *Snapshot, byVMID map[uint16]*ProcSnap) []Finding {
 		}
 	}
 	return out
+}
+
+// codeFramePA resolves the real physical address behind an executable VA in
+// the keyed address space a cached artifact (decoded block or stitched
+// trace) was built under, mirroring the fetch path the pipeline itself
+// takes. A non-empty string is a finding detail: resolution failed, so the
+// cached artifact outlived its mapping.
+func codeFramePA(p *ProcSnap, mmuOff bool, asid uint16, va uint64) (mem.PA, string) {
+	if mmuOff {
+		return mem.PA(va), ""
+	}
+	var s1 *mem.Stage1
+	if mem.IsTTBR1(mem.VA(va)) {
+		s1 = p.TTBR1Table()
+	} else {
+		for _, d := range p.Domains {
+			if d.ASID == asid {
+				s1 = d.S1
+				break
+			}
+		}
+		// Global-page code carries the ASID that was live at decode time;
+		// any domain view must yield the same bytes, so the base table
+		// stands in when the ASID is gone.
+		if s1 == nil && len(p.Domains) > 0 {
+			s1 = p.Domains[0].S1
+		}
+	}
+	if s1 == nil {
+		return 0, fmt.Sprintf("tagged with ASID %d which no table uses", asid)
+	}
+	res, err := s1.Walk(mem.VA(va))
+	if err != nil || !res.Found {
+		return 0, "covers a VA the page table no longer maps"
+	}
+	fk := mem.IPA(res.Desc & mem.OAMask)
+	off := va & mem.PageMask
+	if res.BlockShift == mem.HugePageShift {
+		fk &^= mem.IPA(mem.HugePageMask)
+		off = va & uint64(mem.HugePageMask)
+	}
+	real, ok := p.RealOf(fk)
+	if !ok {
+		return 0, fmt.Sprintf("has no real frame behind fake OA %#x", uint64(fk))
+	}
+	return real + mem.PA(off), ""
+}
+
+// traceCacheCheck extends the audit to stitched traces: a live trace — one
+// whose entry guard would still pass (member page epochs fresh, member
+// blocks still the cached blocks under their keys) — must predict exactly
+// the words currently readable through its keyed address space at every
+// step PC. A dead trace carries no invariant: the guard refuses it and the
+// stitcher rebuilds from memory.
+func traceCacheCheck(s *Snapshot, byVMID map[uint16]*ProcSnap) []Finding {
+	var out []Finding
+	for _, tr := range s.M.CPU.TraceSnapshot() {
+		p, ok := byVMID[tr.VMID]
+		if !ok {
+			continue
+		}
+		va, detail := traceWordsCheck(tr, func(va uint64) (mem.PA, string) {
+			return codeFramePA(p, tr.MMUOff, tr.ASID, va)
+		}, s.M.PM.ReadU32)
+		if detail != "" {
+			out = append(out, Finding{
+				Checker: "cache-coherence", PID: p.PID, Proc: p.Name, Domain: -1,
+				VA: va, Detail: detail,
+			})
+		}
+	}
+	return out
+}
+
+// traceWordsCheck is the per-trace core of traceCacheCheck, parameterized
+// over address resolution and physical reads so it unit-tests without a
+// machine snapshot. It returns the offending VA and a finding detail, or
+// ("", 0) when the trace is coherent or dormant.
+func traceWordsCheck(tr cpu.TraceInfo, resolve func(uint64) (mem.PA, string), readU32 func(mem.PA) (uint32, error)) (uint64, string) {
+	if !tr.EpochOK || !tr.DepsOK {
+		return 0, "" // dormant: refused by the entry guard, no invariant
+	}
+	for i, va := range tr.PCs {
+		pa, detail := resolve(va)
+		if detail != "" {
+			return va, "live stitched trace " + detail
+		}
+		w, err := readU32(pa)
+		if err != nil {
+			return va, fmt.Sprintf("live stitched trace step unreadable at %#x: %v", uint64(pa), err)
+		}
+		if w != tr.Raw[i] {
+			return va, fmt.Sprintf("live stitched trace differs from memory: step %d predicts %#08x, memory holds %#08x", i, tr.Raw[i], w)
+		}
+	}
+	return 0, ""
 }

@@ -246,3 +246,37 @@ func bump(d *BlockCache) { d.epochs.BumpVA(0) }
 		t.Fatalf("blockcache.go must own .epochs, got %v", probs)
 	}
 }
+
+func TestTraceProofConfinedToAbsint(t *testing.T) {
+	// A TraceProof literal outside the abstract interpreter is a composed
+	// claim nobody composed — only ComposeTrace may mint one.
+	probs := lintNamed(t, "trace.go", `package cpu
+func forge() *absint.TraceProof { return &absint.TraceProof{PANFree: true} }
+`)
+	if len(probs) != 1 || !strings.Contains(probs[0], "ComposeTrace") {
+		t.Fatalf("want one TraceProof violation, got %v", probs)
+	}
+	probs = lintNamed(t, "traceproof.go", `package absint
+func ComposeTrace() *TraceProof { return &TraceProof{} }
+`)
+	if len(probs) != 0 {
+		t.Fatalf("absint must mint trace proofs, got %v", probs)
+	}
+}
+
+func TestTraceCacheConfinedToTraceFile(t *testing.T) {
+	// Even a read of the trace cache outside trace.go widens the audit
+	// surface of the trace compiler's soundness argument.
+	probs := lintNamed(t, "exec.go", `package cpu
+func hot(c *VCPU) int { return len(c.tcache.traces) }
+`)
+	if len(probs) != 1 || !strings.Contains(probs[0], "trace.go") {
+		t.Fatalf("want one confinement violation, got %v", probs)
+	}
+	probs = lintNamed(t, "trace.go", `package cpu
+func hot(c *VCPU) int { return len(c.tcache.traces) }
+`)
+	if len(probs) != 0 {
+		t.Fatalf("trace.go must own .tcache, got %v", probs)
+	}
+}

@@ -25,13 +25,19 @@
 //     surface; state reaching across it would let one backend's semantics
 //     leak into another's.
 //
-//  5. block-proof confinement: a BlockProof is constructed only inside
-//     internal/arm64/absint (ProveBlock is the sole factory — a literal
-//     built elsewhere would be an unproven claim wearing a proof's type),
-//     the cached proof slot (`.proof` in package cpu) is touched only by
-//     proofaudit.go, and the code-epoch tracker (`.epochs` in package cpu)
-//     only by blockcache.go — epoch bumps are the proof/block invalidation
-//     chokepoint, so the soundness audit is those two files.
+//  5. proof confinement: a BlockProof or TraceProof is constructed only
+//     inside internal/arm64/absint (ProveBlock and ComposeTrace are the
+//     sole factories — a literal built elsewhere would be an unproven claim
+//     wearing a proof's type), the cached proof slot (`.proof` in package
+//     cpu) is touched only by proofaudit.go, and the code-epoch tracker
+//     (`.epochs` in package cpu) only by blockcache.go — epoch bumps are
+//     the proof/block invalidation chokepoint, so the soundness audit is
+//     those two files.
+//
+//  6. trace-cache confinement: the stitched-trace state (`.tcache` in
+//     package cpu) is touched only by trace.go. The trace compiler's
+//     soundness argument — guard coverage, invalidation chokepoints,
+//     batched-flush identity — is an audit of that single file.
 //
 // Usage: go run ./tools/lint [root]   (root defaults to ".")
 //
@@ -100,6 +106,7 @@ var confined = map[string]map[string]string{
 		"mtlb":   "microtlb.go",
 		"proof":  "proofaudit.go",
 		"epochs": "blockcache.go",
+		"tcache": "trace.go",
 	},
 	"core": {
 		"gateTabPA": "gate.go",
@@ -144,10 +151,10 @@ func lintFile(fset *token.FileSet, f *ast.File) []string {
 			case *ast.SelectorExpr:
 				name = t.Sel.Name
 			}
-			if name == "BlockProof" {
+			if name == "BlockProof" || name == "TraceProof" {
 				problems = append(problems, fmt.Sprintf(
-					"%s: BlockProof constructed outside internal/arm64/absint; only ProveBlock may mint proofs",
-					fset.Position(cl.Pos())))
+					"%s: %s constructed outside internal/arm64/absint; only ProveBlock/ComposeTrace may mint proofs",
+					fset.Position(cl.Pos()), name))
 			}
 			return true
 		})
