@@ -1,0 +1,173 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"lightzone/internal/arm64"
+	"lightzone/internal/mem"
+	"lightzone/internal/workload"
+)
+
+// Zygote benchmark: quantifies what copy-on-write forking buys on the two
+// hot boot paths — the chaos engine (one machine per injection case) and
+// the fleet (one machine per measurement cell). For each path it times N
+// cold boots against N forks of a warmed zygote and reports the speedup
+// plus the dirty-page count of a forked run (how much of the machine a
+// child actually touches). The fork-identity suites prove the numbers the
+// machines emit are bit-identical either way; this file measures only what
+// the fork saves.
+
+// zygotePathBench is one path's boot-vs-fork comparison.
+type zygotePathBench struct {
+	Path   string `json:"path"`
+	Config string `json:"config"`
+	Runs   int    `json:"runs"`
+	// Prepare cost: boot + module setup + assemble (cold) vs fork (warm).
+	// Timed in dedicated prepare-only loops so the workload runs (and the
+	// garbage they generate) never land inside a timing window.
+	ColdPrepareS float64 `json:"cold_prepare_seconds"`
+	ForkPrepareS float64 `json:"fork_prepare_seconds"`
+	Speedup      float64 `json:"prepare_speedup"`
+	// End-to-end cost including the benchmark run itself (timed separately
+	// from the prepare loops).
+	ColdTotalS float64 `json:"cold_total_seconds"`
+	ForkTotalS float64 `json:"fork_total_seconds"`
+	// DirtyPages is the COW copy count after one forked child ran to
+	// completion; SharedFrames is what it still shares with the zygote.
+	DirtyPages   uint64 `json:"dirty_pages"`
+	SharedFrames uint64 `json:"shared_frames"`
+	// MachineFrames is the zygote's materialized frame count, for scale.
+	MachineFrames uint64 `json:"machine_frames"`
+}
+
+// zygoteBenchConfigs are the measured paths: the chaos engine's gate-rich
+// scenario and a deep fleet cell.
+func zygoteBenchConfigs() map[string]workload.DomainSwitchConfig {
+	cortex := workload.Platform{Prof: arm64.ProfileCortexA55()}
+	return map[string]workload.DomainSwitchConfig{
+		"chaos": {Platform: cortex, Variant: workload.VariantLZTTBR,
+			Domains: 8, Iters: 200, Seed: workload.Table5Seed},
+		"fleet": {Platform: cortex, Variant: workload.VariantLZTTBR,
+			Domains: 32, Iters: 1000, Seed: workload.Table5Seed},
+	}
+}
+
+// frameCount counts the materialized frames of a physical memory.
+func frameCount(pm *mem.PhysMem) uint64 {
+	var n uint64
+	pm.VisitFrames(func(mem.PA, *[mem.PageSize]byte) { n++ })
+	return n
+}
+
+// benchZygotePath times one path's cold and forked preparations and runs.
+// The prepare timings come from dedicated loops that do nothing but prepare
+// (with a GC fence before each loop): interleaving a full workload run into
+// the timed section would charge the run's GC pressure to whichever prepare
+// happens to trigger the collection. End-to-end totals are timed in their
+// own loops afterwards.
+func benchZygotePath(name string, cfg workload.DomainSwitchConfig, runs int) (zygotePathBench, error) {
+	out := zygotePathBench{Path: name, Runs: runs,
+		Config: fmt.Sprintf("%s/%d domains/%d iters", cfg.Variant, cfg.Domains, cfg.Iters)}
+	budget := workload.DomainSwitchBudget(cfg)
+
+	prev := workload.SetZygoteDefault(false)
+	defer workload.SetZygoteDefault(prev)
+	workload.ResetZygotes()
+
+	// Cold prepare, timed. One warm-up iteration primes lazily-built
+	// process tables before the clock starts.
+	if _, _, err := workload.PrepareDomainSwitch(cfg); err != nil {
+		return out, err
+	}
+	runtime.GC()
+	t0 := time.Now()
+	for i := 0; i < runs; i++ {
+		if _, _, err := workload.PrepareDomainSwitch(cfg); err != nil {
+			return out, err
+		}
+	}
+	out.ColdPrepareS = time.Since(t0).Seconds()
+
+	// Fork prepare, timed. The first fork warms the zygote (the amortized
+	// cold boot) and doubles as the warm-up iteration.
+	if _, _, err := workload.ForkDomainSwitch(cfg); err != nil {
+		return out, err
+	}
+	runtime.GC()
+	t0 = time.Now()
+	for i := 0; i < runs; i++ {
+		if _, _, err := workload.ForkDomainSwitch(cfg); err != nil {
+			return out, err
+		}
+	}
+	out.ForkPrepareS = time.Since(t0).Seconds()
+	if out.ForkPrepareS > 0 {
+		out.Speedup = out.ColdPrepareS / out.ForkPrepareS
+	}
+
+	// End-to-end totals: prepare + run, timed as a whole in separate loops.
+	runtime.GC()
+	t0 = time.Now()
+	for i := 0; i < runs; i++ {
+		env, p, err := workload.PrepareDomainSwitch(cfg)
+		if err != nil {
+			return out, err
+		}
+		if err := env.Run(p, budget); err != nil {
+			return out, err
+		}
+	}
+	out.ColdTotalS = time.Since(t0).Seconds()
+
+	runtime.GC()
+	t0 = time.Now()
+	var last *workload.Env
+	for i := 0; i < runs; i++ {
+		env, p, err := workload.ForkDomainSwitch(cfg)
+		if err != nil {
+			return out, err
+		}
+		if err := env.Run(p, budget); err != nil {
+			return out, err
+		}
+		last = env
+	}
+	out.ForkTotalS = time.Since(t0).Seconds()
+
+	// Scale numbers: a fresh fork materializes exactly the zygote's frame
+	// set, so counting its frames before any run gives the machine size;
+	// the ran child's counters give the dirty/shared split.
+	if fresh, _, err := workload.ForkDomainSwitch(cfg); err == nil {
+		out.MachineFrames = frameCount(fresh.M.PM)
+	}
+	out.DirtyPages = last.M.PM.COWCopies()
+	out.SharedFrames = last.M.PM.SharedFrames()
+	return out, nil
+}
+
+// runZygoteBench measures every path and writes the JSON summary.
+func runZygoteBench(path string, runs int) error {
+	var paths []zygotePathBench
+	for _, name := range []string{"chaos", "fleet"} {
+		pb, err := benchZygotePath(name, zygoteBenchConfigs()[name], runs)
+		if err != nil {
+			return fmt.Errorf("zygote bench %s: %w", name, err)
+		}
+		fmt.Fprintf(os.Stderr, "zygote %-5s: cold prepare %.4fs, fork prepare %.4fs (%.1fx), %d dirty pages of %d\n",
+			name, pb.ColdPrepareS, pb.ForkPrepareS, pb.Speedup, pb.DirtyPages, pb.MachineFrames)
+		paths = append(paths, pb)
+	}
+	out := struct {
+		Runs  int               `json:"runs_per_path"`
+		Paths []zygotePathBench `json:"paths"`
+	}{Runs: runs, Paths: paths}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1,0 +1,34 @@
+package baseline
+
+// Fork deep-clones the watchpoint module's per-process bookkeeping for a
+// forked machine. The state is pure Go-side accounting (domain regions,
+// current domain, switch counters), so the clone is exact and O(state).
+func (w *Watchpoint) Fork() *Watchpoint {
+	w2 := NewWatchpoint()
+	for pid, wp := range w.procs {
+		wp2 := &wpProc{
+			domains:  make(map[int]wpRegion, len(wp.domains)),
+			current:  wp.current,
+			Switches: wp.Switches,
+		}
+		for dom, r := range wp.domains {
+			wp2.domains[dom] = r
+		}
+		w2.procs[pid] = wp2
+	}
+	return w2
+}
+
+// Fork deep-clones the lwC module's per-process bookkeeping for a forked
+// machine.
+func (l *LwC) Fork() *LwC {
+	l2 := NewLwC()
+	for pid, lp := range l.procs {
+		l2.procs[pid] = &lwcProc{
+			contexts: lp.contexts,
+			current:  lp.current,
+			Switches: lp.Switches,
+		}
+	}
+	return l2
+}

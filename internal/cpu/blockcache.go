@@ -132,13 +132,13 @@ func SetDecodeCacheDefault(on bool) { decodeCacheDefault.Store(on) }
 func DecodeCacheDefault() bool { return decodeCacheDefault.Load() }
 
 func newBlockCache(epochs *mem.CodeEpochs, stats *mem.Stats) *BlockCache {
+	// The block and intern maps are created on first insert: machines that
+	// never execute (zygotes, and children at the moment they fork) carry
+	// an empty cache without paying for its containers.
 	return &BlockCache{
-		enabled:   decodeCacheDefault.Load(),
-		blocks:    make(map[blockKey]*dblock),
-		codePages: make(map[uint64]int),
-		epochs:    epochs,
-		stats:     stats,
-		ctxIDs:    make(map[blockCtx]uint64),
+		enabled: decodeCacheDefault.Load(),
+		epochs:  epochs,
+		stats:   stats,
 	}
 }
 
@@ -156,6 +156,9 @@ func (d *BlockCache) ctxFor(c blockCtx) uint64 {
 	if !ok {
 		if len(d.ctxList) >= maxCachedBlocks {
 			d.reset()
+		}
+		if d.ctxIDs == nil {
+			d.ctxIDs = make(map[blockCtx]uint64)
 		}
 		id = uint64(len(d.ctxList)) << blockCtxShift
 		d.ctxIDs[c] = id
@@ -389,6 +392,10 @@ func (d *BlockCache) finalize() {
 		d.evictCohort()
 	}
 	if _, exists := d.blocks[d.bkey]; !exists {
+		if d.blocks == nil {
+			d.blocks = make(map[blockKey]*dblock)
+			d.codePages = make(map[uint64]int)
+		}
 		d.codePages[d.bpage]++
 		d.order = append(d.order, d.bkey)
 	}

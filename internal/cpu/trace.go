@@ -149,12 +149,11 @@ type traceCache struct {
 }
 
 func newTraceCache() traceCache {
+	// Maps are created when the first trace is installed: most machines
+	// (and every freshly forked child) never stitch one.
 	return traceCache{
 		enabled:   traceDefault.Load(),
 		threshold: uint32(traceHotDefault.Load()),
-		traces:    make(map[blockKey]*trace),
-		blockDeps: make(map[blockKey][]blockKey),
-		pageDeps:  make(map[uint64][]blockKey),
 	}
 }
 
@@ -489,6 +488,11 @@ walk:
 	}
 	if len(tc.traces) >= maxTraces {
 		c.evictTraces()
+	}
+	if tc.traces == nil {
+		tc.traces = make(map[blockKey]*trace)
+		tc.blockDeps = make(map[blockKey][]blockKey)
+		tc.pageDeps = make(map[uint64][]blockKey)
 	}
 	tc.traces[key] = t
 	tc.order = append(tc.order, key)

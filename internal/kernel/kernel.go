@@ -158,6 +158,9 @@ func (k *Kernel) FreeASID(vmid, asid uint16) {
 		return
 	}
 	k.CPU.TLB.InvalidateASID(vmid, asid)
+	if k.asidFreed == nil { // forked kernels rebuild the guard lazily
+		k.asidFreed = make(map[uint16]bool)
+	}
 	k.asidFreed[asid] = true
 	k.asidFree = append(k.asidFree, asid)
 }

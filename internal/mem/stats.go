@@ -61,12 +61,10 @@ type CodeEpochs struct {
 }
 
 // NewCodeEpochs creates an epoch tracker reporting into stats (may be nil).
+// The epoch maps are created on the first bump: machines that never rewrite
+// code (and freshly forked children) never allocate them.
 func NewCodeEpochs(stats *Stats) *CodeEpochs {
-	return &CodeEpochs{
-		pages:   make(map[uint64]uint64),
-		regions: make(map[uint64]uint64),
-		stats:   stats,
-	}
+	return &CodeEpochs{stats: stats}
 }
 
 // Snapshot returns the current validity token for the 4KB page index
@@ -84,6 +82,10 @@ func (e *CodeEpochs) Gen() uint64 { return e.gen }
 // interior pages hold cached blocks).
 func (e *CodeEpochs) BumpVA(va VA) {
 	e.gen++
+	if e.pages == nil {
+		e.pages = make(map[uint64]uint64)
+		e.regions = make(map[uint64]uint64)
+	}
 	page := uint64(va) >> PageShift
 	e.pages[page]++
 	e.regions[page>>(HugePageShift-PageShift)]++

@@ -75,16 +75,10 @@ func NewTLB(capacity int) *TLB {
 	if capacity <= 0 {
 		capacity = 512
 	}
-	// Sized for a modest working set rather than full capacity: fleet
-	// sweeps create many machines whose TLBs never fill, and the map and
-	// order slice grow on demand.
-	sized := min(capacity, 128)
-	return &TLB{
-		entries:  make(map[uint64]TLBEntry, sized),
-		order:    make([]uint64, 0, sized),
-		capacity: capacity,
-		ctxIDs:   make(map[ctxKey]uint64),
-	}
+	// Containers are created lazily on first insert: fleet sweeps and
+	// zygote forks create machines by the thousand, most of whose TLBs
+	// never fill, so even empty maps would dominate construction.
+	return &TLB{capacity: capacity}
 }
 
 func pageOf(va VA) uint64 { return uint64(va) >> PageShift & tlbPageMask }
@@ -93,6 +87,9 @@ func pageOf(va VA) uint64 { return uint64(va) >> PageShift & tlbPageMask }
 func (t *TLB) ctxFor(k ctxKey) uint64 {
 	id, ok := t.ctxIDs[k]
 	if !ok {
+		if t.ctxIDs == nil {
+			t.ctxIDs = make(map[ctxKey]uint64)
+		}
 		id = uint64(len(t.ctxList)) << tlbPageBits
 		t.ctxIDs[k] = id
 		t.ctxList = append(t.ctxList, k)
@@ -239,6 +236,9 @@ func (t *TLB) Insert(vmid, asid uint16, va VA, e TLBEntry) {
 			t.gen++
 		}
 	} else {
+		if t.entries == nil {
+			t.entries = make(map[uint64]TLBEntry)
+		}
 		for len(t.entries) >= t.capacity {
 			victim := t.order[0]
 			t.order = t.order[1:]
@@ -256,7 +256,7 @@ func (t *TLB) Insert(vmid, asid uint16, va VA, e TLBEntry) {
 // would stay interned forever across process churn.
 func (t *TLB) InvalidateAll() {
 	t.gen++
-	t.entries = make(map[uint64]TLBEntry, min(t.capacity, 128))
+	t.entries = nil // recreated on the next insert (also sheds map growth)
 	t.order = t.order[:0]
 	clear(t.ctxIDs)
 	t.ctxList = t.ctxList[:0]
@@ -361,6 +361,41 @@ func (t *TLB) invalidate(match func(uint64) bool) {
 		}
 	}
 	t.order = kept
+}
+
+// Clone deep-copies the architectural TLB for a forked machine: the entry
+// set, FIFO order, context intern tables, memo, generation, and hit/miss
+// counters all transfer exactly — TLB warmth is digest-visible through the
+// hit/miss counts, so a fork must resume from precisely the state a cold
+// boot reaches. stats and code re-point the mirrors at the fork's own
+// Stats/CodeEpochs so counter updates never cross machines.
+func (t *TLB) Clone(stats *Stats, code *CodeEpochs) *TLB {
+	c := &TLB{
+		order:    append([]uint64(nil), t.order...),
+		capacity: t.capacity,
+		ctxList:  append([]ctxKey(nil), t.ctxList...),
+		ctxMemo:  t.ctxMemo,
+		Hits:     t.Hits,
+		Misses:   t.Misses,
+		gen:      t.gen,
+		Stats:    stats,
+		Code:     code,
+	}
+	// Maps are only built when the source holds entries: cloning a cold
+	// TLB (the zygote fork path) allocates no containers at all.
+	if len(t.entries) > 0 {
+		c.entries = make(map[uint64]TLBEntry, len(t.entries))
+		for k, e := range t.entries {
+			c.entries[k] = e
+		}
+	}
+	if len(t.ctxIDs) > 0 {
+		c.ctxIDs = make(map[ctxKey]uint64, len(t.ctxIDs))
+		for k, id := range t.ctxIDs {
+			c.ctxIDs[k] = id
+		}
+	}
+	return c
 }
 
 // Len returns the number of cached entries.

@@ -1,0 +1,26 @@
+package verify
+
+// checkCOWAliasing audits the copy-on-write frame structure of the
+// machine's physical memory: across the whole fork family, every frame
+// storage backs exactly one physical address per machine, every shared
+// storage carries a share cell, and every cell's count covers its live
+// holders. A violation means one write could become visible at a second
+// physical address — and therefore inside a second isolation domain —
+// without any stage-1/stage-2 translation connecting them, a channel no
+// page-table audit can see. Findings carry the exact PA in both the VA and
+// PA fields (the audit is an address-space-independent, machine-wide
+// property; Domain -1 marks it process-unscoped).
+func checkCOWAliasing(s *Snapshot) []Finding {
+	var out []Finding
+	for _, issue := range s.M.PM.AuditCOW() {
+		out = append(out, Finding{
+			Checker: "cow-aliasing",
+			PID:     -1,
+			Domain:  -1,
+			VA:      uint64(issue.PA),
+			PA:      uint64(issue.PA),
+			Detail:  issue.Detail,
+		})
+	}
+	return out
+}
